@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark/figure harness.
+
+Every benchmark runs at a *reduced* scale by default so the whole suite
+finishes in minutes; set ``REPRO_FULL=1`` for the paper's full scale
+(50 000 iterations per panel, 100-point cache sweeps).  All artifacts land
+in ``results/`` as CSV plus an ASCII rendition of the figure.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def scale(reduced: int, full: int) -> int:
+    """Pick an iteration count depending on REPRO_FULL."""
+    return full if FULL else reduced
+
+
+def results_path(name: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure and persist it under results/."""
+    print()
+    print(text)
+    results_path(name).write_text(text + "\n")

@@ -1,0 +1,69 @@
+"""Ablation A2 — Theorem 1's feasibility gap, measured end to end.
+
+DESIGN.md §3 documents that Theorem 1's exchange argument can be infeasible
+with unequal retrieval times, so the canonical search space (the paper's
+Figure 3 algorithm) can miss the true optimum.  This ablation measures:
+
+1. how often random instances exhibit a gap, and its size in gain units;
+2. whether it matters *behaviourally*: the §4.4 simulation run with the
+   canonical solver vs the unrestricted exact solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrefetchProblem, solve_skp, solve_skp_exact
+from repro.simulation import PrefetchOnlyConfig, SKPPrefetch, run_prefetch_only
+from repro.viz import write_rows
+
+from _common import results_path, scale
+
+
+def test_theorem1_gap_rate(benchmark):
+    rng = np.random.default_rng(29)
+    trials = scale(800, 5000)
+    gaps = []
+    for _ in range(trials):
+        n = int(rng.integers(2, 10))
+        p = rng.random(n)
+        p /= p.sum()
+        prob = PrefetchProblem(p, rng.uniform(1, 30, n), rng.uniform(0, 60))
+        canonical = solve_skp(prob).gain
+        exact = solve_skp_exact(prob).gain
+        if exact > canonical + 1e-9:
+            gaps.append(exact - canonical)
+    rate = len(gaps) / trials
+    print(
+        f"\nTheorem-1 gap: {len(gaps)}/{trials} instances ({rate:.2%}), "
+        f"mean gap {np.mean(gaps) if gaps else 0:.3f}, worst {max(gaps) if gaps else 0:.3f}"
+    )
+    assert gaps, "expected at least one gap instance at this scale"
+    write_rows(
+        results_path("ablation_ordering_gap.csv"),
+        ["trials", "gap_instances", "rate", "mean_gap", "worst_gap"],
+        [[trials, len(gaps), f"{rate:.4f}", f"{np.mean(gaps):.4f}", f"{max(gaps):.4f}"]],
+    )
+
+    cfg = PrefetchOnlyConfig(n=10, iterations=scale(2000, 20000), method="skewy", seed=31)
+    result = run_prefetch_only(cfg, [SKPPrefetch(), SKPPrefetch(exact=True)])
+    canonical_mean = result.by_name("SKP prefetch").mean()
+    exact_mean = result.by_name("SKP prefetch (exact)").mean()
+    print(
+        f"end-to-end mean T: canonical {canonical_mean:.3f} vs exact {exact_mean:.3f} "
+        f"({(canonical_mean - exact_mean) / canonical_mean:+.2%} improvement)"
+    )
+    # the exact solver can only improve the expected access time
+    assert exact_mean <= canonical_mean + 0.02
+    benchmark.extra_info["gap_rate"] = rate
+    benchmark.extra_info["canonical_mean_T"] = canonical_mean
+    benchmark.extra_info["exact_mean_T"] = exact_mean
+
+    probs = []
+    rng = np.random.default_rng(37)
+    for _ in range(30):
+        n = 10
+        p = rng.random(n)
+        p /= p.sum()
+        probs.append(PrefetchProblem(p, rng.uniform(1, 30, n), rng.uniform(0, 60)))
+    benchmark(lambda: [solve_skp_exact(p) for p in probs])

@@ -1,0 +1,91 @@
+"""Figure 4 — scatter of access time ``T`` against viewing time ``v``.
+
+Paper setup: 'prefetch only' simulation, n = 10, v ~ U[1,100], r ~ U[1,30];
+500 iterations plotted; panels (a) SKP/skewy, (b) SKP/flat, (c) KP/skewy,
+(d) KP/flat.
+
+Expected shapes (checked by the assertions):
+
+* (a) SKP points rise above ``T = 30`` (= max r): a wrong stretchy prefetch
+  costs ``st + r`` — the paper's "negative effect of using stretch time";
+* (c) KP shows a dense triangular region above the line ``T = v`` at small
+  ``v``: items with ``r_i > v`` are never prefetched, so highly probable
+  long items keep their full retrieval time;
+* (b)/(d) are nearly identical: with flat probabilities both policies make
+  the same conservative choices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import KPPrefetch, PrefetchOnlyConfig, SKPPrefetch, run_prefetch_only
+from repro.viz import scatter, write_series
+
+from _common import emit, results_path, scale
+
+
+def figure4_panel(method: str, seed: int = 4):
+    iterations = scale(500, 500)  # the paper plots exactly 500 points
+    config = PrefetchOnlyConfig(n=10, iterations=iterations, method=method, seed=seed)
+    return run_prefetch_only(config, [SKPPrefetch(), KPPrefetch()])
+
+
+def _render(result, policy: str, panel: str, method: str) -> str:
+    series = result.by_name(policy)
+    return scatter(
+        result.viewing_times,
+        series.access_times,
+        title=f"Figure 4({panel}): {policy}, {method} method, n=10",
+        x_label="v",
+        y_label="T",
+        x_max=100.0,
+        y_max=50.0,
+    )
+
+
+def test_figure4(benchmark):
+    skewy = figure4_panel("skewy")
+    flat = figure4_panel("flat")
+
+    for result, method, panels in ((skewy, "skewy", "ac"), (flat, "flat", "bd")):
+        emit(
+            f"figure4_{method}_skp.txt",
+            _render(result, "SKP prefetch", panels[0], method),
+        )
+        emit(
+            f"figure4_{method}_kp.txt",
+            _render(result, "KP prefetch", panels[1], method),
+        )
+        write_series(
+            results_path(f"figure4_{method}.csv"),
+            "v",
+            result.viewing_times,
+            {
+                "T_skp": result.by_name("SKP prefetch").access_times,
+                "T_kp": result.by_name("KP prefetch").access_times,
+            },
+        )
+
+    # --- paper-shape assertions -------------------------------------------
+    skp_t = skewy.by_name("SKP prefetch").access_times
+    kp_t = skewy.by_name("KP prefetch").access_times
+    v = skewy.viewing_times
+    # (a): stretch pushes some SKP points above max r = 30
+    assert skp_t.max() > 30.0
+    # (c): KP never exceeds stretch-free demand time ...
+    assert kp_t.max() <= 30.0 + 1e-9
+    # ... and shows the triangular miss region: at small v, high-P long items
+    # are never prefetched, so many points sit above T = v.
+    small_v = v < 25.0
+    assert np.mean(kp_t[small_v] > v[small_v]) > 0.2
+    # (b)(d): flat panels nearly identical between policies
+    flat_skp = flat.by_name("SKP prefetch").access_times
+    flat_kp = flat.by_name("KP prefetch").access_times
+    assert abs(flat_skp.mean() - flat_kp.mean()) < 0.15 * flat_kp.mean()
+
+    # --- timed kernel: one panel at reduced size ---------------------------
+    kernel_cfg = PrefetchOnlyConfig(n=10, iterations=100, method="skewy", seed=11)
+    benchmark(lambda: run_prefetch_only(kernel_cfg, [SKPPrefetch(), KPPrefetch()]))
+    benchmark.extra_info["skp_mean_T_skewy"] = float(skp_t.mean())
+    benchmark.extra_info["kp_mean_T_skewy"] = float(kp_t.mean())

@@ -1,0 +1,70 @@
+"""Solver performance and bound effectiveness (experiment E4/A5).
+
+Times the SKP branch-and-bound at the paper's problem sizes (n = 10, 25)
+and at a stress size, measures how many nodes the eq. (7) bound prunes, and
+times the exact (Theorem-1-gap-free) solver for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrefetchProblem, solve_kp, solve_skp, solve_skp_exact
+from repro.workload import generate_scenarios
+
+from _common import scale
+
+
+def instances(n: int, count: int, seed: int = 0):
+    batch = generate_scenarios(count, n, method="skewy", seed=seed)
+    return [batch.problem(k) for k in range(count)]
+
+
+@pytest.mark.parametrize("n", [10, 25, 50])
+def test_skp_solve_speed(benchmark, n):
+    probs = instances(n, 50)
+
+    def run():
+        for p in probs:
+            solve_skp(p)
+
+    benchmark(run)
+    nodes = [solve_skp(p).nodes for p in probs]
+    benchmark.extra_info["mean_nodes"] = float(np.mean(nodes))
+
+
+@pytest.mark.parametrize("n", [10, 25])
+def test_exact_solver_speed(benchmark, n):
+    probs = instances(n, 20)
+    benchmark(lambda: [solve_skp_exact(p) for p in probs])
+
+
+def test_kp_solve_speed(benchmark):
+    probs = instances(25, 50)
+    benchmark(lambda: [solve_kp(p) for p in probs])
+
+
+def test_bound_pruning_effectiveness(benchmark):
+    """A5: nodes expanded with vs without the eq. (7) bound."""
+    probs = instances(18, scale(60, 400), seed=3)
+
+    with_bound = [solve_skp(p, use_bound=True) for p in probs]
+    without = [solve_skp(p, use_bound=False) for p in probs]
+    for a, b in zip(with_bound, without):
+        assert a.gain == pytest.approx(b.gain, abs=1e-9)
+
+    nodes_with = float(np.mean([r.nodes for r in with_bound]))
+    nodes_without = float(np.mean([r.nodes for r in without]))
+    reduction = 1.0 - nodes_with / nodes_without
+    print(
+        f"\nbound pruning: {nodes_without:.0f} -> {nodes_with:.0f} mean nodes "
+        f"({reduction:.0%} reduction, n=18)"
+    )
+    # The bound must prune meaningfully — this is the point of Theorem 2.
+    assert nodes_with < nodes_without
+    assert reduction > 0.2
+
+    benchmark(lambda: [solve_skp(p, use_bound=True) for p in probs[:20]])
+    benchmark.extra_info["mean_nodes_with_bound"] = nodes_with
+    benchmark.extra_info["mean_nodes_without_bound"] = nodes_without

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the paper's figures from the command line.
+
+Usage::
+
+    python benchmarks/run_figures.py            # all figures, reduced scale
+    python benchmarks/run_figures.py --figure 5 # one figure
+    REPRO_FULL=1 python benchmarks/run_figures.py  # paper-scale (slow)
+
+ASCII renditions print to stdout and every series is written to
+``results/*.csv`` / ``results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+
+def figure4() -> None:
+    from bench_figure4 import _render, figure4_panel
+    from _common import emit, results_path
+    from repro.viz import write_series
+
+    for method, panels in (("skewy", "ac"), ("flat", "bd")):
+        result = figure4_panel(method)
+        emit(f"figure4_{method}_skp.txt", _render(result, "SKP prefetch", panels[0], method))
+        emit(f"figure4_{method}_kp.txt", _render(result, "KP prefetch", panels[1], method))
+        write_series(
+            results_path(f"figure4_{method}.csv"),
+            "v",
+            result.viewing_times,
+            {
+                "T_skp": result.by_name("SKP prefetch").access_times,
+                "T_kp": result.by_name("KP prefetch").access_times,
+            },
+        )
+
+
+def figure5() -> None:
+    from bench_figure5 import figure5_panel, render_panel
+    from _common import emit
+
+    for panel, (method, n) in {
+        "a": ("skewy", 10),
+        "b": ("flat", 10),
+        "c": ("skewy", 25),
+        "d": ("flat", 25),
+    }.items():
+        res = figure5_panel(method, n)
+        emit(f"figure5_{method}_n{n}.txt", render_panel(res, panel, method, n))
+
+
+def figure7() -> None:
+    from bench_figure7 import figure7_data
+    from _common import emit, results_path
+    from repro.viz import line_plot, write_series
+
+    sizes, curves = figure7_data()
+    emit(
+        "figure7.txt",
+        line_plot(
+            sizes.astype(float),
+            curves,
+            title="Figure 7: access time per request vs cache size (Markov source)",
+            x_label="cache size",
+            y_label="avg T",
+        ),
+    )
+    write_series(results_path("figure7.csv"), "cache_size", sizes.astype(float), curves)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=["4", "5", "7", "all"], default="all")
+    args = parser.parse_args()
+    jobs = {"4": [figure4], "5": [figure5], "7": [figure7]}
+    for fn in jobs.get(args.figure, [figure4, figure5, figure7]):
+        fn()
+
+
+if __name__ == "__main__":
+    main()

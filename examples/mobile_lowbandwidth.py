@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Low-bandwidth mobile scenario (the authors' companion work [15]).
+
+A mobile client on a thin link: retrieval times are large relative to
+viewing times, so speculative mistakes are expensive — both in waiting time
+(the stretch) and in network budget (battery / metered data).  This example
+exercises the §6 network-aware extension: sweep the efficiency threshold
+``theta`` and show the user-facing trade-off between mean access time and
+network bytes, alongside the shadow-price lookahead planner that avoids
+stretch intruding into the next viewing window.
+
+Run:  python examples/mobile_lowbandwidth.py
+"""
+
+import numpy as np
+
+from repro import PrefetchProblem, solve_skp
+from repro.core.lookahead import solve_skp_lookahead
+from repro.core.network_aware import threshold_plan
+from repro.simulation.access import access_outcome
+from repro.workload import generate_markov_source
+from repro.workload.scenario import sample_requests
+
+STEPS = 4000
+THETAS = [0.0, 0.05, 0.1, 0.15, 0.2]
+
+
+def simulate(source, planner, rng) -> tuple[float, float]:
+    """One-step-per-state walk; returns (mean access time, network time/step)."""
+    cdf = np.cumsum(source.transition, axis=1)
+    state = int(rng.integers(source.n))
+    total_t = 0.0
+    network = 0.0
+    u = rng.random(STEPS)
+    for k in range(STEPS):
+        problem = PrefetchProblem(
+            source.row(state), source.retrieval_times, float(source.viewing_times[state])
+        )
+        plan = planner(problem)
+        network += float(source.retrieval_times[list(plan.items)].sum()) if len(plan) else 0.0
+        nxt = int(np.searchsorted(cdf[state], u[k], side="right"))
+        nxt = min(nxt, source.n - 1)
+        total_t += access_outcome(problem, plan, nxt).access_time
+        state = nxt
+    return total_t / STEPS, network / STEPS
+
+
+def main() -> None:
+    # Thin link: r in [5, 45] against viewing times in [1, 20].
+    source = generate_markov_source(
+        50, out_degree=(4, 10), v_range=(1.0, 20.0), r_range=(5.0, 45.0), seed=99
+    )
+    print("mobile catalog: 50 items, thin link (r up to 45 vs viewing <= 20)\n")
+
+    print("network-aware SKP: theta sweep (per request):")
+    print("  theta   mean wait   network time   efficiency")
+    rows = []
+    for theta in THETAS:
+        rng = np.random.default_rng(1)
+        mean_t, net = simulate(
+            source, lambda p, th=theta: threshold_plan(p, th).plan, rng
+        )
+        rows.append((theta, mean_t, net))
+        eff = "-" if net == 0 else f"{mean_t / net:10.3f}"
+        print(f"  {theta:5.2f}  {mean_t:9.2f}   {net:11.2f}   {eff}")
+
+    no_prefetch_rng = np.random.default_rng(1)
+    base_t, _ = simulate(source, lambda p: solve_skp(
+        PrefetchProblem(p.probabilities, p.retrieval_times, 0.0)).plan, no_prefetch_rng)
+    print(f"\n  (demand fetch only: mean wait {base_t:.2f}, network 0 speculative)")
+
+    rng = np.random.default_rng(1)
+    myopic_t, myopic_net = simulate(source, lambda p: solve_skp(p).plan, rng)
+    rng = np.random.default_rng(1)
+    ahead_t, ahead_net = simulate(source, lambda p: solve_skp_lookahead(p).plan, rng)
+    print(
+        f"\nlookahead (shadow-price) vs myopic SKP:\n"
+        f"  myopic    mean wait {myopic_t:6.2f}, network/step {myopic_net:6.2f}\n"
+        f"  lookahead mean wait {ahead_t:6.2f}, network/step {ahead_net:6.2f}"
+    )
+    print(
+        "\ntakeaway: on thin links a small theta sheds most speculative bytes "
+        "for little extra waiting, and stretch-aware planning tempers the "
+        "wrong-prefetch penalty the paper warns about at small v."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: lets `pip install -e .` use setup.py develop on toolchains
+without the `wheel` package (this offline environment ships setuptools 65
+only).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — reproduction of Tuah, Kumar & Venkatesh (IPPS/SPDP 1999),
+*A Performance Model of Speculative Prefetching in Distributed Information
+Systems*.
+
+The package implements the paper's performance model for speculative
+prefetching (access improvement as a function of viewing time, retrieval
+times and next-access probabilities), the stretch knapsack problem (SKP)
+solver that maximises it, the cache-integration arbitration of §5, and the
+full Monte-Carlo evaluation of Figures 4, 5 and 7 — plus the substrates
+those need (workload generators, a Markov request source, cache policies,
+access predictors, and a discrete-event distributed-information-system
+simulator).
+
+Quick start::
+
+    import numpy as np
+    from repro import PrefetchProblem, solve_skp
+
+    problem = PrefetchProblem(
+        probabilities=np.array([0.5, 0.3, 0.2]),
+        retrieval_times=np.array([8.0, 12.0, 3.0]),
+        viewing_time=10.0,
+    )
+    result = solve_skp(problem)
+    print(result.plan.items, result.gain)
+
+See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from repro.core import (
+    ArbitrationResult,
+    ExhaustiveResult,
+    KPResult,
+    LinearRelaxation,
+    PlanOutcome,
+    Prefetcher,
+    PrefetchPlan,
+    PrefetchProblem,
+    SKPResult,
+    access_improvement,
+    access_improvement_with_cache,
+    arbitrate_demand,
+    arbitrate_prefetch,
+    canonical_order,
+    expected_access_time_no_prefetch,
+    expected_access_time_with_plan,
+    linear_relaxation,
+    plan_stretch,
+    reorder_plan,
+    solve_kp,
+    solve_skp,
+    solve_skp_exact,
+    solve_skp_exhaustive,
+    stretch_time,
+    upper_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ArbitrationResult",
+    "ExhaustiveResult",
+    "KPResult",
+    "LinearRelaxation",
+    "PlanOutcome",
+    "Prefetcher",
+    "PrefetchPlan",
+    "PrefetchProblem",
+    "SKPResult",
+    "access_improvement",
+    "access_improvement_with_cache",
+    "arbitrate_demand",
+    "arbitrate_prefetch",
+    "canonical_order",
+    "expected_access_time_no_prefetch",
+    "expected_access_time_with_plan",
+    "linear_relaxation",
+    "plan_stretch",
+    "reorder_plan",
+    "solve_kp",
+    "solve_skp",
+    "solve_skp_exact",
+    "solve_skp_exhaustive",
+    "stretch_time",
+    "upper_bound",
+]

@@ -1,0 +1,22 @@
+"""Validation and estimation utilities built on the core model."""
+
+from repro.analysis.theory import (
+    BoundReport,
+    Theorem1Report,
+    VariantReport,
+    check_theorem1,
+    check_upper_bound,
+    compare_variants,
+)
+from repro.analysis.montecarlo import MonteCarloEstimate, estimate_expected_access_time
+
+__all__ = [
+    "BoundReport",
+    "Theorem1Report",
+    "VariantReport",
+    "check_theorem1",
+    "check_upper_bound",
+    "compare_variants",
+    "MonteCarloEstimate",
+    "estimate_expected_access_time",
+]

@@ -1,0 +1,100 @@
+"""Numerical validators for the paper's theoretical apparatus.
+
+Each function probes one theorem on a concrete instance, returning a small
+report rather than asserting — the test suite asserts on the reports, and
+the solver benchmark uses them to quantify how often (and by how much) the
+claims hold or fail on random instances.  Theorem 1's feasibility gap
+(DESIGN.md §3) was found with exactly this machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exhaustive import solve_skp_exhaustive
+from repro.core.ordering import satisfies_theorem1
+from repro.core.relaxation import upper_bound
+from repro.core.skp import solve_skp
+from repro.core.types import PrefetchProblem
+
+__all__ = [
+    "Theorem1Report",
+    "check_theorem1",
+    "BoundReport",
+    "check_upper_bound",
+    "VariantReport",
+    "compare_variants",
+]
+
+
+@dataclass(frozen=True)
+class Theorem1Report:
+    """Does the *true* optimum have a minimal-probability tail?"""
+
+    holds: bool
+    optimal_gain: float
+    canonical_gain: float
+
+    @property
+    def gap(self) -> float:
+        """How much gain the canonical restriction leaves on the table."""
+        return self.optimal_gain - self.canonical_gain
+
+
+def check_theorem1(problem: PrefetchProblem) -> Theorem1Report:
+    best_any = solve_skp_exhaustive(problem, tail_rule="any")
+    best_canonical = solve_skp_exhaustive(problem, tail_rule="canonical")
+    return Theorem1Report(
+        holds=satisfies_theorem1(problem, best_any.plan)
+        and abs(best_any.gain - best_canonical.gain) <= 1e-9,
+        optimal_gain=best_any.gain,
+        canonical_gain=best_canonical.gain,
+    )
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    bound: float
+    optimum: float
+
+    @property
+    def valid(self) -> bool:
+        return self.bound >= self.optimum - 1e-9
+
+    @property
+    def slack(self) -> float:
+        return self.bound - self.optimum
+
+
+def check_upper_bound(problem: PrefetchProblem) -> BoundReport:
+    return BoundReport(
+        bound=upper_bound(problem),
+        optimum=solve_skp_exhaustive(problem, tail_rule="any").gain,
+    )
+
+
+@dataclass(frozen=True)
+class VariantReport:
+    """Faithful-vs-corrected Figure 3 comparison on one instance."""
+
+    corrected_gain: float
+    faithful_gain: float
+    faithful_internal: float  # the faithful solver's (possibly inflated) g^
+
+    @property
+    def faithful_suboptimal(self) -> bool:
+        return self.faithful_gain < self.corrected_gain - 1e-9
+
+    @property
+    def internal_inflated(self) -> bool:
+        return self.faithful_internal > self.faithful_gain + 1e-9
+
+
+def compare_variants(problem: PrefetchProblem) -> VariantReport:
+    corrected = solve_skp(problem, variant="corrected")
+    faithful = solve_skp(problem, variant="faithful")
+    return VariantReport(
+        corrected_gain=corrected.gain,
+        faithful_gain=faithful.gain,
+        faithful_internal=faithful.algorithm_gain,
+    )

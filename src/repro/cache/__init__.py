@@ -1,0 +1,24 @@
+"""Cache substrate: the §5 replacement policies and classic baselines.
+
+* :mod:`repro.cache.base` — capacity/stats machinery shared by policies;
+* :mod:`repro.cache.policies` — LRU, LFU, FIFO, Random baselines;
+* :mod:`repro.cache.pr` — the paper's Pr (``P_i r_i``) cache with LFU/DS
+  sub-arbitration;
+* :mod:`repro.cache.watchman` — delay-saving profit cache (WATCHMAN).
+"""
+
+from repro.cache.base import Cache, CacheStats
+from repro.cache.policies import FIFOCache, LFUCache, LRUCache, RandomCache
+from repro.cache.pr import PrCache
+from repro.cache.watchman import WatchmanCache
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "FIFOCache",
+    "LFUCache",
+    "LRUCache",
+    "RandomCache",
+    "PrCache",
+    "WatchmanCache",
+]

@@ -1,0 +1,98 @@
+"""Cache interface and statistics.
+
+The paper assumes equal item sizes (§5), so capacity is a *count*.  Every
+policy implements victim selection; insertion and lookup bookkeeping live
+here.  ``touch`` is called on every access (hit or miss) so recency/
+frequency policies can maintain their state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "Cache"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else float("nan")
+
+
+class Cache:
+    """Fixed-capacity, equal-size item cache."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._items: set[int] = set()
+        self.stats = CacheStats()
+
+    # -- interface to override -------------------------------------------
+    def select_victim(self) -> int:
+        """Choose the item to evict (cache guaranteed non-empty)."""
+        raise NotImplementedError
+
+    def on_insert(self, item: int) -> None:
+        """Policy bookkeeping hook after an insertion."""
+
+    def on_access(self, item: int, hit: bool) -> None:
+        """Policy bookkeeping hook on every access."""
+
+    def on_evict(self, item: int) -> None:
+        """Policy bookkeeping hook after an eviction."""
+
+    # -- common machinery --------------------------------------------------
+    def __contains__(self, item: int) -> bool:
+        return int(item) in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> frozenset[int]:
+        return frozenset(self._items)
+
+    def access(self, item: int) -> bool:
+        """Record an access; returns True on a hit."""
+        item = int(item)
+        hit = item in self._items
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        self.on_access(item, hit)
+        return hit
+
+    def insert(self, item: int) -> int | None:
+        """Insert ``item``, evicting if needed; returns the victim if any."""
+        item = int(item)
+        if self.capacity == 0:
+            return None
+        if item in self._items:
+            return None
+        victim: int | None = None
+        if len(self._items) >= self.capacity:
+            victim = int(self.select_victim())
+            self.evict(victim)
+        self._items.add(item)
+        self.on_insert(item)
+        return victim
+
+    def evict(self, item: int) -> None:
+        item = int(item)
+        if item not in self._items:
+            raise KeyError(f"item {item} not cached")
+        self._items.discard(item)
+        self.stats.evictions += 1
+        self.on_evict(item)

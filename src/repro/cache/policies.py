@@ -1,0 +1,98 @@
+"""Classic replacement policies: LRU, LFU, FIFO, Random.
+
+These are the ablation baselines the arbitration caches are compared
+against (benchmark A4) and the building blocks of the distsys examples.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.cache.base import Cache
+from repro.util.rng import as_generator
+
+__all__ = ["LRUCache", "LFUCache", "FIFOCache", "RandomCache"]
+
+
+class LRUCache(Cache):
+    """Least recently used."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_access(self, item: int, hit: bool) -> None:
+        if hit:
+            self._order.move_to_end(item)
+
+    def on_insert(self, item: int) -> None:
+        self._order[item] = None
+        self._order.move_to_end(item)
+
+    def on_evict(self, item: int) -> None:
+        self._order.pop(item, None)
+
+    def select_victim(self) -> int:
+        return next(iter(self._order))
+
+
+class LFUCache(Cache):
+    """Least frequently used; ties broken by least recent use."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq: dict[int, int] = {}
+        self._clock = 0
+        self._last_used: dict[int, int] = {}
+
+    def on_access(self, item: int, hit: bool) -> None:
+        self._clock += 1
+        if hit:
+            self._freq[item] = self._freq.get(item, 0) + 1
+            self._last_used[item] = self._clock
+
+    def on_insert(self, item: int) -> None:
+        self._clock += 1
+        self._freq[item] = self._freq.get(item, 0) + 1
+        self._last_used[item] = self._clock
+
+    def on_evict(self, item: int) -> None:
+        self._freq.pop(item, None)
+        self._last_used.pop(item, None)
+
+    def select_victim(self) -> int:
+        return min(self._items, key=lambda i: (self._freq.get(i, 0), self._last_used.get(i, 0), i))
+
+
+class FIFOCache(Cache):
+    """First in, first out (insertion order, unaffected by hits)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: deque[int] = deque()
+
+    def on_insert(self, item: int) -> None:
+        self._queue.append(item)
+
+    def on_evict(self, item: int) -> None:
+        try:
+            self._queue.remove(item)
+        except ValueError:
+            pass
+
+    def select_victim(self) -> int:
+        return self._queue[0]
+
+
+class RandomCache(Cache):
+    """Uniform random eviction (seeded for reproducibility)."""
+
+    def __init__(self, capacity: int, seed: int | np.random.Generator | None = None) -> None:
+        super().__init__(capacity)
+        self._rng = as_generator(seed)
+
+    def select_victim(self) -> int:
+        members = sorted(self._items)
+        return members[int(self._rng.integers(len(members)))]

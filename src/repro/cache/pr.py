@@ -1,0 +1,60 @@
+"""The paper's Pr-cache: eviction by lowest ``P_i * r_i`` (§5.2).
+
+Victim choice needs the *current* next-access estimates, so the cache holds
+a reference to a provider callable returning the probability vector; the
+retrieval times are fixed.  Sub-arbitration (LFU or delay-saving) breaks the
+frequent ties among zero-probability items, with the item id as the final
+deterministic tie-break.
+
+This class packages :func:`repro.core.arbitration.select_victim` behind the
+:class:`repro.cache.base.Cache` interface so Pr replacement can be compared
+head-to-head with LRU/LFU/FIFO in the ablation benchmarks and used by the
+event-driven client.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cache.base import Cache
+from repro.core.arbitration import select_victim
+
+__all__ = ["PrCache"]
+
+
+class PrCache(Cache):
+    def __init__(
+        self,
+        capacity: int,
+        retrieval_times: np.ndarray,
+        probability_provider: Callable[[], np.ndarray],
+        *,
+        sub_arbitration: str | None = None,
+    ) -> None:
+        super().__init__(capacity)
+        if sub_arbitration not in (None, "lfu", "ds"):
+            raise ValueError(f"unknown sub_arbitration {sub_arbitration!r}")
+        self.retrieval_times = np.asarray(retrieval_times, dtype=np.float64)
+        self.probability_provider = probability_provider
+        self.sub_arbitration = sub_arbitration
+        self.frequencies = np.zeros(self.retrieval_times.shape[0], dtype=np.float64)
+
+    def on_access(self, item: int, hit: bool) -> None:
+        self.frequencies[item] += 1.0
+
+    def _sub_key(self):
+        if self.sub_arbitration is None:
+            return None
+        if self.sub_arbitration == "lfu":
+            return lambda i: float(self.frequencies[i])
+        return lambda i: float(self.frequencies[i] * self.retrieval_times[i])
+
+    def select_victim(self) -> int:
+        p = self.probability_provider()
+        return select_victim(
+            sorted(self._items),
+            primary_key=lambda i: float(p[i] * self.retrieval_times[i]),
+            sub_key=self._sub_key(),
+        )

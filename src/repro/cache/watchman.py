@@ -1,0 +1,33 @@
+"""WATCHMAN-style delay-saving cache (Scheuermann, Shim & Vingralek).
+
+§5.2 borrows its sub-arbitration from WATCHMAN's *delay-saving profit*:
+``freq_i * r_i`` — how much aggregate network time the cached copy saves.
+Here the profit is the *primary* key (the standalone cache the paper's
+citation describes, in its simplified equal-size form), used as an ablation
+baseline against Pr-arbitration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.base import Cache
+
+__all__ = ["WatchmanCache"]
+
+
+class WatchmanCache(Cache):
+    def __init__(self, capacity: int, retrieval_times: np.ndarray) -> None:
+        super().__init__(capacity)
+        self.retrieval_times = np.asarray(retrieval_times, dtype=np.float64)
+        self.frequencies = np.zeros(self.retrieval_times.shape[0], dtype=np.float64)
+
+    def on_access(self, item: int, hit: bool) -> None:
+        self.frequencies[item] += 1.0
+
+    def profit(self, item: int) -> float:
+        """Delay-saving profit ``freq_i * r_i``."""
+        return float(self.frequencies[item] * self.retrieval_times[item])
+
+    def select_victim(self) -> int:
+        return min(self._items, key=lambda i: (self.profit(i), i))

@@ -1,0 +1,126 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free front door for the library:
+
+* ``solve``     — solve one SKP instance given on the command line;
+* ``simulate``  — run the §4.4 prefetch-only experiment and print a summary;
+* ``figure7``   — run one Figure 7 point (policy × cache size);
+* ``version``   — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro import PrefetchProblem, solve_kp, solve_skp, solve_skp_exact, upper_bound
+
+    p = np.asarray([float(x) for x in args.probabilities.split(",")])
+    r = np.asarray([float(x) for x in args.retrievals.split(",")])
+    problem = PrefetchProblem(p, r, args.viewing_time)
+    kp = solve_kp(problem)
+    skp = solve_skp(problem, variant=args.variant)
+    exact = solve_skp_exact(problem)
+    print(f"instance: n={problem.n} v={problem.viewing_time:g} sum(P)={p.sum():.4f}")
+    print(f"KP   plan {kp.plan.items} g={kp.value:.4f}")
+    print(f"SKP  plan {skp.plan.items} g={skp.gain:.4f} (nodes {skp.nodes})")
+    print(f"exact plan {exact.plan.items} g={exact.gain:.4f}")
+    print(f"upper bound (eq.7) {upper_bound(problem):.4f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation import (
+        KPPrefetch,
+        NoPrefetch,
+        PerfectPrefetch,
+        PrefetchOnlyConfig,
+        SKPPrefetch,
+        run_prefetch_only,
+    )
+
+    config = PrefetchOnlyConfig(
+        n=args.items, iterations=args.iterations, method=args.method, seed=args.seed
+    )
+    result = run_prefetch_only(
+        config, [NoPrefetch(), KPPrefetch(), SKPPrefetch(), PerfectPrefetch()]
+    )
+    print(f"prefetch-only: n={args.items} method={args.method} iters={args.iterations}")
+    for series in result.series:
+        print(f"  {series.name:18s} mean T = {series.mean():7.3f}")
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from repro.simulation import FIGURE7_POLICIES, PrefetchCacheConfig, run_prefetch_cache
+    from repro.workload import generate_markov_source
+
+    if args.policy not in FIGURE7_POLICIES:
+        print(f"unknown policy {args.policy!r}; choose from {list(FIGURE7_POLICIES)}", file=sys.stderr)
+        return 2
+    source = generate_markov_source(100, seed=args.source_seed)
+    cfg = PrefetchCacheConfig(
+        cache_size=args.cache_size,
+        n_requests=args.requests,
+        seed=args.seed,
+        **FIGURE7_POLICIES[args.policy],
+    )
+    res = run_prefetch_cache(source, cfg)
+    print(
+        f"{args.policy} cache={args.cache_size}: mean T {res.mean_access_time:.4f}, "
+        f"hit rate {res.hit_rate:.3f}, prefetch precision {res.prefetch_precision:.3f}"
+    )
+    return 0
+
+
+def _cmd_version(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(repro.__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one SKP instance")
+    solve.add_argument("--probabilities", required=True, help="comma-separated P_i")
+    solve.add_argument("--retrievals", required=True, help="comma-separated r_i")
+    solve.add_argument("--viewing-time", type=float, required=True)
+    solve.add_argument("--variant", choices=["corrected", "faithful"], default="corrected")
+    solve.set_defaults(func=_cmd_solve)
+
+    simulate = sub.add_parser("simulate", help="run the §4.4 prefetch-only experiment")
+    simulate.add_argument("--items", type=int, default=10)
+    simulate.add_argument("--iterations", type=int, default=2000)
+    simulate.add_argument("--method", choices=["skewy", "flat"], default="skewy")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    fig7 = sub.add_parser("figure7", help="run one Figure 7 point")
+    fig7.add_argument("--policy", default="SKP+Pr+DS")
+    fig7.add_argument("--cache-size", type=int, default=20)
+    fig7.add_argument("--requests", type=int, default=2000)
+    fig7.add_argument("--seed", type=int, default=0)
+    fig7.add_argument("--source-seed", type=int, default=42)
+    fig7.set_defaults(func=_cmd_figure7)
+
+    version = sub.add_parser("version", help="print the package version")
+    version.set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""The paper's primary contribution: the prefetching performance model.
+
+Layout (§ references are to the paper):
+
+* :mod:`repro.core.types` — problem instances and prefetch plans (§2);
+* :mod:`repro.core.stretch` — stretch time, eq. (2);
+* :mod:`repro.core.improvement` — access time / improvement, eqs. (3), (9);
+* :mod:`repro.core.ordering` — Theorem 1 canonical order, rule (5);
+* :mod:`repro.core.relaxation` — Theorem 2 LP relaxation and eq. (7) bound;
+* :mod:`repro.core.skp` — the Figure 3 branch-and-bound SKP solver;
+* :mod:`repro.core.exhaustive` — brute-force reference oracle;
+* :mod:`repro.core.kp` — the conservative knapsack baseline;
+* :mod:`repro.core.arbitration` — Figure 6 Pr/LFU/DS arbitration (§5.2);
+* :mod:`repro.core.planner` — end-to-end planning facade;
+* :mod:`repro.core.lookahead`, :mod:`repro.core.sizes`,
+  :mod:`repro.core.network_aware` — §6 future-work extensions.
+"""
+
+from repro.core.types import PrefetchPlan, PrefetchProblem
+from repro.core.stretch import plan_stretch, stretch_time
+from repro.core.improvement import (
+    access_improvement,
+    access_improvement_with_cache,
+    expected_access_time_no_prefetch,
+    expected_access_time_with_plan,
+    incremental_gain,
+    theorem3_delta,
+)
+from repro.core.ordering import (
+    canonical_order,
+    is_canonical,
+    reorder_plan,
+    satisfies_theorem1,
+)
+from repro.core.relaxation import (
+    LinearRelaxation,
+    SuffixBounder,
+    linear_relaxation,
+    upper_bound,
+)
+from repro.core.skp import SKPResult, solve_skp
+from repro.core.exhaustive import ExhaustiveResult, solve_skp_exhaustive
+from repro.core.exact import solve_skp_exact
+from repro.core.kp import KPResult, kp_dynamic_programming, solve_kp
+from repro.core.arbitration import (
+    ArbitrationResult,
+    arbitrate_demand,
+    arbitrate_prefetch,
+    ds_sub_key,
+    lfu_sub_key,
+    select_victim,
+)
+from repro.core.planner import PlanOutcome, Prefetcher
+from repro.core.lookahead import LookaheadResult, shadow_price, solve_skp_lookahead, two_step_value
+from repro.core.sizes import SizedArbitrationResult, arbitrate_prefetch_sized, select_victims_sized
+from repro.core.network_aware import ThresholdedPlan, efficiency_frontier, threshold_plan
+
+__all__ = [
+    "PrefetchPlan",
+    "PrefetchProblem",
+    "plan_stretch",
+    "stretch_time",
+    "access_improvement",
+    "access_improvement_with_cache",
+    "expected_access_time_no_prefetch",
+    "expected_access_time_with_plan",
+    "incremental_gain",
+    "theorem3_delta",
+    "canonical_order",
+    "is_canonical",
+    "reorder_plan",
+    "satisfies_theorem1",
+    "LinearRelaxation",
+    "SuffixBounder",
+    "linear_relaxation",
+    "upper_bound",
+    "SKPResult",
+    "solve_skp",
+    "ExhaustiveResult",
+    "solve_skp_exhaustive",
+    "solve_skp_exact",
+    "KPResult",
+    "kp_dynamic_programming",
+    "solve_kp",
+    "ArbitrationResult",
+    "arbitrate_demand",
+    "arbitrate_prefetch",
+    "ds_sub_key",
+    "lfu_sub_key",
+    "select_victim",
+    "PlanOutcome",
+    "Prefetcher",
+    "LookaheadResult",
+    "shadow_price",
+    "solve_skp_lookahead",
+    "two_step_value",
+    "SizedArbitrationResult",
+    "arbitrate_prefetch_sized",
+    "select_victims_sized",
+    "ThresholdedPlan",
+    "efficiency_frontier",
+    "threshold_plan",
+]

@@ -1,0 +1,174 @@
+"""Prefetch/cache arbitration — paper §5.2 and Figure 6.
+
+With a warm cache, prefetched items must evict cached ones.  The paper
+splits the decision in two stages:
+
+**Pr-arbitration** (primary).  Candidates ``f`` from the SKP solution are
+considered in descending ``P_f r_f``; each must beat the cheapest cached
+victim ``d`` (minimal ``P_d r_d``) to enter.  The loop stops at the first
+candidate that loses — Figure 6 breaks on ``P_f r_f < P_d r_d``, i.e. ties
+are resolved in favour of the prefetch (the prose says strict ``>``; we
+follow the pseudocode and note the discrepancy here).  A *demand-fetched*
+item always wins: it "must have a victim and only requires the first
+condition".
+
+**Sub-arbitration** (secondary).  Victims tied on ``P_d r_d`` — common,
+because most cached items have ``P_d = 0`` for the next access — are split
+by a secondary key: least frequently used (**LFU**) or lowest
+*delay-saving profit* ``freq_d * r_d`` (**DS**, the WATCHMAN heuristic).
+Remaining ties fall back to the item id so results are deterministic (the
+paper leaves this unspecified).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ordering import reorder_plan
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = [
+    "ArbitrationResult",
+    "lfu_sub_key",
+    "ds_sub_key",
+    "select_victim",
+    "arbitrate_prefetch",
+    "arbitrate_demand",
+]
+
+SubKey = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ArbitrationResult:
+    """Outcome of Figure 6: what to prefetch and what to eject.
+
+    ``pairs`` aligns each admitted candidate with its victim (``None`` when
+    a free cache slot absorbed it); ``prefetch`` is the admitted set as a
+    valid ordered plan; ``eject`` is the paper's ``D``.
+    """
+
+    prefetch: PrefetchPlan
+    eject: tuple[int, ...]
+    pairs: tuple[tuple[int, int | None], ...]
+
+
+def lfu_sub_key(freq: np.ndarray) -> SubKey:
+    """LFU sub-arbitration: evict the least frequently accessed item."""
+    return lambda item: float(freq[item])
+
+
+def ds_sub_key(freq: np.ndarray, retrieval_times: np.ndarray) -> SubKey:
+    """DS sub-arbitration: evict the lowest delay-saving profit ``freq_i * r_i``.
+
+    The simplified WATCHMAN profit of §5.2 — items that are accessed often
+    *and* expensive to re-fetch are worth keeping.
+    """
+    return lambda item: float(freq[item]) * float(retrieval_times[item])
+
+
+def select_victim(
+    cache: Iterable[int],
+    primary_key: Callable[[int], float],
+    sub_key: SubKey | None = None,
+) -> int:
+    """Pick the eviction victim: minimal primary key, ties by sub-key, then id.
+
+    Raises :class:`ValueError` on an empty cache — callers decide what a
+    free slot means.
+    """
+    best: int | None = None
+    best_key: tuple[float, float, int] | None = None
+    for item in cache:
+        key = (
+            primary_key(item),
+            sub_key(item) if sub_key is not None else 0.0,
+            item,
+        )
+        if best_key is None or key < best_key:
+            best_key = key
+            best = item
+    if best is None:
+        raise ValueError("cannot select a victim from an empty cache")
+    return best
+
+
+def arbitrate_prefetch(
+    problem: PrefetchProblem,
+    candidates: PrefetchPlan | Sequence[int],
+    cache: Sequence[int],
+    *,
+    free_slots: int = 0,
+    sub_key: SubKey | None = None,
+) -> ArbitrationResult:
+    """Figure 6's admission loop.
+
+    ``candidates`` is the SKP solution ``F^`` over non-cached items;
+    ``cache`` the current content ``C``.  Candidates are taken in descending
+    ``P_f r_f`` (ties by id for determinism).  Free slots admit candidates
+    without a victim before any eviction happens.  The admitted subset is
+    re-ordered per rule (5) into a valid plan — a subset of a valid plan
+    remains valid, since dropping items only shrinks the total retrieval
+    time.
+    """
+    items = tuple(candidates.items if isinstance(candidates, PrefetchPlan) else candidates)
+    cache_set = set(int(i) for i in cache)
+    if cache_set & set(items):
+        raise ValueError("prefetch candidates must not already be cached")
+    if free_slots < 0:
+        raise ValueError("free_slots must be non-negative")
+
+    profit = problem.profits()
+    ordered = sorted(items, key=lambda f: (-profit[f], f))
+    remaining = set(cache_set)
+    admitted: list[int] = []
+    eject: list[int] = []
+    pairs: list[tuple[int, int | None]] = []
+    slots = free_slots
+
+    for f in ordered:
+        if slots > 0:
+            slots -= 1
+            admitted.append(f)
+            pairs.append((f, None))
+            continue
+        if not remaining:
+            break  # full cache with nothing evictable left
+        d = select_victim(remaining, lambda i: float(profit[i]), sub_key)
+        if float(profit[f]) < float(profit[d]):
+            break  # Figure 6: first losing candidate ends the loop
+        admitted.append(f)
+        eject.append(d)
+        pairs.append((f, d))
+        remaining.discard(d)
+
+    return ArbitrationResult(
+        prefetch=reorder_plan(problem, admitted),
+        eject=tuple(eject),
+        pairs=tuple(pairs),
+    )
+
+
+def arbitrate_demand(
+    problem: PrefetchProblem,
+    item: int,
+    cache: Sequence[int],
+    *,
+    free_slots: int = 0,
+    sub_key: SubKey | None = None,
+) -> int | None:
+    """Choose the victim for a demand-fetched item (always admitted).
+
+    Returns the ejected item, or ``None`` when a free slot (or an empty
+    cache) absorbs the insertion.
+    """
+    if free_slots > 0:
+        return None
+    cache_list = [int(i) for i in cache if int(i) != int(item)]
+    if not cache_list:
+        return None
+    profit = problem.profits()
+    return select_victim(cache_list, lambda i: float(profit[i]), sub_key)

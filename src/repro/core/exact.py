@@ -1,0 +1,126 @@
+"""Unrestricted exact SKP solver — closing Theorem 1's feasibility gap.
+
+The paper's Figure 3 searches only plans ordered by descending probability
+(rule 5), justified by Theorem 1.  Theorem 1's exchange argument, however,
+swaps the stretching tail with a kernel item *without checking that the new
+kernel still fits in the viewing time*.  With unequal retrieval times the
+optimum can therefore fall outside the canonical space — e.g. a
+low-probability filler that fits, followed by a high-probability item longer
+than ``v`` as the stretching tail (randomized testing finds such instances
+readily; see ``tests/core/test_theorem_gaps.py``).
+
+:func:`solve_skp_exact` searches the *full* space of valid plans per
+construction (1): every kernel ``K`` that fits within ``v`` (enumerated in
+canonical order — order within the kernel is immaterial because the kernel
+never stretches), optionally extended by **any** non-kernel item as the
+stretching tail.  Pruning combines the Dantzig bound for the remaining
+suffix with the best possible excluded-tail profit, both admissible upper
+bounds.
+
+This solver is a *correction/extension* of the paper, quantified against the
+canonical algorithm by ``benchmarks/bench_ablation_ordering.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.improvement import access_improvement
+from repro.core.ordering import canonical_order
+from repro.core.relaxation import SuffixBounder
+from repro.core.skp import SKPResult
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["solve_skp_exact"]
+
+
+def solve_skp_exact(problem: PrefetchProblem, *, use_bound: bool = True) -> SKPResult:
+    """Maximise ``g*(F)`` over *all* valid plans (not just canonical ones).
+
+    Returns an :class:`repro.core.skp.SKPResult` with ``variant="exact"``.
+    Zero-probability items are dropped: as kernel members they add weight
+    and no profit; as tails their ``delta`` is non-positive.
+    """
+    order_full = canonical_order(problem)
+    p_full = problem.probabilities[order_full]
+    keep = p_full > 0.0
+    order = order_full[keep]
+    p = np.ascontiguousarray(p_full[keep])
+    r = np.ascontiguousarray(problem.retrieval_times[order])
+    v = float(problem.viewing_time)
+    n = int(p.shape[0])
+    if n == 0:
+        return SKPResult(PrefetchPlan(()), 0.0, 0.0, 0, 0, "exact")
+
+    bounder = SuffixBounder(p, r)
+    profit = p * r
+
+    best_gain = 0.0
+    best_kernel: tuple[int, ...] = ()
+    best_tail: int | None = None
+
+    selected = np.zeros(n, dtype=bool)
+    nodes = 0
+    cutoffs = 0
+
+    if n + 50 > sys.getrecursionlimit():
+        sys.setrecursionlimit(n + 200)
+
+    def evaluate(j: int, residual: float, mass: float, gain: float) -> None:
+        """Score the current kernel, alone and with every admissible tail."""
+        nonlocal best_gain, best_kernel, best_tail
+        if gain > best_gain:
+            best_gain = gain
+            best_kernel = tuple(int(k) for k in np.flatnonzero(selected))
+            best_tail = None
+        penalty = 1.0 - mass
+        for z in range(n):
+            if selected[z]:
+                continue
+            overrun = r[z] - residual
+            delta = profit[z] - (penalty * overrun if overrun > 0.0 else 0.0)
+            if gain + delta > best_gain:
+                best_gain = gain + delta
+                best_kernel = tuple(int(k) for k in np.flatnonzero(selected))
+                best_tail = int(z)
+
+    def dfs(j: int, residual: float, mass: float, gain: float, excluded_best: float) -> None:
+        nonlocal nodes, cutoffs
+        nodes += 1
+        evaluate(j, residual, mass, gain)
+        if j >= n:
+            return
+        if use_bound:
+            # Kernel+tail completions from the suffix are bounded by the
+            # Dantzig value (stretching never beats the relaxation); a tail
+            # drawn from already-excluded items adds at most its raw profit.
+            bound = gain + bounder.bound(j, residual) + max(0.0, excluded_best)
+            if bound <= best_gain:
+                cutoffs += 1
+                return
+        if r[j] <= residual:
+            selected[j] = True
+            dfs(j + 1, residual - float(r[j]), mass + float(p[j]), gain + float(profit[j]), excluded_best)
+            selected[j] = False
+        dfs(j + 1, residual, mass, gain, max(excluded_best, float(profit[j])))
+
+    dfs(0, v, 0.0, 0.0, 0.0)
+
+    # Rebuild the plan in original ids: kernel in canonical order, tail last.
+    kernel_items = tuple(int(order[k]) for k in best_kernel)
+    if best_tail is None:
+        items = kernel_items
+    else:
+        items = kernel_items + (int(order[best_tail]),)
+    plan = PrefetchPlan(items)
+    gain = access_improvement(problem, plan)
+    return SKPResult(
+        plan=plan,
+        gain=float(gain),
+        algorithm_gain=float(best_gain),
+        nodes=nodes,
+        bound_cutoffs=cutoffs,
+        variant="exact",
+    )

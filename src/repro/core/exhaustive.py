@@ -1,0 +1,120 @@
+"""Exhaustive SKP reference solver — the test oracle.
+
+Enumerates every subset of items and every admissible choice of the tail
+item ``z``, computing ``g*`` directly from equation (3).  Exponential, so
+capped at a small ``n``; its purpose is to certify the branch-and-bound
+solvers and probe the theorems on randomly generated instances.
+
+Two search spaces are supported via ``tail_rule``:
+
+``"any"`` (default)
+    Every valid plan per construction (1): the kernel must fit within the
+    viewing time and any remaining member may serve as the stretching tail.
+    This is the *true* SKP optimum.
+
+``"canonical"``
+    Only plans ordered per rule (5) — the tail is the canonically-last
+    member of the subset.  This is exactly the space the paper's Figure 3
+    algorithm searches, per Theorem 1.
+
+The distinction matters because **Theorem 1 has a feasibility gap**: its
+exchange argument swaps the tail ``z`` with a kernel item ``f`` without
+checking that the new kernel still fits in the viewing time.  With unequal
+retrieval times the swap can be infeasible, and instances exist whose true
+optimum places a *high*-probability, longer-than-``v`` item last after a
+low-probability filler (found by randomized testing; see
+``tests/core/test_theorem_gaps.py`` and DESIGN.md §3).  The canonical space
+then strictly excludes the optimum.  :func:`repro.core.exact.solve_skp_exact`
+searches the unrestricted space efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ordering import canonical_order, reorder_plan
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["ExhaustiveResult", "solve_skp_exhaustive", "MAX_EXHAUSTIVE_ITEMS"]
+
+#: Refuse to enumerate beyond this many items (2^n subsets, times n tails).
+MAX_EXHAUSTIVE_ITEMS = 20
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Certified optimum: best plan, its gain, and how many plans were valid."""
+
+    plan: PrefetchPlan
+    gain: float
+    plans_evaluated: int
+
+
+def solve_skp_exhaustive(
+    problem: PrefetchProblem, *, tail_rule: str = "any"
+) -> ExhaustiveResult:
+    """Certified-optimal SKP solution by brute force (see module docstring).
+
+    A subset ``S`` yields a valid plan iff either it fits wholly within the
+    viewing time (any order works, stretch is zero) or some ``z`` in ``S``
+    exists with ``sum(r_S) - r_z <= v`` (construction (1): the kernel must
+    fit; only the tail stretches).  For stretching subsets every admissible
+    tail is scored — equation (3) gives
+    ``g = sum_S P_i r_i - (1 - mass(S) + P_z) * st`` — and the best kept.
+    """
+    if tail_rule not in ("any", "canonical"):
+        raise ValueError(f"tail_rule must be 'any' or 'canonical', got {tail_rule!r}")
+    n = problem.n
+    if n > MAX_EXHAUSTIVE_ITEMS:
+        raise ValueError(
+            f"exhaustive solver capped at {MAX_EXHAUSTIVE_ITEMS} items, got {n}"
+        )
+    p = problem.probabilities
+    r = problem.retrieval_times
+    v = problem.viewing_time
+    profits = p * r
+    # rank[i] = position of item i in the canonical order (rule 5).
+    rank = np.empty(n, dtype=np.intp)
+    rank[canonical_order(problem)] = np.arange(n)
+
+    best_gain = 0.0
+    best_items: tuple[int, ...] = ()
+    best_tail: int | None = None
+    evaluated = 1  # the empty plan
+
+    for mask in range(1, 1 << n):
+        members = [i for i in range(n) if mask >> i & 1]
+        idx = np.asarray(members, dtype=np.intp)
+        total_r = float(r[idx].sum())
+        total_profit = float(profits[idx].sum())
+        total_mass = float(p[idx].sum())
+        if total_r <= v:
+            evaluated += 1
+            if total_profit > best_gain:
+                best_gain = total_profit
+                best_items = tuple(members)
+                best_tail = None
+            continue
+        st = total_r - v
+        if tail_rule == "canonical":
+            tails = [max(members, key=lambda i: rank[i])]
+        else:
+            tails = members
+        for z in tails:
+            if total_r - float(r[z]) > v:
+                continue  # kernel would not fit: invalid construction
+            evaluated += 1
+            gain = total_profit - (1.0 - (total_mass - float(p[z]))) * st
+            if gain > best_gain:
+                best_gain = gain
+                best_items = tuple(members)
+                best_tail = z
+
+    if best_tail is None:
+        plan = reorder_plan(problem, best_items)
+    else:
+        head = reorder_plan(problem, tuple(i for i in best_items if i != best_tail))
+        plan = PrefetchPlan(head.items + (best_tail,))
+    return ExhaustiveResult(plan=plan, gain=float(best_gain), plans_evaluated=evaluated)

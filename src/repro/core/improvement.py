@@ -1,0 +1,195 @@
+"""Access time and access improvement — equations (3) and (9).
+
+This module is the paper's performance model proper.  Everything else in
+:mod:`repro.core` exists to *optimise* the quantities computed here.
+
+Case analysis (paper Figure 2, extended by §5.1 to a warm cache):
+
+==============================  =======================================
+next request ``alpha``          access time ``T``
+==============================  =======================================
+in kernel ``K`` or in ``C\\D``   ``0`` (fully prefetched / cached)
+equals the tail ``z``           ``st(F)`` (waits for its own prefetch)
+anything else                   ``st(F) + r_alpha`` (waits, then fetches)
+==============================  =======================================
+
+The *access improvement* is ``g = E[T | no prefetch] - E[T | prefetch]``.
+With an empty cache this reduces to equation (3)::
+
+    g*(F) = sum_{i in F} P_i r_i - (1 - sum_{i in K} P_i) * st(F)
+
+and with a warm cache ``C`` and eviction list ``D`` to equation (9)::
+
+    g(F, D) = g*(F) - (sum_{i in D} P_i r_i - sum_{i in C\\D} P_i * st(F))
+
+Probability mass not covered by the candidate vector (``residual_mass``)
+still pays the stretch penalty — an unknown request must also wait for the
+in-flight prefetch — which is why the penalty factor is ``1 - mass(K)``
+rather than ``sum(P) - mass(K)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.stretch import plan_stretch
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = [
+    "expected_access_time_no_prefetch",
+    "expected_access_time_with_plan",
+    "access_improvement",
+    "access_improvement_with_cache",
+    "incremental_gain",
+    "theorem3_delta",
+]
+
+
+def _as_items(plan: PrefetchPlan | Sequence[int]) -> tuple[int, ...]:
+    return tuple(plan.items if isinstance(plan, PrefetchPlan) else plan)
+
+
+def _mass(problem: PrefetchProblem, items: Sequence[int]) -> float:
+    if not items:
+        return 0.0
+    return float(problem.probabilities[np.asarray(items, dtype=np.intp)].sum())
+
+
+def _profit_sum(problem: PrefetchProblem, items: Sequence[int]) -> float:
+    if not items:
+        return 0.0
+    idx = np.asarray(items, dtype=np.intp)
+    return float((problem.probabilities[idx] * problem.retrieval_times[idx]).sum())
+
+
+def expected_access_time_no_prefetch(
+    problem: PrefetchProblem,
+    cached: Sequence[int] = (),
+    *,
+    residual_retrieval: float = 0.0,
+) -> float:
+    """``E[T | no prefetch] = sum_{i not in C} P_i r_i`` (§3 / §5.1).
+
+    ``residual_retrieval`` is the expected retrieval time charged to requests
+    outside the candidate set; it cancels in every improvement computation,
+    so the default of zero only affects absolute expectations.
+    """
+    cached_set = set(int(i) for i in cached)
+    mask = np.ones(problem.n, dtype=bool)
+    if cached_set:
+        mask[np.asarray(sorted(cached_set), dtype=np.intp)] = False
+    base = float((problem.probabilities[mask] * problem.retrieval_times[mask]).sum())
+    return base + problem.residual_mass * residual_retrieval
+
+
+def expected_access_time_with_plan(
+    problem: PrefetchProblem,
+    plan: PrefetchPlan | Sequence[int],
+    cached: Sequence[int] = (),
+    ejected: Sequence[int] = (),
+    *,
+    residual_retrieval: float = 0.0,
+) -> float:
+    """``E[T | prefetch F, eject D]`` by direct case analysis (Figure 2, §5.1).
+
+    ``cached`` is the cache content *before* ejection; ``ejected`` must be a
+    subset of it.  With ``cached = ejected = ()`` this is §3's
+    ``E[T*(prefetch F)]``.
+    """
+    items = _as_items(plan)
+    cached_set = set(int(i) for i in cached)
+    ejected_set = set(int(i) for i in ejected)
+    if not ejected_set <= cached_set:
+        raise ValueError("ejected items must come from the cache")
+    if cached_set & set(items):
+        raise ValueError("prefetch plan must not overlap the cache (construction in §5.1)")
+
+    st = plan_stretch(problem, items)
+    kernel = set(items[:-1]) if items else set()
+    tail = items[-1] if items else None
+    retained = cached_set - ejected_set
+
+    p = problem.probabilities
+    r = problem.retrieval_times
+    total = problem.residual_mass * (st + residual_retrieval)
+    for i in range(problem.n):
+        if i in kernel or i in retained:
+            continue  # already local: T = 0
+        if i == tail:
+            total += float(p[i]) * st
+        else:
+            total += float(p[i]) * (st + float(r[i]))
+    return total
+
+
+def access_improvement(problem: PrefetchProblem, plan: PrefetchPlan | Sequence[int]) -> float:
+    """Equation (3): ``g*(F)`` for an empty cache.
+
+    Defined for any plan satisfying construction (1) — the kernel fits in
+    the viewing time and only the tail may stretch.
+    """
+    items = _as_items(plan)
+    if not items:
+        return 0.0
+    st = plan_stretch(problem, items)
+    gain = _profit_sum(problem, items)
+    if st > 0.0:
+        kernel_mass = _mass(problem, items[:-1])
+        gain -= (1.0 - kernel_mass) * st
+    return gain
+
+
+def access_improvement_with_cache(
+    problem: PrefetchProblem,
+    plan: PrefetchPlan | Sequence[int],
+    cached: Sequence[int],
+    ejected: Sequence[int],
+) -> float:
+    """Equation (9): ``g(F, D) = g*(F) - (sum_D P_i r_i - sum_{C\\D} P_i st(F))``."""
+    items = _as_items(plan)
+    cached_set = set(int(i) for i in cached)
+    ejected_list = [int(i) for i in ejected]
+    if not set(ejected_list) <= cached_set:
+        raise ValueError("ejected items must come from the cache")
+    if cached_set & set(items):
+        raise ValueError("prefetch plan must not overlap the cache")
+    st = plan_stretch(problem, items)
+    retained = sorted(cached_set - set(ejected_list))
+    anti_g = _profit_sum(problem, ejected_list) - _mass(problem, retained) * st
+    return access_improvement(problem, items) - anti_g
+
+
+def incremental_gain(
+    p_tail: float,
+    r_tail: float,
+    penalty_mass: float,
+    residual_capacity: float,
+) -> float:
+    """Theorem 3's ``delta`` with an explicit penalty mass.
+
+    ``delta = P_z r_z - penalty_mass * max(0, r_z - residual_capacity)``.
+    The *corrected* solver passes ``penalty_mass = 1 - mass(K)``; the
+    *faithful* solver passes the pseudocode's suffix mass (see
+    :mod:`repro.core.skp` for the distinction).
+    """
+    overrun = max(0.0, float(r_tail) - float(residual_capacity))
+    return float(p_tail) * float(r_tail) - float(penalty_mass) * overrun
+
+
+def theorem3_delta(problem: PrefetchProblem, kernel: Sequence[int], tail: int) -> float:
+    """Theorem 3 exactly as stated: ``g*(K ++ <z>) = g*(K) + delta``.
+
+    ``delta = P_z r_z - (1 - sum_{i in K} P_i) * st(K ++ <z>)``.
+    """
+    kernel = tuple(int(i) for i in kernel)
+    residual = problem.viewing_time - (
+        float(problem.retrieval_times[np.asarray(kernel, dtype=np.intp)].sum()) if kernel else 0.0
+    )
+    return incremental_gain(
+        float(problem.probabilities[tail]),
+        float(problem.retrieval_times[tail]),
+        1.0 - _mass(problem, kernel),
+        residual,
+    )

@@ -1,0 +1,103 @@
+"""Deeper lookahead — the first §6 future-work axis.
+
+The SKP plan is greedy: it optimises the next access only, so the stretch
+it buys "may intrude into the next viewing time and thus reduc[e] the asset
+for the next prefetch" (§4.4).  A full multi-step expectimax is exponential
+(the paper: "the complexity of the problem can be daunting"); this module
+implements a tractable one-step correction with an exact evaluation tool.
+
+**Shadow-price correction.**  By Theorem 2, the LP optimum of the *next*
+period's SKP is Dantzig's prefix; the marginal value of one extra unit of
+viewing time is the probability ``P_{z~}`` of the break item (the LP dual
+price of the capacity constraint).  Each unit of stretch carried into the
+next period therefore costs ``lambda ≈ P_{z~}`` of future gain, so the
+lookahead planner maximises ``g(F) - lambda * st(F)`` — equation (3) with
+the penalty mass inflated by ``lambda``, which
+:func:`repro.core.skp.solve_skp` supports natively and still solves exactly.
+
+**Evaluation.**  :func:`two_step_value` computes the exact expected
+two-step improvement of a plan under the stationarity assumption (same
+``P``/``r`` next period, a given next viewing time, myopic optimal replan
+at step two), which the extension benchmark uses to show where lookahead
+beats the myopic planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relaxation import linear_relaxation
+from repro.core.skp import SKPResult, solve_skp
+from repro.core.stretch import plan_stretch
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["shadow_price", "solve_skp_lookahead", "two_step_value", "LookaheadResult"]
+
+
+def shadow_price(problem: PrefetchProblem) -> float:
+    """Marginal gain of one unit of viewing time: ``P`` of the LP break item.
+
+    Zero when everything already fits (extra time buys nothing).
+    """
+    rel = linear_relaxation(problem)
+    if rel.break_item is None:
+        return 0.0
+    return float(problem.probabilities[rel.break_item])
+
+
+@dataclass(frozen=True)
+class LookaheadResult:
+    result: SKPResult
+    penalty: float  # the lambda actually used
+
+    @property
+    def plan(self) -> PrefetchPlan:
+        return self.result.plan
+
+    @property
+    def gain(self) -> float:
+        """True one-step g* of the chosen plan (eq. 3, not the inflated objective)."""
+        return self.result.gain
+
+
+def solve_skp_lookahead(
+    problem: PrefetchProblem,
+    *,
+    next_problem: PrefetchProblem | None = None,
+    penalty: float | None = None,
+    variant: str = "corrected",
+) -> LookaheadResult:
+    """Stretch-aware planning: maximise ``g(F) - lambda * st(F)``.
+
+    ``lambda`` defaults to the shadow price of ``next_problem`` (or of
+    ``problem`` itself under stationarity).  ``penalty`` overrides it.
+    """
+    if penalty is None:
+        penalty = shadow_price(next_problem if next_problem is not None else problem)
+    result = solve_skp(problem, variant=variant, stretch_penalty_bonus=float(penalty))
+    return LookaheadResult(result=result, penalty=float(penalty))
+
+
+def two_step_value(
+    problem: PrefetchProblem,
+    plan: PrefetchPlan,
+    next_viewing_time: float,
+    *,
+    variant: str = "corrected",
+) -> float:
+    """Exact expected two-step improvement of ``plan`` under stationarity.
+
+    Step 1 contributes ``g*(F)`` (eq. 3).  The stretch ``st(F)`` eats into
+    the next viewing period, so step 2 contributes the optimal myopic gain
+    with window ``max(0, v2 - st(F))``.  (Request independence across steps
+    is assumed — the §4.4 'prefetch only' setting.)
+    """
+    from repro.core.improvement import access_improvement
+
+    g1 = access_improvement(problem, plan)
+    leftover = max(0.0, float(next_viewing_time) - plan_stretch(problem, plan))
+    step2 = PrefetchProblem(
+        problem.probabilities, problem.retrieval_times, leftover
+    )
+    g2 = solve_skp(step2, variant=variant).gain
+    return float(g1 + g2)

@@ -1,0 +1,93 @@
+"""Network-usage-aware prefetching — the third §6 future-work axis.
+
+§6: "Even if the most probable items are already in the cache, [SKP] will
+prefetch the lesser candidates if, by doing so, it can improve the expected
+access time even by an insignificant amount.  A policy is needed to weigh
+the opposing goals of maximising access improvement and minimising network
+usage."
+
+The policy implemented here keeps a prefix of the SKP plan whose items earn
+their bandwidth: item ``i`` (evaluated incrementally, in plan order, via
+Theorem 3) is kept only while ``delta_i / r_i >= theta`` — expected seconds
+of access time saved per second of network time spent.  ``theta = 0``
+recovers the paper's behaviour; raising it trades improvement for quiet
+links.  :func:`efficiency_frontier` sweeps ``theta`` to expose the whole
+trade-off curve (benchmarked in ``bench_extensions.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.improvement import access_improvement, theorem3_delta
+from repro.core.skp import solve_skp
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["ThresholdedPlan", "threshold_plan", "efficiency_frontier"]
+
+
+@dataclass(frozen=True)
+class ThresholdedPlan:
+    plan: PrefetchPlan
+    gain: float
+    network_time: float
+    theta: float
+
+    @property
+    def efficiency(self) -> float:
+        """Gain per unit of network time (NaN for an empty plan)."""
+        return self.gain / self.network_time if self.network_time > 0 else float("nan")
+
+
+def threshold_plan(
+    problem: PrefetchProblem,
+    theta: float,
+    *,
+    variant: str = "corrected",
+    base_plan: PrefetchPlan | None = None,
+) -> ThresholdedPlan:
+    """Filter the SKP plan down to items earning at least ``theta``.
+
+    The plan is scanned in order; each item's marginal gain ``delta`` is
+    recomputed against the kept prefix (Theorem 3), and the scan keeps the
+    item iff ``delta / r >= theta``.  Dropping an item can only increase
+    the residual capacity seen by later items, so kept items never lose
+    value relative to the original plan.
+    """
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    plan = base_plan if base_plan is not None else solve_skp(problem, variant=variant).plan
+    kept: list[int] = []
+    for item in plan:
+        delta = theorem3_delta(problem, kept, item)
+        r = float(problem.retrieval_times[item])
+        if delta / r >= theta:
+            kept.append(int(item))
+    final = PrefetchPlan(tuple(kept))
+    idx = np.asarray(kept, dtype=np.intp)
+    network_time = float(problem.retrieval_times[idx].sum()) if kept else 0.0
+    return ThresholdedPlan(
+        plan=final,
+        gain=float(access_improvement(problem, final)),
+        network_time=network_time,
+        theta=float(theta),
+    )
+
+
+def efficiency_frontier(
+    problem: PrefetchProblem,
+    thetas: np.ndarray,
+    *,
+    variant: str = "corrected",
+) -> list[ThresholdedPlan]:
+    """The gain-vs-network-usage trade-off across thresholds.
+
+    The base SKP plan is solved once and filtered per ``theta``.
+    """
+    base = solve_skp(problem, variant=variant).plan
+    return [
+        threshold_plan(problem, float(t), variant=variant, base_plan=base)
+        for t in np.asarray(thetas, dtype=np.float64)
+    ]

@@ -1,0 +1,78 @@
+"""Canonical item ordering — Theorem 1 and rule (5).
+
+Theorem 1 shows that in an optimal stretching solution the *last* item (the
+one allowed to overrun the viewing time) has minimal probability within the
+plan.  The search can therefore be confined to lists sorted by descending
+``P_i``, with ties broken by ascending ``r_i`` (the paper's rule (5)) — every
+subset then automatically places a minimal-probability member last.
+
+We add item index as a final deterministic tie-breaker so that solver output
+is reproducible across NumPy versions and platforms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["canonical_order", "is_canonical", "reorder_plan", "satisfies_theorem1"]
+
+
+def canonical_order(problem: PrefetchProblem) -> np.ndarray:
+    """Permutation of item ids sorted per rule (5).
+
+    Returns ``order`` such that ``P[order]`` is non-increasing and, within
+    probability ties, ``r[order]`` is non-decreasing.
+    """
+    p = problem.probabilities
+    r = problem.retrieval_times
+    # lexsort sorts by the *last* key first; keys listed minor-to-major.
+    return np.lexsort((np.arange(problem.n), r, -p))
+
+
+def is_canonical(problem: PrefetchProblem, order: Sequence[int] | np.ndarray) -> bool:
+    """Check that ``order`` satisfies rule (5) for ``problem``."""
+    order = np.asarray(order, dtype=np.intp)
+    if sorted(order.tolist()) != list(range(problem.n)):
+        return False
+    p = problem.probabilities[order]
+    r = problem.retrieval_times[order]
+    for k in range(len(order) - 1):
+        if p[k] < p[k + 1]:
+            return False
+        if p[k] == p[k + 1] and r[k] > r[k + 1]:
+            return False
+    return True
+
+
+def reorder_plan(problem: PrefetchProblem, items: Sequence[int]) -> PrefetchPlan:
+    """Arrange ``items`` per rule (5), making a valid ``F = K ++ <z>`` list.
+
+    By Theorem 1 this ordering is optimal for the given item *set*: the
+    minimal-probability member ends up last and absorbs the stretch.
+    """
+    items = [int(i) for i in items]
+    p = problem.probabilities
+    r = problem.retrieval_times
+    items.sort(key=lambda i: (-p[i], r[i], i))
+    return PrefetchPlan(tuple(items))
+
+
+def satisfies_theorem1(problem: PrefetchProblem, plan: PrefetchPlan | Sequence[int]) -> bool:
+    """Does the plan's tail have minimal probability within the plan?
+
+    Vacuously true for empty and non-stretching plans (Theorem 1 only
+    constrains plans whose total retrieval time exceeds the viewing time).
+    """
+    items = tuple(plan.items if isinstance(plan, PrefetchPlan) else plan)
+    if len(items) <= 1:
+        return True
+    idx = np.asarray(items, dtype=np.intp)
+    total = float(problem.retrieval_times[idx].sum())
+    if total <= problem.viewing_time:
+        return True
+    p = problem.probabilities
+    return float(p[items[-1]]) == float(min(p[i] for i in items))

@@ -1,0 +1,173 @@
+"""High-level planning facade tying solver and arbitration together.
+
+This is the public entry point a client application uses each viewing
+period: hand the planner the current next-access estimates, the resource
+parameters and the cache state; get back what to prefetch and what to evict.
+
+The planner implements the paper's full pipeline (Figure 6):
+
+1. restrict the candidate set to non-cached items;
+2. maximise the empty-cache improvement ``g*`` over that set (SKP, or the
+   KP baseline, or nothing);
+3. run Pr-arbitration with optional LFU/DS sub-arbitration against the
+   cache content;
+4. report the resulting plan with its equation-(9) improvement estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.arbitration import (
+    ArbitrationResult,
+    arbitrate_demand,
+    arbitrate_prefetch,
+    ds_sub_key,
+    lfu_sub_key,
+)
+from repro.core.improvement import access_improvement_with_cache
+from repro.core.kp import solve_kp
+from repro.core.skp import solve_skp
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["PlanOutcome", "Prefetcher"]
+
+_STRATEGIES = ("skp", "kp", "none")
+_SUB_ARBITRATIONS = (None, "lfu", "ds")
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """What the planner decided for one viewing period."""
+
+    prefetch: PrefetchPlan
+    eject: tuple[int, ...]
+    expected_improvement: float
+    candidate_plan: PrefetchPlan  # the pre-arbitration F^ (useful for analysis)
+
+
+@dataclass
+class Prefetcher:
+    """Reusable planner configured with a strategy and arbitration policy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"skp"`` — the paper's stretch-knapsack optimiser; ``"kp"`` — the
+        conservative knapsack baseline (never stretches); ``"none"`` — plan
+        nothing (demand fetch only; arbitration still applies to demand
+        insertions).
+    variant:
+        SKP solver variant, ``"corrected"`` or ``"faithful"`` (ignored for
+        other strategies).
+    sub_arbitration:
+        ``None``, ``"lfu"`` or ``"ds"`` — the §5.2 secondary victim key.
+        LFU and DS require access frequencies to be passed to :meth:`plan`.
+    """
+
+    strategy: str = "skp"
+    variant: str = "corrected"
+    sub_arbitration: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}")
+        if self.sub_arbitration not in _SUB_ARBITRATIONS:
+            raise ValueError(
+                f"sub_arbitration must be one of {_SUB_ARBITRATIONS}, "
+                f"got {self.sub_arbitration!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def _sub_key(self, problem: PrefetchProblem, frequencies: np.ndarray | None):
+        if self.sub_arbitration is None:
+            return None
+        if frequencies is None:
+            raise ValueError(
+                f"sub_arbitration={self.sub_arbitration!r} requires access frequencies"
+            )
+        freq = np.asarray(frequencies, dtype=np.float64)
+        if freq.shape[0] != problem.n:
+            raise ValueError("frequencies length must match the number of items")
+        if self.sub_arbitration == "lfu":
+            return lfu_sub_key(freq)
+        return ds_sub_key(freq, problem.retrieval_times)
+
+    def _candidate_plan(
+        self,
+        problem: PrefetchProblem,
+        cache: Sequence[int],
+        pinned: Sequence[int] = (),
+    ) -> PrefetchPlan:
+        """Maximise g* over non-cached items (step 1 of Figure 6)."""
+        blocked = set(int(i) for i in cache) | set(int(i) for i in pinned)
+        candidates = [i for i in range(problem.n) if i not in blocked]
+        if not candidates or self.strategy == "none":
+            return PrefetchPlan(())
+        sub = problem.subproblem(candidates)
+        if self.strategy == "skp":
+            local = solve_skp(sub, variant=self.variant).plan
+        else:
+            local = solve_kp(sub).plan
+        return PrefetchPlan(tuple(candidates[k] for k in local.items))
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        problem: PrefetchProblem,
+        cache: Sequence[int] = (),
+        *,
+        cache_capacity: int | None = None,
+        frequencies: np.ndarray | None = None,
+        pinned: Sequence[int] = (),
+    ) -> PlanOutcome:
+        """Decide what to prefetch (and evict) for one viewing period.
+
+        ``cache_capacity`` defaults to ``len(cache)`` (a full cache, the
+        paper's assumption); a larger capacity exposes free slots that admit
+        prefetches without eviction.  ``pinned`` items are excluded from both
+        the candidate set and the victim pool — the continuous simulator
+        uses it for transfers still in flight from the previous period.
+        """
+        cache = tuple(int(i) for i in cache)
+        capacity = len(cache) if cache_capacity is None else int(cache_capacity)
+        if capacity < len(cache):
+            raise ValueError(f"cache_capacity {capacity} below current occupancy {len(cache)}")
+        candidate = self._candidate_plan(problem, cache, pinned)
+        result = arbitrate_prefetch(
+            problem,
+            candidate,
+            cache,
+            free_slots=capacity - len(cache),
+            sub_key=self._sub_key(problem, frequencies),
+        )
+        gain = access_improvement_with_cache(problem, result.prefetch, cache, result.eject)
+        return PlanOutcome(
+            prefetch=result.prefetch,
+            eject=result.eject,
+            expected_improvement=float(gain),
+            candidate_plan=candidate,
+        )
+
+    def demand_victim(
+        self,
+        problem: PrefetchProblem,
+        item: int,
+        cache: Sequence[int],
+        *,
+        cache_capacity: int | None = None,
+        frequencies: np.ndarray | None = None,
+    ) -> int | None:
+        """Victim for a demand-fetched item (always admitted, §5.2)."""
+        cache = tuple(int(i) for i in cache)
+        capacity = len(cache) if cache_capacity is None else int(cache_capacity)
+        return arbitrate_demand(
+            problem,
+            item,
+            cache,
+            free_slots=max(0, capacity - len(cache)),
+            sub_key=self._sub_key(problem, frequencies),
+        )

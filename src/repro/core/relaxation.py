@@ -1,0 +1,117 @@
+"""Linear relaxation of the stretch knapsack problem — Theorem 2 and eq. (7).
+
+Allowing items to be *partially* prefetched turns SKP into a linear program.
+Theorem 2 shows its optimum is Dantzig's greedy prefix: walk the items in
+canonical order (descending ``P_i`` — which is exactly the profit/weight
+ratio, since profit ``P_i r_i`` over weight ``r_i`` is ``P_i``), take whole
+items while they fit, and a fraction of the first item ``z~`` that does not.
+Stretching never helps in the relaxation, so the optimum value
+
+    U = sum_{i < z~} P_i r_i + (v - sum_{i < z~} r_i) * P_{z~}          (7)
+
+is a tight upper bound on ``g*`` used to prune the branch-and-bound search.
+
+:class:`SuffixBounder` provides the same bound for an arbitrary suffix of
+the canonically sorted items against an arbitrary residual capacity — the
+quantity the solver needs at every node — in ``O(log n)`` per query via
+precomputed cumulative sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ordering import canonical_order
+from repro.core.types import PrefetchProblem
+
+__all__ = ["LinearRelaxation", "SuffixBounder", "linear_relaxation", "upper_bound"]
+
+
+@dataclass(frozen=True)
+class LinearRelaxation:
+    """Optimal solution of the linear SKP (Theorem 2).
+
+    ``fractions[i]`` is ``x_i`` in *original* item ids: 1 for wholly
+    prefetched items, one fractional entry (the break item), 0 elsewhere.
+    """
+
+    fractions: np.ndarray
+    value: float
+    break_item: int | None
+
+
+class SuffixBounder:
+    """Dantzig bounds for suffixes of a canonically-sorted item array.
+
+    Construction is O(n); each :meth:`bound` query is O(log n).  The arrays
+    are kept contiguous and the query path allocation-free, since the SKP
+    branch-and-bound calls :meth:`bound` at every node.
+    """
+
+    def __init__(self, p_sorted: np.ndarray, r_sorted: np.ndarray) -> None:
+        self.p = np.ascontiguousarray(p_sorted, dtype=np.float64)
+        self.r = np.ascontiguousarray(r_sorted, dtype=np.float64)
+        n = self.p.shape[0]
+        self.cum_r = np.zeros(n + 1, dtype=np.float64)
+        np.cumsum(self.r, out=self.cum_r[1:])
+        self.cum_profit = np.zeros(n + 1, dtype=np.float64)
+        np.cumsum(self.p * self.r, out=self.cum_profit[1:])
+        self.n = n
+
+    def bound(self, start: int, capacity: float) -> float:
+        """Upper bound on the gain achievable with items ``start..n-1``.
+
+        ``capacity`` is the residual viewing time; negative values are
+        treated as zero (a stretched knapsack admits no further gain).
+        """
+        if start >= self.n:
+            return 0.0
+        if capacity <= 0.0:
+            return 0.0
+        target = self.cum_r[start] + capacity
+        # First index m with cum_r[m] > target; items start..m-2 fit wholly.
+        m = int(np.searchsorted(self.cum_r, target, side="right"))
+        if m > self.n:
+            return float(self.cum_profit[self.n] - self.cum_profit[start])
+        brk = m - 1  # the paper's z~ relative to this suffix
+        whole = float(self.cum_profit[brk] - self.cum_profit[start])
+        room = target - float(self.cum_r[brk])
+        return whole + room * float(self.p[brk])
+
+
+def linear_relaxation(problem: PrefetchProblem) -> LinearRelaxation:
+    """Solve the linear SKP per Theorem 2, in original item ids."""
+    order = canonical_order(problem)
+    p = problem.probabilities[order]
+    r = problem.retrieval_times[order]
+    v = problem.viewing_time
+
+    fractions_sorted = np.zeros(problem.n, dtype=np.float64)
+    value = 0.0
+    break_item: int | None = None
+    used = 0.0
+    for k in range(problem.n):
+        if used + r[k] <= v:
+            fractions_sorted[k] = 1.0
+            value += float(p[k] * r[k])
+            used += float(r[k])
+        else:
+            frac = (v - used) / float(r[k])
+            if frac > 0.0:
+                fractions_sorted[k] = frac
+                value += frac * float(p[k] * r[k])
+                break_item = int(order[k])
+            elif frac == 0.0 and float(p[k]) > 0.0:
+                break_item = int(order[k])
+            break
+
+    fractions = np.zeros(problem.n, dtype=np.float64)
+    fractions[order] = fractions_sorted
+    return LinearRelaxation(fractions=fractions, value=value, break_item=break_item)
+
+
+def upper_bound(problem: PrefetchProblem) -> float:
+    """Equation (7): tight upper bound on ``g*`` over all prefetch plans."""
+    return linear_relaxation(problem).value

@@ -1,0 +1,131 @@
+"""Non-uniform item sizes — the second §6 future-work axis.
+
+§5 assumes equal item sizes so that ``|F| = |D|``; the paper closes by
+noting "we are currently addressing this limitation".  This module lifts
+the arbitration stage to sized items: an incoming item must free *enough
+bytes*, possibly evicting several victims, and it is admitted only if the
+value it brings exceeds the value it destroys.
+
+Victim selection is greedy by *value density* ``P_d r_d / size_d`` (evict
+the least valuable byte first) with the same LFU/DS sub-arbitration hooks
+as Figure 6, then the admission test compares the candidate's ``P_f r_f``
+against the summed ``P_d r_d`` of its victims — the multi-victim
+generalisation of Pr-arbitration.  Demand fetches skip the comparison, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.arbitration import SubKey
+from repro.core.ordering import reorder_plan
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["SizedArbitrationResult", "select_victims_sized", "arbitrate_prefetch_sized"]
+
+
+@dataclass(frozen=True)
+class SizedArbitrationResult:
+    prefetch: PrefetchPlan
+    eject: tuple[int, ...]
+    pairs: tuple[tuple[int, tuple[int, ...]], ...]  # candidate -> its victims
+
+
+def select_victims_sized(
+    cache: Sequence[int],
+    need: float,
+    free_space: float,
+    profit: np.ndarray,
+    sizes: np.ndarray,
+    sub_key: SubKey | None = None,
+) -> tuple[int, ...] | None:
+    """Greedy victim set freeing at least ``need - free_space`` bytes.
+
+    Victims are taken in increasing value density (``profit/size``), ties by
+    sub-key then id.  Returns ``None`` when the cache cannot free enough.
+    """
+    missing = float(need) - float(free_space)
+    if missing <= 0:
+        return ()
+    order = sorted(
+        cache,
+        key=lambda d: (
+            float(profit[d]) / float(sizes[d]),
+            sub_key(d) if sub_key is not None else 0.0,
+            d,
+        ),
+    )
+    chosen: list[int] = []
+    freed = 0.0
+    for d in order:
+        chosen.append(int(d))
+        freed += float(sizes[d])
+        if freed >= missing:
+            return tuple(chosen)
+    return None
+
+
+def arbitrate_prefetch_sized(
+    problem: PrefetchProblem,
+    candidates: PrefetchPlan | Sequence[int],
+    cache: Sequence[int],
+    sizes: np.ndarray,
+    capacity: float,
+    *,
+    sub_key: SubKey | None = None,
+    demand: bool = False,
+) -> SizedArbitrationResult:
+    """Sized admission loop (multi-victim Pr-arbitration).
+
+    Candidates are processed in descending ``P_f r_f``.  A candidate is
+    admitted iff a victim set fits *and* (unless ``demand``) the candidate's
+    profit strictly exceeds the victims' summed profit.  Unlike the
+    equal-size Figure 6 loop, a losing candidate does **not** stop the scan:
+    with heterogeneous sizes a later, smaller candidate may still win.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if np.any(sizes <= 0):
+        raise ValueError("sizes must be positive")
+    items = tuple(candidates.items if isinstance(candidates, PrefetchPlan) else candidates)
+    cache_set = set(int(i) for i in cache)
+    if cache_set & set(items):
+        raise ValueError("prefetch candidates must not already be cached")
+    used = float(sizes[sorted(cache_set)].sum()) if cache_set else 0.0
+    if used > capacity + 1e-9:
+        raise ValueError("cache occupancy exceeds capacity")
+
+    profit = problem.profits()
+    free_space = float(capacity) - used
+    remaining = set(cache_set)
+    admitted: list[int] = []
+    eject: list[int] = []
+    pairs: list[tuple[int, tuple[int, ...]]] = []
+
+    for f in sorted(items, key=lambda i: (-profit[i], i)):
+        if float(sizes[f]) > capacity + 1e-12:
+            continue  # can never fit
+        victims = select_victims_sized(
+            remaining, float(sizes[f]), free_space, profit, sizes, sub_key
+        )
+        if victims is None:
+            continue
+        lost = float(sum(profit[d] for d in victims))
+        if not demand and float(profit[f]) < lost:
+            continue
+        admitted.append(f)
+        for d in victims:
+            remaining.discard(d)
+            free_space += float(sizes[d])
+            eject.append(d)
+        free_space -= float(sizes[f])
+        pairs.append((f, victims))
+
+    return SizedArbitrationResult(
+        prefetch=reorder_plan(problem, admitted),
+        eject=tuple(eject),
+        pairs=tuple(pairs),
+    )

@@ -1,0 +1,197 @@
+"""The stretch knapsack problem solver — paper §4 / Figure 3.
+
+SKP generalises the 0/1 knapsack: the prefetch list may overrun the viewing
+time by the stretch ``st(F)``, at an expected cost of ``(1 - mass(K)) *
+st(F)`` (every request outside the fully-prefetched kernel waits out the
+overrun).  The paper attacks it with a Horowitz–Sahni-style depth-first
+branch-and-bound over the canonical order (Theorem 1 / rule 5), growing the
+incumbent with Theorem 3's incremental ``delta`` and pruning with the
+Dantzig bound of Theorem 2.
+
+Two variants are implemented, selected by ``variant=``:
+
+``"corrected"`` (default)
+    Theorem 3's penalty mass ``1 - sum_{i in K} P_i`` is tracked exactly
+    (``K`` = items currently selected).  This variant is exact: its result
+    matches exhaustive enumeration on every instance (see the test suite).
+
+``"faithful"``
+    A literal transcription of the paper's Figure 3, whose ``delta`` uses
+    the *suffix* mass ``sum_{i=j..n} P_i`` instead.  The two coincide unless
+    an item was *excluded* earlier on the current path — possible only for
+    items that would have stretched the knapsack — in which case Figure 3
+    overestimates ``delta``.  The incumbent value ``g^`` can then exceed the
+    true gain, which both misranks candidate solutions (the returned plan's
+    real eq.-(3) gain can even be negative) and over-prunes.  Measured on
+    random instances the divergence is common — roughly 60% of instances at
+    the paper's parameter ranges (``benchmarks/bench_ablation_faithful.py``)
+    — and it reproduces the small-``v`` anomaly of the paper's Figure 5(a);
+    see DESIGN.md §3 and EXPERIMENTS.md findings F2/F3.
+
+Regardless of variant, the returned :class:`SKPResult.gain` is the *true*
+``g*`` of the returned plan, recomputed from equation (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.improvement import access_improvement
+from repro.core.ordering import canonical_order
+from repro.core.relaxation import SuffixBounder
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["SKPResult", "solve_skp"]
+
+_VARIANTS = ("corrected", "faithful")
+
+
+@dataclass(frozen=True)
+class SKPResult:
+    """Outcome of an SKP solve.
+
+    ``gain`` is the access improvement ``g*`` of ``plan`` per equation (3);
+    ``algorithm_gain`` is the solver's internal incumbent value, which for
+    the faithful variant may exceed ``gain`` (see module docstring).
+    """
+
+    plan: PrefetchPlan
+    gain: float
+    algorithm_gain: float
+    nodes: int
+    bound_cutoffs: int
+    variant: str
+
+
+def solve_skp(
+    problem: PrefetchProblem,
+    *,
+    variant: str = "corrected",
+    use_bound: bool = True,
+    stretch_penalty_bonus: float = 0.0,
+) -> SKPResult:
+    """Maximise the access improvement ``g*(F)`` over prefetch lists ``F``.
+
+    Parameters
+    ----------
+    problem:
+        The prefetch instance.  Zero-probability items are dropped before
+        the search: they add zero profit and can only increase the stretch,
+        so no optimal plan contains them.
+    variant:
+        ``"corrected"`` (exact) or ``"faithful"`` (Figure 3 literal); see
+        the module docstring.
+    use_bound:
+        Disable to measure the pruning power of the eq. (7) bound (used by
+        the solver benchmark); the search is still exact without it.
+    stretch_penalty_bonus:
+        Non-negative additive inflation of the stretch penalty mass,
+        maximising ``sum P_i r_i - (1 - mass(K) + bonus) * st(F)`` instead
+        of eq. (3).  Zero (the default) is the paper's objective; the §6
+        lookahead extension (:mod:`repro.core.lookahead`) uses the bonus to
+        charge the stretch for the next viewing period it intrudes on.  The
+        eq. (7) bound remains valid because the inflated objective is
+        dominated by the original.
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+    if stretch_penalty_bonus < 0.0:
+        raise ValueError("stretch_penalty_bonus must be non-negative")
+
+    order_full = canonical_order(problem)
+    p_full = problem.probabilities[order_full]
+    keep = p_full > 0.0
+    order = order_full[keep]
+    p = np.ascontiguousarray(p_full[keep])
+    r = np.ascontiguousarray(problem.retrieval_times[order])
+    v = float(problem.viewing_time)
+    n = int(p.shape[0])
+
+    if n == 0:
+        return SKPResult(PrefetchPlan(()), 0.0, 0.0, 0, 0, variant)
+
+    bounder = SuffixBounder(p, r)
+    # Suffix probability mass, suffix_mass[j] = sum(p[j:]); sentinel 0 at n.
+    suffix_mass = np.zeros(n + 1, dtype=np.float64)
+    suffix_mass[:n] = np.cumsum(p[::-1])[::-1]
+    faithful = variant == "faithful"
+
+    # --- state, mirroring Figure 3 -------------------------------------
+    x_best = np.zeros(n, dtype=bool)  # paper's x
+    g_best = 0.0  # paper's g
+    x_hat = np.zeros(n, dtype=bool)  # paper's x^
+    g_hat = 0.0  # paper's g^
+    v_hat = v  # paper's v^ (residual capacity; < 0 once stretched)
+    sel_mass = 0.0  # sum of P over selected items (corrected penalty)
+    selected_stack: list[int] = []  # selected indices, increasing
+    j = 0
+    nodes = 0
+    cutoffs = 0
+
+    BOUND, FORWARD, UPDATE, BACKTRACK = 0, 1, 2, 3
+    state = BOUND
+    while True:
+        if state == BOUND:  # step 2
+            if use_bound:
+                u = bounder.bound(j, v_hat if v_hat > 0.0 else 0.0)
+                if g_best >= g_hat + u:
+                    cutoffs += 1
+                    state = BACKTRACK
+                    continue
+            state = FORWARD
+
+        elif state == FORWARD:  # step 3
+            rebound = False
+            while j < n and v_hat > 0.0:
+                nodes += 1
+                penalty = (suffix_mass[j] if faithful else 1.0 - sel_mass) + stretch_penalty_bonus
+                overrun = r[j] - v_hat
+                delta = p[j] * r[j] - (penalty * overrun if overrun > 0.0 else 0.0)
+                if delta <= 0.0:
+                    x_hat[j] = False
+                    j += 1
+                    if j < n - 1:  # paper: "if j < n then goto 2" (1-based)
+                        rebound = True
+                        break
+                else:
+                    v_hat -= r[j]
+                    g_hat += delta
+                    sel_mass += p[j]
+                    x_hat[j] = True
+                    selected_stack.append(j)
+                    j += 1
+            state = BOUND if rebound else UPDATE
+
+        elif state == UPDATE:  # step 4
+            if g_hat > g_best:
+                g_best = g_hat
+                x_best[:] = x_hat
+            state = BACKTRACK
+
+        else:  # BACKTRACK, step 5
+            if not selected_stack:
+                break  # step 6
+            k = selected_stack.pop()
+            x_hat[k] = False
+            v_hat += r[k]
+            sel_mass -= p[k]
+            penalty = (suffix_mass[k] if faithful else 1.0 - sel_mass) + stretch_penalty_bonus
+            overrun = r[k] - v_hat  # v_hat restored == residual at insertion
+            delta = p[k] * r[k] - (penalty * overrun if overrun > 0.0 else 0.0)
+            g_hat -= delta
+            j = k + 1
+            state = BOUND
+
+    items = tuple(int(order[k]) for k in range(n) if x_best[k])
+    plan = PrefetchPlan(items)
+    true_gain = access_improvement(problem, plan)
+    return SKPResult(
+        plan=plan,
+        gain=float(true_gain),
+        algorithm_gain=float(g_best),
+        nodes=nodes,
+        bound_cutoffs=cutoffs,
+        variant=variant,
+    )

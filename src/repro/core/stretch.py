@@ -1,0 +1,32 @@
+"""Stretch time — equation (2) of the paper.
+
+When the prefetch list ``F`` takes longer to transmit than the viewing time
+``v`` allows, the overrun ``st(F) = max(0, sum_{i in F} r_i - v)`` is the
+*stretch time*.  A request arriving during the overrun waits for the
+in-flight prefetch to finish (the paper assumes prefetches are never
+aborted), so the stretch is the model's penalty for speculating too hard.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["stretch_time", "plan_stretch"]
+
+
+def stretch_time(total_retrieval: float, viewing_time: float) -> float:
+    """``st = max(0, total_retrieval - viewing_time)`` (equation 2)."""
+    return max(0.0, float(total_retrieval) - float(viewing_time))
+
+
+def plan_stretch(problem: PrefetchProblem, plan: PrefetchPlan | Sequence[int]) -> float:
+    """Stretch time of a concrete plan against a problem instance."""
+    items = tuple(plan.items if isinstance(plan, PrefetchPlan) else plan)
+    if not items:
+        return 0.0
+    total = float(problem.retrieval_times[np.asarray(items, dtype=np.intp)].sum())
+    return stretch_time(total, problem.viewing_time)

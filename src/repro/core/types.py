@@ -1,0 +1,176 @@
+"""Problem and plan types for the speculative-prefetching performance model.
+
+Section 2 of the paper fixes the model's vocabulary:
+
+* ``n`` items, identified here by ``0 .. n-1`` (the paper is 1-based);
+* ``P_i`` — probability that the *next* access requests item ``i``;
+* ``r_i`` — retrieval time of item ``i`` over the network;
+* ``v`` — viewing time: the window available for prefetching before the
+  next request arrives.
+
+A :class:`PrefetchProblem` bundles one instance of those parameters.  A
+:class:`PrefetchPlan` is the paper's ordered list ``F = K ++ <z>``: the items
+to prefetch, in transmission order, where only the final item ``z`` may
+overrun the viewing time (*stretch* the knapsack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.validation import (
+    check_nonnegative_scalar,
+    check_positive_vector,
+    check_probability_vector,
+)
+
+__all__ = ["PrefetchProblem", "PrefetchPlan"]
+
+
+@dataclass(frozen=True)
+class PrefetchProblem:
+    """One instance of the paper's prefetching model.
+
+    Parameters
+    ----------
+    probabilities:
+        ``P_i`` for each item.  Must be non-negative and sum to at most one;
+        a total below one leaves residual mass for "the next request is for
+        none of the candidates", which still pays the stretch penalty.
+    retrieval_times:
+        ``r_i`` for each item; strictly positive.
+    viewing_time:
+        ``v`` — non-negative prefetch window.
+    """
+
+    probabilities: np.ndarray
+    retrieval_times: np.ndarray
+    viewing_time: float
+
+    def __post_init__(self) -> None:
+        p = check_probability_vector(self.probabilities)
+        r = check_positive_vector(self.retrieval_times, "retrieval_times")
+        if p.shape != r.shape:
+            raise ValueError(
+                f"probabilities {p.shape} and retrieval_times {r.shape} differ in length"
+            )
+        v = check_nonnegative_scalar(self.viewing_time, "viewing_time")
+        # Store normalised, read-only copies so a frozen problem is genuinely
+        # immutable even though ndarray fields are mutable by default.
+        p = p.copy()
+        r = r.copy()
+        p.setflags(write=False)
+        r.setflags(write=False)
+        object.__setattr__(self, "probabilities", p)
+        object.__setattr__(self, "retrieval_times", r)
+        object.__setattr__(self, "viewing_time", v)
+
+    @property
+    def n(self) -> int:
+        """Number of candidate items (the paper's ``n``)."""
+        return int(self.probabilities.shape[0])
+
+    @property
+    def residual_mass(self) -> float:
+        """Probability that the next request targets no known candidate."""
+        return max(0.0, 1.0 - float(self.probabilities.sum()))
+
+    def profit(self, item: int) -> float:
+        """Knapsack profit of ``item``: ``P_i * r_i`` (expected time saved)."""
+        return float(self.probabilities[item] * self.retrieval_times[item])
+
+    def profits(self) -> np.ndarray:
+        """Vector of ``P_i * r_i`` for all items."""
+        return self.probabilities * self.retrieval_times
+
+    def subproblem(self, items: Sequence[int]) -> "PrefetchProblem":
+        """Restrict the candidate set to ``items`` (for cache-aware planning).
+
+        Probabilities of removed items become residual mass: they can still
+        be requested, so they still contribute to the stretch penalty, which
+        is exactly how equation (9) treats cached items.
+        """
+        idx = np.asarray(list(items), dtype=np.intp)
+        return PrefetchProblem(
+            probabilities=self.probabilities[idx],
+            retrieval_times=self.retrieval_times[idx],
+            viewing_time=self.viewing_time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrefetchProblem(n={self.n}, v={self.viewing_time:g}, "
+            f"sum_P={float(self.probabilities.sum()):.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """An ordered prefetch list ``F`` (possibly empty).
+
+    ``items[-1]`` is the paper's ``z`` — the only item permitted to overrun
+    the viewing time.  The class is deliberately dumb: stretch time and
+    access improvement live in :mod:`repro.core.stretch` and
+    :mod:`repro.core.improvement` so they can also be applied to raw arrays.
+    """
+
+    items: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        items = tuple(int(i) for i in self.items)
+        if len(set(items)) != len(items):
+            raise ValueError(f"prefetch plan contains duplicate items: {items}")
+        if any(i < 0 for i in items):
+            raise ValueError(f"prefetch plan contains negative item ids: {items}")
+        object.__setattr__(self, "items", items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.items
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    @property
+    def kernel(self) -> tuple[int, ...]:
+        """The paper's ``K`` — every item except the last."""
+        return self.items[:-1]
+
+    @property
+    def tail(self) -> int | None:
+        """The paper's ``z`` — last item, or ``None`` for an empty plan."""
+        return self.items[-1] if self.items else None
+
+    def total_retrieval(self, problem: PrefetchProblem) -> float:
+        """Total transmission time of the plan."""
+        if not self.items:
+            return 0.0
+        return float(problem.retrieval_times[np.asarray(self.items, dtype=np.intp)].sum())
+
+    def validate_against(self, problem: PrefetchProblem) -> None:
+        """Check the plan satisfies the paper's construction (1).
+
+        Every item must exist, and the kernel ``K`` must fit within the
+        viewing time (only ``z`` may stretch).
+        """
+        for i in self.items:
+            if i >= problem.n:
+                raise ValueError(f"plan references item {i} outside problem of size {problem.n}")
+        if self.items:
+            kernel_time = float(
+                problem.retrieval_times[np.asarray(self.kernel, dtype=np.intp)].sum()
+            ) if self.kernel else 0.0
+            if kernel_time > problem.viewing_time:
+                raise ValueError(
+                    "plan kernel K does not fit in the viewing time: "
+                    f"sum r_K = {kernel_time:g} > v = {problem.viewing_time:g}"
+                )

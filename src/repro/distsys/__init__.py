@@ -1,0 +1,27 @@
+"""Distributed-information-system substrate (event-driven).
+
+* :mod:`repro.distsys.events` — discrete-event queue;
+* :mod:`repro.distsys.network` — latency/bandwidth link and the
+  non-preemptive transfer channel (the §2 assumption in mechanism form);
+* :mod:`repro.distsys.server` — sized item catalog;
+* :mod:`repro.distsys.client` — cache + planner + channel client;
+* :mod:`repro.distsys.session` — trace replay driver.
+"""
+
+from repro.distsys.events import EventQueue
+from repro.distsys.network import Channel, Link
+from repro.distsys.server import ItemServer
+from repro.distsys.client import Client, ClientStats
+from repro.distsys.session import SessionResult, predictor_provider, run_session
+
+__all__ = [
+    "EventQueue",
+    "Channel",
+    "Link",
+    "ItemServer",
+    "Client",
+    "ClientStats",
+    "SessionResult",
+    "predictor_provider",
+    "run_session",
+]

@@ -1,0 +1,169 @@
+"""The prefetching client: cache + planner + one network channel.
+
+This is the event-driven generalisation of the lean §5.3 simulator
+(:mod:`repro.simulation.prefetch_cache`): retrieval times derive from item
+sizes over a latency/bandwidth link, next-access estimates come from any
+provider (the true Markov row, or an online predictor from
+:mod:`repro.prediction`), and transfer completions are delivered through an
+:class:`repro.distsys.events.EventQueue`.  On equal-size catalogs with a
+unit link and the oracle provider it reproduces the lean simulator's access
+times *exactly* (see ``tests/integration/test_cross_engine.py``).
+
+Semantics match the lean engine: transfers are never aborted; a demand
+fetch waits for the whole backlog; eviction lists leave the cache at
+planning time; each admitted prefetch is paired with a victim or free slot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.planner import Prefetcher
+from repro.core.types import PrefetchProblem
+from repro.distsys.events import EventQueue
+from repro.distsys.network import Channel, Link
+from repro.distsys.server import ItemServer
+
+__all__ = ["Client", "ClientStats"]
+
+ProbabilityProvider = Callable[[int], np.ndarray]
+
+
+@dataclass
+class ClientStats:
+    cache_hits: int = 0
+    pending_waits: int = 0
+    misses: int = 0
+    prefetches_scheduled: int = 0
+    prefetches_used: int = 0
+    network_prefetch_time: float = 0.0
+    network_demand_time: float = 0.0
+    access_times: list[float] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return self.cache_hits + self.pending_waits + self.misses
+
+    @property
+    def mean_access_time(self) -> float:
+        return float(np.mean(self.access_times)) if self.access_times else float("nan")
+
+
+class Client:
+    def __init__(
+        self,
+        server: ItemServer,
+        link: Link,
+        cache_capacity: int,
+        prefetcher: Prefetcher,
+        probability_provider: ProbabilityProvider,
+        *,
+        planning_window: str = "nominal",
+    ) -> None:
+        if planning_window not in ("nominal", "effective"):
+            raise ValueError(f"unknown planning_window {planning_window!r}")
+        if cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        self.server = server
+        self.link = link
+        self.retrievals = server.retrieval_times(link)
+        self.capacity = int(cache_capacity)
+        self.prefetcher = prefetcher
+        self.provider = probability_provider
+        self.planning_window = planning_window
+
+        self.queue = EventQueue()
+        self.channel = Channel(link)
+        self.cache: set[int] = set()
+        self.origin: dict[int, str] = {}
+        self.pending: dict[int, float] = {}
+        self.frequencies = np.zeros(server.n_items, dtype=np.float64)
+        self.stats = ClientStats()
+
+    # ------------------------------------------------------------------
+    def _promote(self, item: int) -> None:
+        if item in self.pending:
+            del self.pending[item]
+            self.cache.add(item)
+            self.origin[item] = "prefetch"
+
+    def seed(self, item: int, viewing_time: float) -> float:
+        """Pre-serve ``item`` at time 0 (warm start), plan, and return the
+        time at which the next request should arrive."""
+        self.frequencies[item] += 1.0
+        if self.capacity > 0:
+            self.cache.add(int(item))
+            self.origin[int(item)] = "demand"
+        self.view(int(item), float(viewing_time), now=0.0)
+        return float(viewing_time)
+
+    def request(self, item: int, now: float) -> float:
+        """Serve a request arriving at ``now``; returns the access time."""
+        item = int(item)
+        self.queue.run(until=now)
+
+        if item in self.cache:
+            access = 0.0
+            self.stats.cache_hits += 1
+            if self.origin.get(item) == "prefetch":
+                self.stats.prefetches_used += 1
+                self.origin[item] = "prefetch-used"
+        elif item in self.pending:
+            arrival = self.pending[item]
+            access = arrival - now
+            self.stats.pending_waits += 1
+            self.stats.prefetches_used += 1
+            self.queue.run(until=arrival)  # delivers item (and earlier ones)
+            self.origin[item] = "prefetch-used"
+        else:
+            _, completion = self.channel.enqueue(now, self.server.size(item))
+            access = completion - now
+            self.stats.network_demand_time += self.link.transfer_time(self.server.size(item))
+            self.stats.misses += 1
+            self.queue.run(until=completion)  # backlog drained by then
+            if self.capacity > 0:
+                if len(self.cache) >= self.capacity:
+                    problem = PrefetchProblem(self.provider(item), self.retrievals, 0.0)
+                    victim = self.prefetcher.demand_victim(
+                        problem,
+                        item,
+                        sorted(self.cache),
+                        cache_capacity=self.capacity,
+                        frequencies=self.frequencies,
+                    )
+                    if victim is not None:
+                        self.cache.discard(victim)
+                        self.origin.pop(victim, None)
+                self.cache.add(item)
+                self.origin[item] = "demand"
+
+        self.stats.access_times.append(access)
+        self.frequencies[item] += 1.0
+        return access
+
+    def view(self, item: int, viewing_time: float, now: float) -> None:
+        """Plan and schedule prefetches for the viewing period after ``item``."""
+        window = float(viewing_time)
+        if self.planning_window == "effective":
+            window = max(0.0, window - self.channel.backlog(now))
+        problem = PrefetchProblem(self.provider(int(item)), self.retrievals, window)
+        outcome = self.prefetcher.plan(
+            problem,
+            cache=sorted(self.cache),
+            cache_capacity=self.capacity - len(self.pending),
+            frequencies=self.frequencies,
+            pinned=sorted(self.pending),
+        )
+        for victim in outcome.eject:
+            self.cache.discard(victim)
+            self.origin.pop(victim, None)
+        for f in outcome.prefetch:
+            _, completion = self.channel.enqueue(now, self.server.size(f))
+            self.pending[f] = completion
+            self.stats.prefetches_scheduled += 1
+            self.stats.network_prefetch_time += self.link.transfer_time(self.server.size(f))
+            self.queue.schedule(completion, lambda it=f: self._promote(it))
+        assert len(self.cache) + len(self.pending) <= max(self.capacity, 0)

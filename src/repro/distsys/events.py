@@ -1,0 +1,69 @@
+"""A minimal discrete-event queue.
+
+The distributed-information-system substrate is small enough that a heap of
+``(time, sequence, callback)`` triples suffices.  The sequence number makes
+ordering of simultaneous events deterministic (FIFO within a timestamp),
+which the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["EventQueue"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Monotonic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (not before now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        heapq.heappush(self._heap, _Event(float(time), self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        self.schedule(self.now + float(delay), callback)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the earliest event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain events (optionally bounded by time or count); returns count run."""
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and count >= max_events:
+                break
+            self.step()
+            count += 1
+        if until is not None and self.now < until and (
+            not self._heap or self._heap[0].time > until
+        ):
+            self.now = until
+        return count

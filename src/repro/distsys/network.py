@@ -1,0 +1,71 @@
+"""Network link model: latency + bandwidth, one transfer at a time.
+
+The paper abstracts the network into per-item retrieval times ``r_i``.  This
+module grounds them: ``r_i = latency + size_i / bandwidth`` over a single
+sequential channel (the client's downlink), which is also how the §2
+assumption "the prefetch completes before the demand fetch" arises — a
+transfer in progress is never preempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Link", "Channel"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A network path with fixed latency (time units) and bandwidth
+    (size units per time unit)."""
+
+    latency: float = 0.0
+    bandwidth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or not np.isfinite(self.latency):
+            raise ValueError("latency must be finite and non-negative")
+        if self.bandwidth <= 0 or not np.isfinite(self.bandwidth):
+            raise ValueError("bandwidth must be finite and positive")
+
+    def transfer_time(self, size: float) -> float:
+        """Retrieval time of an object of ``size``."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self.latency + float(size) / self.bandwidth
+
+    def retrieval_times(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorised ``r_i`` for a catalog of sizes."""
+        sizes = np.asarray(sizes, dtype=np.float64)
+        return self.latency + sizes / self.bandwidth
+
+
+class Channel:
+    """Sequential transfer scheduler over a link (non-preemptive).
+
+    Tracks when the channel drains (``busy_until``); each enqueued transfer
+    starts at ``max(now, busy_until)`` and runs to completion.
+    """
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self.busy_until = 0.0
+        self.total_busy_time = 0.0
+
+    def enqueue(self, now: float, size: float) -> tuple[float, float]:
+        """Schedule a transfer; returns ``(start, completion)`` times."""
+        start = max(float(now), self.busy_until)
+        duration = self.link.transfer_time(size)
+        completion = start + duration
+        self.busy_until = completion
+        self.total_busy_time += duration
+        return start, completion
+
+    def idle_at(self, now: float) -> bool:
+        return self.busy_until <= float(now)
+
+    def backlog(self, now: float) -> float:
+        """Remaining busy time as seen at ``now`` (the live stretch)."""
+        return max(0.0, self.busy_until - float(now))

@@ -1,0 +1,40 @@
+"""The information server: a catalog of sized items.
+
+Deliberately thin — the paper's server is just "where remote items live".
+It owns item sizes (equal by default, per §5's assumption) and derives
+retrieval times for a given link, so examples can explore non-uniform sizes
+(the §6 future-work axis) without touching the client.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distsys.network import Link
+
+__all__ = ["ItemServer"]
+
+
+class ItemServer:
+    def __init__(self, sizes: np.ndarray) -> None:
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if sizes.ndim != 1 or sizes.shape[0] < 1:
+            raise ValueError("sizes must be a non-empty 1-D array")
+        if np.any(sizes <= 0) or not np.all(np.isfinite(sizes)):
+            raise ValueError("sizes must be finite and positive")
+        self.sizes = sizes
+
+    @classmethod
+    def uniform(cls, n_items: int, size: float = 1.0) -> "ItemServer":
+        """Equal-size catalog — the paper's §5 assumption."""
+        return cls(np.full(int(n_items), float(size)))
+
+    @property
+    def n_items(self) -> int:
+        return int(self.sizes.shape[0])
+
+    def size(self, item: int) -> float:
+        return float(self.sizes[int(item)])
+
+    def retrieval_times(self, link: Link) -> np.ndarray:
+        return link.retrieval_times(self.sizes)

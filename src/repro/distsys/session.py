@@ -1,0 +1,77 @@
+"""Session driver: replay an access trace through a prefetching client.
+
+One session = one user working through a sequence of (item, viewing-time)
+pairs.  The driver owns the wall clock; the client owns cache, channel and
+planning.  Predictors are updated *before* each viewing-period plan — i.e.
+the model always knows the access history up to and including the item the
+user is currently viewing, and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distsys.client import Client, ClientStats
+from repro.prediction.base import AccessPredictor
+from repro.workload.trace import Trace
+
+__all__ = ["SessionResult", "run_session", "predictor_provider"]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    stats: ClientStats
+    access_times: np.ndarray
+    duration: float
+
+    @property
+    def mean_access_time(self) -> float:
+        return float(self.access_times.mean()) if self.access_times.size else float("nan")
+
+
+def predictor_provider(predictor: AccessPredictor):
+    """Adapt an online predictor to the client's provider interface.
+
+    The returned callable ignores the current item argument (the predictor
+    tracks its own context) — the session updates the predictor as requests
+    are served.
+    """
+    return lambda _item: predictor.predict()
+
+
+def run_session(
+    client: Client,
+    trace: Trace,
+    *,
+    predictor: AccessPredictor | None = None,
+    initial_item: int | None = None,
+    initial_viewing_time: float = 0.0,
+) -> SessionResult:
+    """Replay ``trace`` through ``client``; returns per-request access times.
+
+    ``initial_item`` warm-starts the session (pre-served at time zero with
+    its own viewing period ``initial_viewing_time``, exactly as the §5.3
+    simulator seeds its first Markov state).  If a ``predictor`` is given it
+    is fed every served item, including the initial one.
+    """
+    now = 0.0
+    if initial_item is not None:
+        if predictor is not None:
+            predictor.update(int(initial_item))
+        now = client.seed(int(initial_item), float(initial_viewing_time))
+
+    for item, viewing_time in trace:
+        access = client.request(item, now)
+        if predictor is not None:
+            predictor.update(item)
+        t_serve = now + access
+        client.view(item, viewing_time, now=t_serve)
+        now = t_serve + viewing_time
+
+    return SessionResult(
+        stats=client.stats,
+        access_times=np.asarray(client.stats.access_times, dtype=np.float64),
+        duration=now,
+    )

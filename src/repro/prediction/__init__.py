@@ -1,0 +1,28 @@
+"""Access models supplying the ``P_i`` the paper presupposes (§1.1, §6).
+
+* :mod:`repro.prediction.markov` — first-order Markov (the §5.3 oracle's
+  learnable counterpart);
+* :mod:`repro.prediction.ppm` — order-k PPM blender (Vitter & Krishnan);
+* :mod:`repro.prediction.graph` — dependency graph (Padmanabhan & Mogul);
+* :mod:`repro.prediction.frequency` — zeroth-order popularity baseline;
+* :mod:`repro.prediction.evaluation` — prequential scoring harness.
+"""
+
+from repro.prediction.base import AccessPredictor
+from repro.prediction.markov import MarkovPredictor
+from repro.prediction.ppm import PPMPredictor
+from repro.prediction.graph import DependencyGraphPredictor
+from repro.prediction.frequency import FrequencyPredictor
+from repro.prediction.ensemble import EnsemblePredictor
+from repro.prediction.evaluation import PredictorScore, evaluate_predictor
+
+__all__ = [
+    "AccessPredictor",
+    "MarkovPredictor",
+    "PPMPredictor",
+    "DependencyGraphPredictor",
+    "FrequencyPredictor",
+    "EnsemblePredictor",
+    "PredictorScore",
+    "evaluate_predictor",
+]

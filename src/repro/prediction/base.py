@@ -1,0 +1,46 @@
+"""Access-predictor interface.
+
+The paper's model *presupposes* next-access probabilities ``P_i`` (§2) and
+points at the access-modelling literature (§1.1, §6) for where they come
+from.  This package supplies those models so the planner can run on real
+request streams: every predictor consumes an access stream via
+:meth:`AccessPredictor.update` and emits a probability vector over the
+catalog via :meth:`AccessPredictor.predict`.
+
+Predictions may sum to *less* than one — unassigned mass means "something I
+cannot name", which the improvement formulas of :mod:`repro.core` handle as
+residual mass (it still pays the stretch penalty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AccessPredictor"]
+
+
+class AccessPredictor:
+    """Online next-access model over a fixed catalog of ``n`` items."""
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 1:
+            raise ValueError("n_items must be positive")
+        self.n_items = int(n_items)
+
+    def update(self, item: int) -> None:
+        """Observe one access."""
+        raise NotImplementedError
+
+    def predict(self) -> np.ndarray:
+        """Probability vector for the next access (sums to at most 1)."""
+        raise NotImplementedError
+
+    def update_many(self, items) -> None:
+        for item in items:
+            self.update(int(item))
+
+    def _check_item(self, item: int) -> int:
+        item = int(item)
+        if not 0 <= item < self.n_items:
+            raise ValueError(f"item {item} outside catalog of {self.n_items}")
+        return item

@@ -1,0 +1,76 @@
+"""Ensemble predictor: blend several access models.
+
+§6 notes that any of the literature's access models could supply the
+``P_i`` the performance model presupposes.  In practice one hedges: a
+sequence model (Markov/PPM) is sharp once warm but useless cold, while the
+frequency model is weak but available immediately.  The ensemble mixes
+member predictions with fixed weights, or — with ``adaptive=True`` —
+weights each member by its recent prequential performance (exponentially
+discounted assigned probability), a standard online mixture-of-experts
+scheme.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["EnsemblePredictor"]
+
+
+class EnsemblePredictor(AccessPredictor):
+    def __init__(
+        self,
+        members: Sequence[AccessPredictor],
+        weights: Sequence[float] | None = None,
+        *,
+        adaptive: bool = False,
+        discount: float = 0.95,
+    ) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        n_items = members[0].n_items
+        if any(m.n_items != n_items for m in members):
+            raise ValueError("all members must share one catalog size")
+        super().__init__(n_items)
+        self.members = list(members)
+        if weights is None:
+            weights = [1.0] * len(self.members)
+        if len(weights) != len(self.members):
+            raise ValueError("one weight per member required")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        self.weights = w / w.sum()
+        self.adaptive = bool(adaptive)
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        self.discount = float(discount)
+        # Discounted credit per member; starts uniform.
+        self._credit = np.ones(len(self.members), dtype=np.float64)
+
+    def _mix(self) -> np.ndarray:
+        if not self.adaptive:
+            return self.weights
+        total = self._credit.sum()
+        return self._credit / total if total > 0 else self.weights
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        if self.adaptive:
+            # Score members on this access before they see it (prequential).
+            for k, member in enumerate(self.members):
+                assigned = float(member.predict()[item])
+                self._credit[k] = self.discount * self._credit[k] + assigned
+        for member in self.members:
+            member.update(item)
+
+    def predict(self) -> np.ndarray:
+        mix = self._mix()
+        out = np.zeros(self.n_items)
+        for weight, member in zip(mix, self.members):
+            out += weight * member.predict()
+        return out

@@ -1,0 +1,67 @@
+"""Predictor evaluation harness.
+
+Scores an online predictor against a request stream with the metrics the
+prefetching literature cares about: top-k hit rate (was the next request in
+the k most probable predictions?), assigned probability of the realised
+request (sharpness), and mean log-loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["PredictorScore", "evaluate_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictorScore:
+    top1_hit_rate: float
+    top5_hit_rate: float
+    mean_assigned_probability: float
+    mean_log_loss: float
+    evaluated: int
+
+
+def evaluate_predictor(
+    predictor: AccessPredictor,
+    stream: Iterable[int],
+    *,
+    warmup: int = 0,
+    log_eps: float = 1e-12,
+) -> PredictorScore:
+    """Feed ``stream`` to ``predictor``, scoring each post-warmup prediction.
+
+    The predictor is updated *after* being scored on each request — a strict
+    online (prequential) evaluation with no leakage.
+    """
+    top1 = top5 = 0
+    assigned = 0.0
+    log_loss = 0.0
+    evaluated = 0
+    for step, item in enumerate(stream):
+        item = int(item)
+        if step >= warmup:
+            p = predictor.predict()
+            order = np.argsort(-p)
+            if p[order[0]] > 0 and item == int(order[0]):
+                top1 += 1
+            if item in set(int(i) for i in order[:5] if p[i] > 0):
+                top5 += 1
+            assigned += float(p[item])
+            log_loss += -float(np.log(max(float(p[item]), log_eps)))
+            evaluated += 1
+        predictor.update(item)
+    if evaluated == 0:
+        return PredictorScore(float("nan"), float("nan"), float("nan"), float("nan"), 0)
+    return PredictorScore(
+        top1_hit_rate=top1 / evaluated,
+        top5_hit_rate=top5 / evaluated,
+        mean_assigned_probability=assigned / evaluated,
+        mean_log_loss=log_loss / evaluated,
+        evaluated=evaluated,
+    )

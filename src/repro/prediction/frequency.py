@@ -1,0 +1,34 @@
+"""Global-frequency predictor — the zeroth-order baseline.
+
+Ignores sequence structure entirely: ``P_i`` is the empirical access share
+of item ``i``.  Useful as the floor any contextual model must beat, and as
+the popularity estimate feeding delay-saving (WATCHMAN-style) caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["FrequencyPredictor"]
+
+
+class FrequencyPredictor(AccessPredictor):
+    def __init__(self, n_items: int) -> None:
+        super().__init__(n_items)
+        self.counts = np.zeros(n_items, dtype=np.float64)
+
+    def update(self, item: int) -> None:
+        self.counts[self._check_item(item)] += 1.0
+
+    def predict(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0.0:
+            return np.zeros(self.n_items)
+        return self.counts / total
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Raw counts — the ``freq_i`` used by DS/LFU sub-arbitration."""
+        return self.counts

@@ -1,0 +1,52 @@
+"""Dependency-graph predictor — Padmanabhan & Mogul's server-side scheme.
+
+§1.1: "The server builds a dependency graph where each link is labelled
+with the probability of the follow-up access being made."  An arc ``i → j``
+counts how often ``j`` was requested within a lookahead *window* of ``w``
+accesses after ``i``; the prediction from the current item is the arc
+weight normalised by the tail count of ``i``.
+
+Because several items can follow within one window, the raw ratios can sum
+above one; they are clipped to a distribution by scaling when necessary
+(the planner needs ``sum P <= 1``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["DependencyGraphPredictor"]
+
+
+class DependencyGraphPredictor(AccessPredictor):
+    def __init__(self, n_items: int, window: int = 2) -> None:
+        super().__init__(n_items)
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self.arc_counts = np.zeros((n_items, n_items), dtype=np.float64)
+        self.visit_counts = np.zeros(n_items, dtype=np.float64)
+        self.recent: deque[int] = deque(maxlen=window)
+        self.current: int | None = None
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        for predecessor in self.recent:
+            if predecessor != item:
+                self.arc_counts[predecessor, item] += 1.0
+        self.recent.append(item)
+        self.visit_counts[item] += 1.0
+        self.current = item
+
+    def predict(self) -> np.ndarray:
+        if self.current is None or self.visit_counts[self.current] == 0.0:
+            return np.zeros(self.n_items)
+        p = self.arc_counts[self.current] / self.visit_counts[self.current]
+        total = p.sum()
+        if total > 1.0:
+            p = p / total
+        return p

@@ -1,0 +1,51 @@
+"""First-order Markov predictor with additive smoothing.
+
+The natural model for the §5.3 source: estimate ``P(next = j | current = i)``
+from transition counts.  With ``smoothing = 0`` (default) unseen transitions
+get zero probability and the returned vector is the maximum-likelihood row;
+a positive smoothing constant spreads mass over the whole catalog
+(Laplace / add-k), which trades sharpness for robustness early in a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["MarkovPredictor"]
+
+
+class MarkovPredictor(AccessPredictor):
+    def __init__(self, n_items: int, smoothing: float = 0.0) -> None:
+        super().__init__(n_items)
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = float(smoothing)
+        self.counts = np.zeros((n_items, n_items), dtype=np.float64)
+        self.current: int | None = None
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        if self.current is not None:
+            self.counts[self.current, item] += 1.0
+        self.current = item
+
+    def predict(self) -> np.ndarray:
+        if self.current is None:
+            return np.zeros(self.n_items)
+        row = self.counts[self.current]
+        total = row.sum()
+        if self.smoothing > 0.0:
+            smoothed = row + self.smoothing
+            return smoothed / smoothed.sum()
+        if total == 0.0:
+            return np.zeros(self.n_items)
+        return row / total
+
+    def transition_estimate(self) -> np.ndarray:
+        """Full estimated transition matrix (rows of unvisited states are 0)."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            est = np.where(totals > 0, self.counts / np.maximum(totals, 1e-300), 0.0)
+        return est

@@ -1,0 +1,61 @@
+"""Prediction by partial match (PPM) — Vitter & Krishnan's compression view.
+
+§1.1 cites Vitter's result that compression-style context models make
+optimal predictions for Markov sources.  This is an order-``k`` PPM-C style
+blender: contexts of length ``k, k-1, ..., 1, 0`` each hold symbol counts;
+prediction blends the longest matching contexts with escape probabilities
+proportional to the number of distinct symbols seen in the context
+(method C), falling back to shorter contexts for the escaped mass.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["PPMPredictor"]
+
+
+class PPMPredictor(AccessPredictor):
+    def __init__(self, n_items: int, order: int = 2) -> None:
+        super().__init__(n_items)
+        if order < 0:
+            raise ValueError("order must be non-negative")
+        self.order = int(order)
+        # contexts[L] maps an L-tuple of items to {next_item: count}.
+        self.contexts: list[dict[tuple[int, ...], dict[int, float]]] = [
+            defaultdict(dict) for _ in range(order + 1)
+        ]
+        self.history: list[int] = []
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        for length in range(min(self.order, len(self.history)) + 1):
+            ctx = tuple(self.history[len(self.history) - length :])
+            table = self.contexts[length][ctx]
+            table[item] = table.get(item, 0.0) + 1.0
+        self.history.append(item)
+        if len(self.history) > self.order:
+            del self.history[: len(self.history) - self.order]
+
+    def predict(self) -> np.ndarray:
+        prob = np.zeros(self.n_items)
+        mass = 1.0  # probability mass not yet assigned (escaped so far)
+        for length in range(min(self.order, len(self.history)), -1, -1):
+            ctx = tuple(self.history[len(self.history) - length :])
+            table = self.contexts[length].get(ctx)
+            if not table:
+                continue
+            total = sum(table.values())
+            distinct = float(len(table))
+            # PPM-C: escape weight = distinct symbol count.
+            denom = total + distinct
+            for item, count in table.items():
+                prob[item] += mass * count / denom
+            mass *= distinct / denom
+            if mass <= 1e-12:
+                break
+        return prob

@@ -1,0 +1,55 @@
+"""Monte-Carlo simulators reproducing the paper's evaluation.
+
+* :mod:`repro.simulation.access` — single-access outcome (Figure 2 cases);
+* :mod:`repro.simulation.policies` — the four Figure 5 prefetch policies;
+* :mod:`repro.simulation.prefetch_only` — §4.4 experiment (Figures 4–5);
+* :mod:`repro.simulation.prefetch_cache` — §5.3 experiment (Figure 7);
+* :mod:`repro.simulation.metrics` — binning and summaries.
+"""
+
+from repro.simulation.access import AccessOutcome, HitKind, access_outcome
+from repro.simulation.metrics import BinnedSeries, Summary, bin_mean, summarise
+from repro.simulation.policies import (
+    KPPrefetch,
+    NoPrefetch,
+    PerfectPrefetch,
+    PrefetchPolicy,
+    SKPPrefetch,
+    policy_by_name,
+)
+from repro.simulation.prefetch_only import (
+    PolicySeries,
+    PrefetchOnlyConfig,
+    PrefetchOnlyResult,
+    run_prefetch_only,
+)
+from repro.simulation.prefetch_cache import (
+    FIGURE7_POLICIES,
+    PrefetchCacheConfig,
+    PrefetchCacheResult,
+    run_prefetch_cache,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "HitKind",
+    "access_outcome",
+    "BinnedSeries",
+    "Summary",
+    "bin_mean",
+    "summarise",
+    "KPPrefetch",
+    "NoPrefetch",
+    "PerfectPrefetch",
+    "PrefetchPolicy",
+    "SKPPrefetch",
+    "policy_by_name",
+    "PolicySeries",
+    "PrefetchOnlyConfig",
+    "PrefetchOnlyResult",
+    "run_prefetch_only",
+    "FIGURE7_POLICIES",
+    "PrefetchCacheConfig",
+    "PrefetchCacheResult",
+    "run_prefetch_cache",
+]

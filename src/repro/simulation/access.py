@@ -1,0 +1,67 @@
+"""Single-access outcome model — realising Figure 2 / §5.1 case by case.
+
+Given a plan, a cache state and the *actual* next request, compute the
+access time the user experiences.  The expected value of this function over
+the request distribution is exactly what :mod:`repro.core.improvement`
+computes in closed form — an identity the test suite checks by Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.stretch import plan_stretch
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = ["AccessOutcome", "access_outcome", "HitKind"]
+
+
+class HitKind:
+    """How the request was satisfied (string constants, not an enum, so the
+    simulators can cheaply aggregate with plain dict counters)."""
+
+    KERNEL = "kernel-hit"  # fully prefetched before the request
+    CACHE = "cache-hit"  # already cached (and not ejected)
+    TAIL = "tail-wait"  # the stretching tail: waits out the overrun
+    MISS = "miss"  # demand fetch after the prefetch completes
+
+    ALL = (KERNEL, CACHE, TAIL, MISS)
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Observed access time and how the request was served."""
+
+    access_time: float
+    kind: str
+
+
+def access_outcome(
+    problem: PrefetchProblem,
+    plan: PrefetchPlan | Sequence[int],
+    requested: int,
+    cached: Sequence[int] = (),
+    ejected: Sequence[int] = (),
+) -> AccessOutcome:
+    """Access time for ``requested`` under ``plan`` (Figure 2 / §5.1 cases).
+
+    * request in the kernel ``K`` or still-cached ``C\\D`` → 0;
+    * request is the tail ``z`` → ``st(F)``;
+    * anything else → ``st(F) + r_request`` (waits, then demand-fetched).
+    """
+    items = tuple(plan.items if isinstance(plan, PrefetchPlan) else plan)
+    requested = int(requested)
+    if not 0 <= requested < problem.n:
+        raise ValueError(f"requested item {requested} outside problem of size {problem.n}")
+    ejected_set = set(int(i) for i in ejected)
+    retained = set(int(i) for i in cached) - ejected_set
+
+    if requested in retained:
+        return AccessOutcome(0.0, HitKind.CACHE)
+    if items and requested in items[:-1]:
+        return AccessOutcome(0.0, HitKind.KERNEL)
+    st = plan_stretch(problem, items)
+    if items and requested == items[-1]:
+        return AccessOutcome(st, HitKind.TAIL)
+    return AccessOutcome(st + float(problem.retrieval_times[requested]), HitKind.MISS)

@@ -1,0 +1,74 @@
+"""Aggregation helpers for simulation output (binning, summaries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BinnedSeries", "bin_mean", "summarise"]
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """Mean of ``y`` within bins of ``x`` — the form of the Figure 5 curves."""
+
+    centers: np.ndarray
+    means: np.ndarray
+    counts: np.ndarray
+
+    def as_rows(self) -> list[tuple[float, float, int]]:
+        return [
+            (float(c), float(m), int(k))
+            for c, m, k in zip(self.centers, self.means, self.counts)
+        ]
+
+
+def bin_mean(x: np.ndarray, y: np.ndarray, edges: np.ndarray) -> BinnedSeries:
+    """Mean of ``y`` in each ``[edges[i], edges[i+1])`` bin of ``x``.
+
+    Empty bins yield NaN means (plot code skips them).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.shape[0] < 2:
+        raise ValueError("need at least two bin edges")
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("bin edges must be strictly increasing")
+    idx = np.digitize(x, edges) - 1
+    nbins = edges.shape[0] - 1
+    valid = (idx >= 0) & (idx < nbins)
+    counts = np.bincount(idx[valid], minlength=nbins)
+    sums = np.bincount(idx[valid], weights=y[valid], minlength=nbins)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return BinnedSeries(centers=centers, means=means, counts=counts)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a normal-approximation confidence half-width."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def sem(self) -> float:
+        return self.std / np.sqrt(self.count) if self.count else float("nan")
+
+    @property
+    def ci95(self) -> float:
+        return 1.96 * self.sem
+
+
+def summarise(values: np.ndarray) -> Summary:
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return Summary(mean=float("nan"), std=float("nan"), count=0)
+    return Summary(
+        mean=float(values.mean()), std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        count=int(values.size),
+    )

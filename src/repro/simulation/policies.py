@@ -1,0 +1,115 @@
+"""Prefetch policies for the §4.4 simulation — the four lines of Figure 5.
+
+Each policy maps a :class:`PrefetchProblem` to a :class:`PrefetchPlan`:
+
+* :class:`NoPrefetch` — demand fetch only (baseline floor);
+* :class:`KPPrefetch` — the conservative knapsack solution (never stretches);
+* :class:`SKPPrefetch` — the paper's stretch-knapsack solution (Figure 3
+  variant selectable); ``exact=True`` swaps in the unrestricted exact solver
+  (our Theorem-1-gap correction) for the ordering ablation;
+* :class:`PerfectPrefetch` — the oracle that always prefetches the actual
+  next request (it still pays the stretch when ``r > v``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exact import solve_skp_exact
+from repro.core.kp import solve_kp
+from repro.core.skp import solve_skp
+from repro.core.types import PrefetchPlan, PrefetchProblem
+
+__all__ = [
+    "PrefetchPolicy",
+    "NoPrefetch",
+    "KPPrefetch",
+    "SKPPrefetch",
+    "PerfectPrefetch",
+    "policy_by_name",
+]
+
+
+class PrefetchPolicy:
+    """Interface: ``select`` for speculative policies; oracles additionally
+    receive the realised request via ``select_with_oracle``."""
+
+    name: str = "abstract"
+    requires_oracle: bool = False
+
+    def select(self, problem: PrefetchProblem) -> PrefetchPlan:
+        raise NotImplementedError
+
+    def select_with_oracle(self, problem: PrefetchProblem, requested: int) -> PrefetchPlan:
+        """Default: oracle information is ignored."""
+        return self.select(problem)
+
+
+@dataclass
+class NoPrefetch(PrefetchPolicy):
+    name: str = "no prefetch"
+
+    def select(self, problem: PrefetchProblem) -> PrefetchPlan:
+        return PrefetchPlan(())
+
+
+@dataclass
+class KPPrefetch(PrefetchPolicy):
+    name: str = "KP prefetch"
+
+    def select(self, problem: PrefetchProblem) -> PrefetchPlan:
+        return solve_kp(problem).plan
+
+
+@dataclass
+class SKPPrefetch(PrefetchPolicy):
+    variant: str = "corrected"
+    exact: bool = False
+    name: str = "SKP prefetch"
+
+    def __post_init__(self) -> None:
+        if self.exact:
+            self.name = "SKP prefetch (exact)"
+        elif self.variant != "corrected":
+            self.name = f"SKP prefetch ({self.variant})"
+
+    def select(self, problem: PrefetchProblem) -> PrefetchPlan:
+        if self.exact:
+            return solve_skp_exact(problem).plan
+        return solve_skp(problem, variant=self.variant).plan
+
+
+@dataclass
+class PerfectPrefetch(PrefetchPolicy):
+    """Oracle: prefetch exactly the item about to be requested.
+
+    The access time is ``max(0, r_request - v)`` — perfect prediction still
+    cannot beat the bandwidth of the link.
+    """
+
+    name: str = "perfect prefetch"
+    requires_oracle: bool = True
+
+    def select(self, problem: PrefetchProblem) -> PrefetchPlan:
+        raise RuntimeError("PerfectPrefetch needs the realised request; use select_with_oracle")
+
+    def select_with_oracle(self, problem: PrefetchProblem, requested: int) -> PrefetchPlan:
+        return PrefetchPlan((int(requested),))
+
+
+def policy_by_name(name: str) -> PrefetchPolicy:
+    """Factory used by benchmarks/CLI: ``no | kp | skp | skp-faithful |
+    skp-exact | perfect``."""
+    table = {
+        "no": NoPrefetch,
+        "kp": KPPrefetch,
+        "skp": SKPPrefetch,
+        "perfect": PerfectPrefetch,
+    }
+    if name in table:
+        return table[name]()
+    if name == "skp-faithful":
+        return SKPPrefetch(variant="faithful")
+    if name == "skp-exact":
+        return SKPPrefetch(exact=True)
+    raise ValueError(f"unknown policy {name!r}")

@@ -1,0 +1,231 @@
+"""The §5.3 *prefetch + cache* continuous simulation (Figure 7).
+
+A client walks the 100-state Markov source.  On entering state ``i`` it
+requests item ``i``; after the request is served it views for ``v_i`` while
+the planner prefetches over a single network channel; then it transitions.
+The prefetcher sees the true transition row of the current state (the
+paper's presupposed access knowledge) and plans with the Figure 6 pipeline:
+SKP/KP over non-cached items, then Pr-arbitration with optional LFU/DS
+sub-arbitration against the cache.
+
+Timeline semantics (single channel, DESIGN.md §3):
+
+* prefetches are **never aborted** (§2): a demand fetch starts only after
+  every already-scheduled transfer completes — the generalisation of the
+  paper's "the prefetch completes before the demand fetch";
+* a request for an item still in flight waits for that item's own arrival;
+* leftover transfer work (the stretch) delays the start of the next
+  period's prefetching — the intrusion §4.4 warns about.  The planner can
+  either ignore this (``planning_window="nominal"``, the paper's one-step
+  model) or budget only the genuinely free time
+  (``planning_window="effective"``, ablated in A3);
+* eviction lists ``D`` leave the cache at planning time, exactly as
+  equation (9) assumes; each admitted prefetch is paired with a victim or a
+  free slot, so occupancy (cache + in-flight) never exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.planner import Prefetcher
+from repro.core.types import PrefetchProblem
+from repro.util.rng import as_generator
+from repro.workload.markov_source import MarkovSource
+
+__all__ = ["PrefetchCacheConfig", "PrefetchCacheResult", "run_prefetch_cache", "FIGURE7_POLICIES"]
+
+#: The five policy configurations plotted in Figure 7.
+FIGURE7_POLICIES: dict[str, dict] = {
+    "No+Pr": {"strategy": "none", "sub_arbitration": None},
+    "KP+Pr": {"strategy": "kp", "sub_arbitration": None},
+    "SKP+Pr": {"strategy": "skp", "sub_arbitration": None},
+    "SKP+Pr+LFU": {"strategy": "skp", "sub_arbitration": "lfu"},
+    "SKP+Pr+DS": {"strategy": "skp", "sub_arbitration": "ds"},
+}
+
+
+@dataclass(frozen=True)
+class PrefetchCacheConfig:
+    """One Figure 7 point: a policy at a cache size."""
+
+    cache_size: int
+    n_requests: int = 50_000
+    strategy: str = "skp"  # "none" | "kp" | "skp"
+    sub_arbitration: str | None = None  # None | "lfu" | "ds"
+    skp_variant: str = "corrected"
+    planning_window: str = "nominal"  # "nominal" | "effective"
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.planning_window not in ("nominal", "effective"):
+            raise ValueError(f"unknown planning_window {self.planning_window!r}")
+
+
+@dataclass(frozen=True)
+class PrefetchCacheResult:
+    """Per-run statistics; ``mean_access_time`` is the Figure 7 y-value."""
+
+    config: PrefetchCacheConfig
+    access_times: np.ndarray
+    hit_counts: dict[str, int]
+    prefetches_scheduled: int
+    prefetches_used: int
+    network_prefetch_time: float
+    network_demand_time: float
+
+    @property
+    def mean_access_time(self) -> float:
+        return float(self.access_times.mean())
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.hit_counts.get("cache-hit", 0)
+        return hits / max(1, self.access_times.shape[0])
+
+    @property
+    def prefetch_precision(self) -> float:
+        """Fraction of prefetched items that were eventually requested."""
+        if self.prefetches_scheduled == 0:
+            return float("nan")
+        return self.prefetches_used / self.prefetches_scheduled
+
+
+def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> PrefetchCacheResult:
+    """Simulate ``n_requests`` requests of the Figure 7 loop (see module doc)."""
+    rng = as_generator(config.seed)
+    n = source.n
+    capacity = int(config.cache_size)
+    r = source.retrieval_times
+    cdf = np.cumsum(source.transition, axis=1)
+
+    prefetcher = Prefetcher(
+        strategy=config.strategy,
+        variant=config.skp_variant,
+        sub_arbitration=config.sub_arbitration,
+    )
+
+    cache: set[int] = set()
+    origin: dict[int, str] = {}  # item -> "prefetch" | "demand"
+    pending: dict[int, float] = {}  # item -> absolute arrival time
+    freq = np.zeros(n, dtype=np.float64)
+
+    t = 0.0
+    net_free = 0.0
+    state = int(rng.integers(n))
+
+    access_times = np.empty(config.n_requests, dtype=np.float64)
+    hit_counts = {"cache-hit": 0, "pending-wait": 0, "miss": 0}
+    prefetches_scheduled = 0
+    prefetches_used = 0
+    network_prefetch_time = 0.0
+    network_demand_time = 0.0
+
+    def promote(now: float) -> None:
+        """Move completed transfers into the cache."""
+        done = [item for item, arrival in pending.items() if arrival <= now]
+        for item in done:
+            del pending[item]
+            cache.add(item)
+            origin[item] = "prefetch"
+
+    def plan_and_schedule(current: int, window: float) -> None:
+        nonlocal net_free, prefetches_scheduled, network_prefetch_time
+        problem = PrefetchProblem(source.row(current), r, window)
+        outcome = prefetcher.plan(
+            problem,
+            cache=sorted(cache),
+            cache_capacity=capacity - len(pending),
+            frequencies=freq,
+            pinned=sorted(pending),
+        )
+        for victim in outcome.eject:
+            cache.discard(victim)
+            origin.pop(victim, None)
+        start = max(t, net_free)
+        for item in outcome.prefetch:
+            start += float(r[item])
+            pending[item] = start
+            prefetches_scheduled += 1
+            network_prefetch_time += float(r[item])
+        if outcome.prefetch:
+            net_free = start
+        assert len(cache) + len(pending) <= capacity
+
+    # Initial state: treat its item as just served at t=0, then view and plan.
+    freq[state] += 1.0
+    cache_window = float(source.viewing_times[state])
+    if capacity > 0:
+        cache.add(state)
+        origin[state] = "demand"
+    plan_and_schedule(state, cache_window)
+    t += cache_window
+
+    u = rng.random(config.n_requests)
+    for k in range(config.n_requests):
+        nxt = int(np.searchsorted(cdf[state], u[k], side="right"))
+        if nxt >= n:
+            nxt = n - 1
+        x = nxt
+        t_req = t
+        promote(t_req)
+
+        if x in cache:
+            access = 0.0
+            hit_counts["cache-hit"] += 1
+            if origin.get(x) == "prefetch":
+                prefetches_used += 1
+                origin[x] = "prefetch-used"
+        elif x in pending:
+            access = pending[x] - t_req
+            hit_counts["pending-wait"] += 1
+            prefetches_used += 1
+            promote(pending[x])
+            origin[x] = "prefetch-used"
+        else:
+            # Demand fetch: every scheduled transfer completes first (§2).
+            start = max(net_free, t_req)
+            completion = start + float(r[x])
+            access = completion - t_req
+            net_free = completion
+            network_demand_time += float(r[x])
+            hit_counts["miss"] += 1
+            promote(net_free)  # everything pending finished by now
+            if capacity > 0:
+                if len(cache) >= capacity:
+                    problem = PrefetchProblem(source.row(x), r, 0.0)
+                    victim = prefetcher.demand_victim(
+                        problem, x, sorted(cache), cache_capacity=capacity, frequencies=freq
+                    )
+                    if victim is not None:
+                        cache.discard(victim)
+                        origin.pop(victim, None)
+                cache.add(x)
+                origin[x] = "demand"
+
+        access_times[k] = access
+        t_serve = t_req + access
+        t = t_serve
+        freq[x] += 1.0
+
+        window = float(source.viewing_times[x])
+        if config.planning_window == "effective":
+            window = max(0.0, window - max(0.0, net_free - t_serve))
+        plan_and_schedule(x, window)
+
+        t += float(source.viewing_times[x])
+        state = x
+
+    return PrefetchCacheResult(
+        config=config,
+        access_times=access_times,
+        hit_counts=hit_counts,
+        prefetches_scheduled=prefetches_scheduled,
+        prefetches_used=prefetches_used,
+        network_prefetch_time=network_prefetch_time,
+        network_demand_time=network_demand_time,
+    )

@@ -1,0 +1,118 @@
+"""The §4.4 *prefetch only* Monte-Carlo simulation (Figures 4 and 5).
+
+From the paper: "In the 'prefetch only' simulation the cache is used only
+for prefetching items.  Once a request is satisfied the cache is flushed
+out.  The simulation consists of running 50,000 iterations through the
+following steps: 1) generate n, P, r and v randomly, 2) prefetch,
+3) generate a random request, 4) calculate access time, 5) output v and T."
+
+All policies face the *same* drawn scenario and request per iteration
+(common random numbers), so differences between curves are policy effects,
+not sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.simulation.access import access_outcome
+from repro.simulation.metrics import BinnedSeries, bin_mean
+from repro.simulation.policies import PrefetchPolicy
+from repro.workload.scenario import ScenarioBatch, generate_scenarios
+
+__all__ = ["PrefetchOnlyConfig", "PolicySeries", "PrefetchOnlyResult", "run_prefetch_only"]
+
+
+@dataclass(frozen=True)
+class PrefetchOnlyConfig:
+    """Parameters of the §4.4 experiment (defaults = the paper's)."""
+
+    n: int = 10
+    iterations: int = 50_000
+    method: str = "skewy"  # probability generator: "skewy" or "flat"
+    r_range: tuple[float, float] = (1.0, 30.0)
+    v_range: tuple[float, float] = (1.0, 100.0)
+    seed: int | None = 0
+
+
+@dataclass(frozen=True)
+class PolicySeries:
+    """Per-iteration access times observed by one policy."""
+
+    name: str
+    access_times: np.ndarray
+    hit_kinds: dict[str, int] = field(default_factory=dict)
+
+    def mean(self) -> float:
+        return float(self.access_times.mean())
+
+
+@dataclass(frozen=True)
+class PrefetchOnlyResult:
+    config: PrefetchOnlyConfig
+    viewing_times: np.ndarray
+    requests: np.ndarray
+    series: tuple[PolicySeries, ...]
+
+    def by_name(self, name: str) -> PolicySeries:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def binned(self, name: str, edges: np.ndarray) -> BinnedSeries:
+        """Average access time per viewing-time bin — a Figure 5 curve."""
+        return bin_mean(self.viewing_times, self.by_name(name).access_times, edges)
+
+
+def run_prefetch_only(
+    config: PrefetchOnlyConfig,
+    policies: Sequence[PrefetchPolicy],
+    *,
+    scenarios: ScenarioBatch | None = None,
+) -> PrefetchOnlyResult:
+    """Run the experiment for every policy over a common scenario batch.
+
+    Pass ``scenarios`` to reuse a batch across calls (e.g. to add a policy
+    to an existing comparison without re-drawing the workload).
+    """
+    if scenarios is None:
+        scenarios = generate_scenarios(
+            config.iterations,
+            config.n,
+            method=config.method,
+            r_range=config.r_range,
+            v_range=config.v_range,
+            seed=config.seed,
+        )
+    iters = scenarios.iterations
+    times = {p.name: np.empty(iters, dtype=np.float64) for p in policies}
+    kinds: dict[str, dict[str, int]] = {p.name: {} for p in policies}
+
+    for k in range(iters):
+        problem = scenarios.problem(k)
+        requested = int(scenarios.requests[k])
+        for policy in policies:
+            plan = (
+                policy.select_with_oracle(problem, requested)
+                if policy.requires_oracle
+                else policy.select(problem)
+            )
+            out = access_outcome(problem, plan, requested)
+            times[policy.name][k] = out.access_time
+            counter = kinds[policy.name]
+            counter[out.kind] = counter.get(out.kind, 0) + 1
+
+    series = tuple(
+        PolicySeries(name=p.name, access_times=times[p.name], hit_kinds=kinds[p.name])
+        for p in policies
+    )
+    return PrefetchOnlyResult(
+        config=config,
+        viewing_times=scenarios.viewing_times,
+        requests=scenarios.requests,
+        series=series,
+    )

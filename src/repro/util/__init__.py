@@ -1,0 +1,25 @@
+"""Small shared utilities: RNG handling, list operations, validation.
+
+These helpers keep the rest of the library free of boilerplate.  Nothing in
+here is specific to the paper; it is plumbing that every subpackage shares.
+"""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.listops import concat, exclude, last, without
+from repro.util.validation import (
+    check_probability_vector,
+    check_positive_vector,
+    check_nonnegative_scalar,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "concat",
+    "exclude",
+    "last",
+    "without",
+    "check_probability_vector",
+    "check_positive_vector",
+    "check_nonnegative_scalar",
+]

@@ -1,0 +1,44 @@
+"""List operations mirroring the paper's notation.
+
+The paper manipulates *ordered lists* of item identifiers (its ``R ++ S``
+concatenation, ``R \\ S`` difference, and so on).  Order matters because the
+last element of a prefetch list is the item allowed to stretch the knapsack.
+These helpers make the arbitration and planner code read like the paper's
+pseudocode while staying plain Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["concat", "exclude", "last", "without"]
+
+
+def concat(*lists: Sequence[int]) -> tuple[int, ...]:
+    """``R ++ S`` — concatenation preserving order."""
+    out: list[int] = []
+    for part in lists:
+        out.extend(part)
+    return tuple(out)
+
+
+def without(items: Sequence[int], removed: Iterable[int]) -> tuple[int, ...]:
+    """``R \\ S`` — remove every occurrence of each element of ``removed``."""
+    removed_set = set(removed)
+    return tuple(i for i in items if i not in removed_set)
+
+
+def exclude(universe_size: int, items: Iterable[int]) -> tuple[int, ...]:
+    """``N \\ R`` for ``N = <0, ..., universe_size - 1>``."""
+    member = set(items)
+    for i in member:
+        if not 0 <= i < universe_size:
+            raise ValueError(f"item {i} outside universe of size {universe_size}")
+    return tuple(i for i in range(universe_size) if i not in member)
+
+
+def last(items: Sequence[int]) -> int:
+    """The paper's ``z`` — final element of a non-empty list."""
+    if not items:
+        raise ValueError("empty list has no last element")
+    return items[-1]

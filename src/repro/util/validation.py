@@ -1,0 +1,66 @@
+"""Input validation shared across the library.
+
+The solvers are numerical code operating on probability vectors and time
+vectors; silent acceptance of malformed input (negative probabilities, NaN
+retrieval times) would corrupt results far from the call site, so every
+public constructor funnels through these checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_probability_vector",
+    "check_positive_vector",
+    "check_nonnegative_scalar",
+]
+
+#: Tolerance for "probabilities sum to at most one" checks.  Generators in
+#: :mod:`repro.workload` normalise with floating point arithmetic, so exact
+#: unity cannot be demanded.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+def check_probability_vector(p: np.ndarray, *, require_total_one: bool = False) -> np.ndarray:
+    """Validate an array of next-access probabilities ``P_i``.
+
+    The access-improvement formulas remain well defined when the vector sums
+    to *less* than one (the residual mass models a request outside the known
+    candidate set — it still pays the stretch penalty), so by default only
+    ``sum(P) <= 1`` is enforced.  Simulators that must *draw* a request pass
+    ``require_total_one=True``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"probability vector must be 1-D, got shape {p.shape}")
+    if not np.all(np.isfinite(p)):
+        raise ValueError("probability vector contains non-finite entries")
+    if np.any(p < 0):
+        raise ValueError("probability vector contains negative entries")
+    total = float(p.sum())
+    if total > 1.0 + PROBABILITY_TOLERANCE:
+        raise ValueError(f"probabilities sum to {total:.12g} > 1")
+    if require_total_one and abs(total - 1.0) > 1e-6:
+        raise ValueError(f"probabilities must sum to 1, got {total:.12g}")
+    return p
+
+
+def check_positive_vector(x: np.ndarray, name: str = "vector") -> np.ndarray:
+    """Validate strictly positive finite values (retrieval times, sizes)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {x.shape}")
+    if not np.all(np.isfinite(x)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(x <= 0):
+        raise ValueError(f"{name} must be strictly positive")
+    return x
+
+
+def check_nonnegative_scalar(x: float, name: str = "value") -> float:
+    """Validate a finite non-negative scalar (viewing time, capacity)."""
+    x = float(x)
+    if not np.isfinite(x) or x < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {x}")
+    return x

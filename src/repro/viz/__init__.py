@@ -1,0 +1,6 @@
+"""Text rendering and CSV export for the reproduced figures."""
+
+from repro.viz.ascii_plot import line_plot, scatter
+from repro.viz.csvout import write_rows, write_series
+
+__all__ = ["line_plot", "scatter", "write_rows", "write_series"]

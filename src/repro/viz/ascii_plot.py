@@ -1,0 +1,131 @@
+"""Terminal plots: scatter and multi-series line charts in plain text.
+
+Matplotlib is unavailable offline, so the figure harness renders the
+paper's plots as ASCII — good enough to eyeball the shapes the paper
+reports (the triangular KP region of Figure 4, the crossing curves of
+Figure 5, the decaying curves of Figure 7) directly in the benchmark
+output.  The numeric series are also written as CSV via
+:mod:`repro.viz.csvout` for external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["scatter", "line_plot"]
+
+_SERIES_MARKS = "ox+*#%@&"
+
+
+def _canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    canvas: list[list[str]],
+    x_lo: float,
+    x_hi: float,
+    y_lo: float,
+    y_hi: float,
+    title: str,
+    x_label: str,
+    y_label: str,
+    legend: str = "",
+) -> str:
+    height = len(canvas)
+    lines = []
+    if title:
+        lines.append(title)
+    if legend:
+        lines.append(legend)
+    lines.append(f"{y_hi:10.2f} ┌" + "".join("─" for _ in canvas[0]) + "┐")
+    for row in canvas:
+        lines.append(" " * 11 + "│" + "".join(row) + "│")
+    lines.append(f"{y_lo:10.2f} └" + "".join("─" for _ in canvas[0]) + "┘")
+    width = len(canvas[0])
+    footer = f"{x_lo:<.6g}"
+    right = f"{x_hi:.6g}"
+    pad = max(1, width - len(footer) - len(right))
+    lines.append(" " * 12 + footer + " " * pad + right + f"   ({x_label} →, {y_label} ↑)")
+    return "\n".join(lines)
+
+
+def _bounds(values: np.ndarray, lo: float | None, hi: float | None) -> tuple[float, float]:
+    finite = values[np.isfinite(values)]
+    v_lo = float(finite.min()) if lo is None and finite.size else (lo or 0.0)
+    v_hi = float(finite.max()) if hi is None and finite.size else (hi or 1.0)
+    if v_hi <= v_lo:
+        v_hi = v_lo + 1.0
+    return v_lo, v_hi
+
+
+def scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 70,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    x_max: float | None = None,
+    y_max: float | None = None,
+    mark: str = "·",
+) -> str:
+    """Scatter plot (the Figure 4 style)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    x_lo, x_hi = _bounds(x, 0.0, x_max)
+    y_lo, y_hi = _bounds(y, 0.0, y_max)
+    canvas = _canvas(width, height)
+    for xi, yi in zip(x, y):
+        if not (math.isfinite(xi) and math.isfinite(yi)):
+            continue
+        if xi > x_hi or yi > y_hi or xi < x_lo or yi < y_lo:
+            continue
+        col = min(width - 1, int((xi - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = min(height - 1, int((yi - y_lo) / (y_hi - y_lo) * (height - 1)))
+        canvas[height - 1 - row][col] = mark
+    return _render(canvas, x_lo, x_hi, y_lo, y_hi, title, x_label, y_label)
+
+
+def line_plot(
+    x: np.ndarray,
+    series: dict[str, np.ndarray] | Sequence[tuple[str, np.ndarray]],
+    *,
+    width: int = 70,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    y_max: float | None = None,
+) -> str:
+    """Multi-series chart (the Figure 5 / Figure 7 style).
+
+    Each series gets a marker character; the legend maps markers to names.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    items = list(series.items()) if isinstance(series, dict) else list(series)
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in items])
+    x_lo, x_hi = _bounds(x, None, None)
+    y_lo, y_hi = _bounds(all_y, 0.0, y_max)
+    canvas = _canvas(width, height)
+    legend_parts = []
+    for idx, (name, y) in enumerate(items):
+        mark = _SERIES_MARKS[idx % len(_SERIES_MARKS)]
+        legend_parts.append(f"{mark}={name}")
+        y = np.asarray(y, dtype=np.float64)
+        for xi, yi in zip(x, y):
+            if not (math.isfinite(xi) and math.isfinite(yi)):
+                continue
+            if yi > y_hi or yi < y_lo:
+                continue
+            col = min(width - 1, int((xi - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = min(height - 1, int((yi - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[height - 1 - row][col] = mark
+    return _render(
+        canvas, x_lo, x_hi, y_lo, y_hi, title, x_label, y_label, legend="  ".join(legend_parts)
+    )

@@ -1,0 +1,45 @@
+"""CSV series output for the figure harness (results/*.csv)."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_series", "write_rows"]
+
+
+def write_series(
+    path: str | Path,
+    x_name: str,
+    x: np.ndarray,
+    series: Mapping[str, np.ndarray],
+) -> None:
+    """Write ``x`` plus named y-columns as CSV."""
+    x = np.asarray(x)
+    for name, y in series.items():
+        if np.asarray(y).shape != x.shape:
+            raise ValueError(f"series {name!r} length does not match x")
+    buf = io.StringIO()
+    buf.write(",".join([x_name] + list(series)) + "\n")
+    for k in range(x.shape[0]):
+        row = [f"{float(x[k]):.10g}"] + [
+            f"{float(np.asarray(y)[k]):.10g}" for y in series.values()
+        ]
+        buf.write(",".join(row) + "\n")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(buf.getvalue())
+
+
+def write_rows(path: str | Path, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write arbitrary rows as CSV."""
+    buf = io.StringIO()
+    buf.write(",".join(header) + "\n")
+    for row in rows:
+        buf.write(",".join(str(v) for v in row) + "\n")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(buf.getvalue())

@@ -1,0 +1,38 @@
+"""Workload generation: the paper's experimental inputs.
+
+* :mod:`repro.workload.probability` — the §4.4 *skewy*/*flat* next-access
+  probability generators;
+* :mod:`repro.workload.scenario` — batched one-shot scenarios for the
+  *prefetch only* experiment (Figures 4–5);
+* :mod:`repro.workload.markov_source` — the §5.3 100-state Markov request
+  source (Figure 7);
+* :mod:`repro.workload.zipf` — heavy-tailed popularity (robustness);
+* :mod:`repro.workload.trace` — record/replay of request traces.
+"""
+
+from repro.workload.probability import (
+    PROBABILITY_METHODS,
+    flat_probabilities,
+    generate_probabilities,
+    skewy_probabilities,
+)
+from repro.workload.scenario import ScenarioBatch, generate_scenarios, sample_requests
+from repro.workload.markov_source import MarkovSource, generate_markov_source
+from repro.workload.zipf import zipf_probabilities, zipf_requests
+from repro.workload.trace import Trace, record_markov_trace
+
+__all__ = [
+    "PROBABILITY_METHODS",
+    "flat_probabilities",
+    "generate_probabilities",
+    "skewy_probabilities",
+    "ScenarioBatch",
+    "generate_scenarios",
+    "sample_requests",
+    "MarkovSource",
+    "generate_markov_source",
+    "zipf_probabilities",
+    "zipf_requests",
+    "Trace",
+    "record_markov_trace",
+]

@@ -1,0 +1,86 @@
+"""Random one-shot scenarios for the *prefetch only* experiment (§4.4).
+
+Each iteration of the paper's simulation draws ``n``, ``P``, ``r`` and ``v``
+and a request from ``P``.  :func:`generate_scenarios` draws a whole batch at
+once (vectorised), which is what makes 50 000-iteration runs affordable in
+pure Python: the per-iteration work reduces to the solver call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import PrefetchProblem
+from repro.util.rng import as_generator
+from repro.workload.probability import generate_probabilities
+
+__all__ = ["ScenarioBatch", "generate_scenarios", "sample_requests"]
+
+
+@dataclass(frozen=True)
+class ScenarioBatch:
+    """A batch of independent prefetch scenarios plus realised requests.
+
+    ``requests[k]`` is drawn from ``probabilities[k]`` — the item the user
+    actually asks for next in iteration ``k``.  All policies in a comparison
+    see the same draw (common random numbers), exactly as in the paper's
+    simulation where every method faces the same generated request.
+    """
+
+    probabilities: np.ndarray  # (iterations, n)
+    retrieval_times: np.ndarray  # (iterations, n)
+    viewing_times: np.ndarray  # (iterations,)
+    requests: np.ndarray  # (iterations,) int
+
+    @property
+    def iterations(self) -> int:
+        return int(self.viewing_times.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.probabilities.shape[1])
+
+    def problem(self, k: int) -> PrefetchProblem:
+        """The k-th iteration as a solver-ready problem instance."""
+        return PrefetchProblem(
+            probabilities=self.probabilities[k],
+            retrieval_times=self.retrieval_times[k],
+            viewing_time=float(self.viewing_times[k]),
+        )
+
+
+def sample_requests(probabilities: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one categorical sample per row of a probability matrix.
+
+    Vectorised inverse-CDF: one uniform per row against the row-wise
+    cumulative sums.
+    """
+    cdf = np.cumsum(probabilities, axis=1)
+    # Normalise away float drift so the last column is exactly 1.
+    cdf /= cdf[:, -1:]
+    u = rng.random((probabilities.shape[0], 1))
+    return (u > cdf).sum(axis=1).astype(np.intp)
+
+
+def generate_scenarios(
+    iterations: int,
+    n: int,
+    *,
+    method: str = "skewy",
+    r_range: tuple[float, float] = (1.0, 30.0),
+    v_range: tuple[float, float] = (1.0, 100.0),
+    seed: int | np.random.Generator | None = None,
+) -> ScenarioBatch:
+    """Draw a batch of §4.4 scenarios (defaults are the paper's parameters)."""
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    rng = as_generator(seed)
+    p = generate_probabilities(method, iterations, n, rng)
+    r = rng.uniform(r_range[0], r_range[1], size=(iterations, n))
+    v = rng.uniform(v_range[0], v_range[1], size=iterations)
+    requests = sample_requests(p, rng)
+    return ScenarioBatch(
+        probabilities=p, retrieval_times=r, viewing_times=v, requests=requests
+    )

@@ -1,0 +1,87 @@
+"""Access traces: record, replay, persist.
+
+A trace is the minimal workload interchange format of the library: a
+sequence of ``(item, viewing_time)`` pairs.  Simulators can *record* the
+streams they generate (e.g. a Markov walk) so that predictors, cache
+policies and planners can be compared on byte-identical request sequences,
+and examples can ship deterministic workloads.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Trace", "record_markov_trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable access trace."""
+
+    items: np.ndarray  # (length,) int
+    viewing_times: np.ndarray  # (length,) float
+
+    def __post_init__(self) -> None:
+        items = np.asarray(self.items, dtype=np.intp)
+        views = np.asarray(self.viewing_times, dtype=np.float64)
+        if items.ndim != 1 or views.shape != items.shape:
+            raise ValueError("items and viewing_times must be 1-D and equal length")
+        if items.size and items.min() < 0:
+            raise ValueError("item ids must be non-negative")
+        if views.size and views.min() < 0:
+            raise ValueError("viewing times must be non-negative")
+        object.__setattr__(self, "items", items)
+        object.__setattr__(self, "viewing_times", views)
+
+    def __len__(self) -> int:
+        return int(self.items.shape[0])
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        for item, view in zip(self.items, self.viewing_times):
+            yield int(item), float(view)
+
+    @property
+    def n_items(self) -> int:
+        """Smallest catalog size covering the trace."""
+        return int(self.items.max()) + 1 if len(self) else 0
+
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        return Trace(self.items[start:stop], self.viewing_times[start:stop])
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write as a two-column CSV (item, viewing_time)."""
+        buf = io.StringIO()
+        buf.write("item,viewing_time\n")
+        for item, view in self:
+            buf.write(f"{item},{view!r}\n")
+        Path(path).write_text(buf.getvalue())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        lines = Path(path).read_text().strip().splitlines()
+        if not lines or lines[0] != "item,viewing_time":
+            raise ValueError(f"{path} is not a trace file")
+        items: list[int] = []
+        views: list[float] = []
+        for line in lines[1:]:
+            item_s, view_s = line.split(",")
+            items.append(int(item_s))
+            views.append(float(view_s))
+        return cls(np.asarray(items), np.asarray(views))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "Trace":
+        items, views = zip(*pairs) if pairs else ((), ())
+        return cls(np.asarray(items), np.asarray(views))
+
+
+def record_markov_trace(source, length: int, seed=None, start: int | None = None) -> Trace:
+    """Record a :class:`repro.workload.markov_source.MarkovSource` walk."""
+    states = np.fromiter(source.walk(length, seed, start=start), dtype=np.intp, count=length)
+    return Trace(items=states, viewing_times=source.viewing_times[states])

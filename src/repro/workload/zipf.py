@@ -1,0 +1,39 @@
+"""Zipf-distributed catalogs — a robustness workload beyond the paper.
+
+Web and file-access popularity is classically Zipfian; the paper's related
+work (Padmanabhan & Mogul, WATCHMAN) evaluates on such traces.  This module
+provides Zipf probability vectors and i.i.d. request streams so the examples
+and extension benchmarks can exercise the planner on heavy-tailed
+popularity, complementing the paper's skewy/flat and Markov workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+__all__ = ["zipf_probabilities", "zipf_requests"]
+
+
+def zipf_probabilities(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Probability vector ``P_i ∝ 1 / rank^exponent`` over ``n`` items."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+def zipf_requests(
+    length: int,
+    n: int,
+    exponent: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """I.i.d. Zipf request stream of ``length`` item ids."""
+    rng = as_generator(seed)
+    p = zipf_probabilities(n, exponent)
+    return rng.choice(n, size=length, p=p)

@@ -1,0 +1,74 @@
+"""Tests for the analysis validators and Monte-Carlo cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro import PrefetchPlan, PrefetchProblem, expected_access_time_with_plan, solve_skp
+from repro.analysis import (
+    check_theorem1,
+    check_upper_bound,
+    compare_variants,
+    estimate_expected_access_time,
+)
+from tests.conftest import make_problem
+
+
+class TestTheoryValidators:
+    def test_theorem1_counterexample_flagged(self):
+        prob = PrefetchProblem(
+            np.array([0.49794825, 0.43946973]),
+            np.array([22.9375462, 4.39608583]),
+            14.840473224291351,
+        )
+        report = check_theorem1(prob)
+        assert not report.holds
+        assert report.gap > 1.0
+
+    def test_theorem1_holds_for_equal_r(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 7))
+            p = rng.random(n)
+            p /= p.sum()
+            prob = PrefetchProblem(p, np.full(n, 8.0), float(rng.uniform(0, 40)))
+            assert check_theorem1(prob).holds
+
+    def test_upper_bound_always_valid(self, rng):
+        for _ in range(40):
+            report = check_upper_bound(make_problem(rng))
+            assert report.valid
+            assert report.slack >= -1e-9
+
+    def test_variant_comparison_detects_inflation(self, rng):
+        inflated = 0
+        for _ in range(150):
+            report = compare_variants(make_problem(rng))
+            assert report.faithful_gain <= report.corrected_gain + 1e-9
+            if report.internal_inflated:
+                inflated += 1
+        assert inflated > 0  # the faithful g^ does get inflated sometimes
+
+
+class TestMonteCarlo:
+    def test_estimate_matches_closed_form(self, rng):
+        for _ in range(8):
+            prob = make_problem(rng, n=5)
+            plan = solve_skp(prob).plan
+            closed = expected_access_time_with_plan(prob, plan, residual_retrieval=4.0)
+            estimate = estimate_expected_access_time(
+                prob, plan, samples=40_000, residual_retrieval=4.0, seed=1
+            )
+            assert estimate.consistent_with(closed), (estimate, closed)
+
+    def test_estimate_with_cache(self, rng):
+        prob = make_problem(rng, n=6, total_one=True)
+        plan = PrefetchPlan(())
+        closed = expected_access_time_with_plan(prob, plan, cached=[0, 1], ejected=[1])
+        estimate = estimate_expected_access_time(
+            prob, plan, cached=[0, 1], ejected=[1], samples=40_000, seed=2
+        )
+        assert estimate.consistent_with(closed)
+
+    def test_degenerate_zero_variance(self):
+        prob = PrefetchProblem(np.array([1.0]), np.array([5.0]), 10.0)
+        estimate = estimate_expected_access_time(prob, PrefetchPlan((0,)), samples=100, seed=0)
+        assert estimate.mean == 0.0 and estimate.sem == 0.0

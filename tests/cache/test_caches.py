@@ -1,0 +1,169 @@
+"""Tests for the cache substrate: base machinery and every policy."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    PrCache,
+    RandomCache,
+    WatchmanCache,
+)
+
+
+class TestBaseMachinery:
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(3)
+        for item in range(10):
+            cache.insert(item)
+            assert len(cache) <= 3
+
+    def test_insert_returns_victim(self):
+        cache = FIFOCache(1)
+        assert cache.insert(0) is None
+        assert cache.insert(1) == 0
+
+    def test_zero_capacity_inserts_nothing(self):
+        cache = LRUCache(0)
+        assert cache.insert(5) is None
+        assert len(cache) == 0
+
+    def test_duplicate_insert_is_noop(self):
+        cache = LRUCache(2)
+        cache.insert(1)
+        assert cache.insert(1) is None
+        assert len(cache) == 1
+
+    def test_stats_track_hits_and_misses(self):
+        cache = LRUCache(2)
+        cache.insert(1)
+        assert cache.access(1) is True
+        assert cache.access(2) is False
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_evict_unknown_raises(self):
+        with pytest.raises(KeyError):
+            LRUCache(2).evict(7)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(0)  # 1 is now least recent
+        assert cache.insert(2) == 1
+
+    def test_classic_sequence(self):
+        cache = LRUCache(3)
+        for item in [0, 1, 2, 0, 3]:
+            if not cache.access(item):
+                cache.insert(item)
+        assert cache.items == frozenset({0, 2, 3})
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.insert(0)
+        cache.insert(1)
+        for _ in range(3):
+            cache.access(0)
+        assert cache.insert(2) == 1
+
+    def test_frequency_ties_broken_by_recency(self):
+        cache = LFUCache(2)
+        cache.insert(0)
+        cache.insert(1)
+        assert cache.insert(2) == 0  # equal freq, 0 older
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        cache = FIFOCache(2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(0)
+        assert cache.insert(2) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomCache(2, seed=1)
+        b = RandomCache(2, seed=1)
+        for c in (a, b):
+            c.insert(0)
+            c.insert(1)
+        assert a.insert(2) == b.insert(2)
+
+
+class TestPrCache:
+    def _make(self, p, r, capacity=2, sub=None):
+        p = np.asarray(p, float)
+        return PrCache(
+            capacity,
+            np.asarray(r, float),
+            probability_provider=lambda: p,
+            sub_arbitration=sub,
+        )
+
+    def test_evicts_lowest_probability_profit(self):
+        cache = self._make([0.1, 0.9, 0.5], [10.0, 10.0, 10.0])
+        cache.insert(0)
+        cache.insert(1)
+        assert cache.insert(2) == 0
+
+    def test_zero_probability_ties_need_sub_arbitration(self):
+        # Items 0 and 1 both have P=0; DS keeps the expensive one.
+        cache = PrCache(
+            2,
+            np.array([3.0, 20.0, 5.0]),
+            probability_provider=lambda: np.array([0.0, 0.0, 0.9]),
+            sub_arbitration="ds",
+        )
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(0)
+        cache.access(1)  # equal frequencies; ds profit: 0 -> 3, 1 -> 20
+        assert cache.insert(2) == 0
+
+    def test_lfu_sub_arbitration(self):
+        cache = PrCache(
+            2,
+            np.array([3.0, 20.0, 5.0]),
+            probability_provider=lambda: np.array([0.0, 0.0, 0.9]),
+            sub_arbitration="lfu",
+        )
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(1)
+        cache.access(1)  # 0 less frequently used
+        assert cache.insert(2) == 0
+
+    def test_invalid_sub_arbitration(self):
+        with pytest.raises(ValueError):
+            self._make([0.5], [1.0], sub="mru")
+
+
+class TestWatchman:
+    def test_evicts_lowest_delay_saving_profit(self):
+        cache = WatchmanCache(2, np.array([2.0, 30.0, 5.0]))
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(0)
+        cache.access(0)
+        cache.access(1)  # profits (accesses only): 0 -> 2*2=4, 1 -> 1*30=30
+        assert cache.insert(2) == 0
+
+    def test_profit_formula(self):
+        cache = WatchmanCache(2, np.array([4.0, 1.0]))
+        cache.insert(0)
+        cache.access(0)
+        assert cache.profit(0) == pytest.approx(1 * 4.0)

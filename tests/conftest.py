@@ -1,0 +1,85 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro import PrefetchProblem
+
+# Keep property tests fast enough for tight edit-test loops while still
+# exploring a meaningful slice of the space; CI-style full runs can override
+# via --hypothesis-profile if desired.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def make_problem(
+    rng: np.random.Generator,
+    *,
+    n: int | None = None,
+    max_n: int = 8,
+    total_one: bool = False,
+    r_range: tuple[float, float] = (1.0, 30.0),
+    v_range: tuple[float, float] = (0.0, 60.0),
+) -> PrefetchProblem:
+    """Random instance in the paper's parameter ranges."""
+    if n is None:
+        n = int(rng.integers(1, max_n + 1))
+    p = rng.random(n)
+    p /= p.sum() if total_one else p.sum() * rng.uniform(1.0, 1.3)
+    r = rng.uniform(*r_range, n)
+    v = rng.uniform(*v_range)
+    return PrefetchProblem(p, r, v)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def problems(
+    draw,
+    min_items: int = 1,
+    max_items: int = 7,
+    total_one: bool = False,
+) -> PrefetchProblem:
+    """Strategy producing small random :class:`PrefetchProblem` instances."""
+    n = draw(st.integers(min_items, max_items))
+    weights = draw(
+        st.lists(
+            st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    p = np.asarray(weights, dtype=np.float64)
+    if total_one:
+        p = p / p.sum()
+    else:
+        scale = draw(st.floats(1.0, 2.0))
+        p = p / (p.sum() * scale)
+    r = np.asarray(
+        draw(
+            st.lists(
+                st.floats(0.5, 30.0, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.float64,
+    )
+    v = draw(st.floats(0.0, 80.0, allow_nan=False, allow_infinity=False))
+    return PrefetchProblem(p, r, v)

@@ -1,0 +1,119 @@
+"""Tests for Figure 6's Pr-arbitration and the LFU/DS sub-arbitration."""
+
+import numpy as np
+import pytest
+
+from repro import PrefetchPlan, PrefetchProblem, arbitrate_demand, arbitrate_prefetch
+from repro.core.arbitration import ds_sub_key, lfu_sub_key, select_victim
+
+
+def problem(p, r, v=100.0):
+    return PrefetchProblem(np.asarray(p, float), np.asarray(r, float), v)
+
+
+class TestSelectVictim:
+    def test_minimum_primary_key(self):
+        victim = select_victim([3, 1, 2], primary_key=lambda i: float(i))
+        assert victim == 1
+
+    def test_sub_key_breaks_ties(self):
+        freq = np.array([5.0, 2.0, 9.0, 1.0])
+        victim = select_victim(
+            [0, 1, 3], primary_key=lambda i: 0.0, sub_key=lfu_sub_key(freq)
+        )
+        assert victim == 3
+
+    def test_id_breaks_remaining_ties(self):
+        victim = select_victim([2, 0, 1], primary_key=lambda i: 0.0)
+        assert victim == 0
+
+    def test_empty_cache_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            select_victim([], primary_key=lambda i: 0.0)
+
+
+class TestPrArbitration:
+    def test_candidates_beat_cheapest_victims(self):
+        # profits: item0 = .4*10 = 4, item1 = .3*10 = 3 (candidates)
+        #          item2 = .2*10 = 2, item3 = .1*10 = 1 (cached)
+        prob = problem([0.4, 0.3, 0.2, 0.1], [10.0] * 4)
+        res = arbitrate_prefetch(prob, PrefetchPlan((0, 1)), cache=[2, 3])
+        assert set(res.prefetch.items) == {0, 1}
+        assert res.eject == (3, 2)  # cheapest victim first
+
+    def test_stops_at_first_losing_candidate(self):
+        # candidate 1 (profit 1.5) loses to the remaining victim (profit 3.5).
+        prob = problem([0.4, 0.15, 0.35, 0.1], [10.0] * 4)
+        res = arbitrate_prefetch(prob, PrefetchPlan((0, 1)), cache=[2, 3])
+        assert set(res.prefetch.items) == {0}
+        assert res.eject == (3,)
+
+    def test_tie_goes_to_the_prefetch(self):
+        # Figure 6 breaks on strict '<', so equality admits the candidate.
+        prob = problem([0.3, 0.3], [10.0, 10.0])
+        res = arbitrate_prefetch(prob, PrefetchPlan((0,)), cache=[1])
+        assert res.prefetch.items == (0,)
+        assert res.eject == (1,)
+
+    def test_free_slots_admit_without_eviction(self):
+        prob = problem([0.4, 0.3, 0.2], [10.0] * 3)
+        res = arbitrate_prefetch(prob, PrefetchPlan((0, 1)), cache=[2], free_slots=1)
+        assert set(res.prefetch.items) == {0, 1}
+        assert res.eject == (2,)
+        assert res.pairs[0] == (0, None)
+
+    def test_empty_cache_without_free_slots_admits_nothing(self):
+        prob = problem([0.4, 0.3], [10.0, 10.0])
+        res = arbitrate_prefetch(prob, PrefetchPlan((0, 1)), cache=[])
+        assert res.prefetch.is_empty and res.eject == ()
+
+    def test_cached_candidate_rejected(self):
+        prob = problem([0.4, 0.6], [10.0, 10.0])
+        with pytest.raises(ValueError, match="cached"):
+            arbitrate_prefetch(prob, PrefetchPlan((0,)), cache=[0])
+
+    def test_admitted_subset_is_valid_plan(self):
+        prob = problem([0.4, 0.3, 0.2, 0.1], [20.0, 25.0, 10.0, 10.0], v=30.0)
+        res = arbitrate_prefetch(prob, PrefetchPlan((0, 1)), cache=[2, 3])
+        res.prefetch.validate_against(prob)
+
+    def test_ds_sub_arbitration_prefers_cheap_refetch(self):
+        # Both cached items have zero next-access probability (Pr tie);
+        # DS evicts the one with the lowest freq*r.
+        prob = problem([0.5, 0.0, 0.0], [10.0, 2.0, 8.0])
+        freq = np.array([0.0, 5.0, 5.0])
+        res = arbitrate_prefetch(
+            prob,
+            PrefetchPlan((0,)),
+            cache=[1, 2],
+            sub_key=ds_sub_key(freq, prob.retrieval_times),
+        )
+        assert res.eject == (1,)  # freq*r = 10 < 40
+
+    def test_lfu_sub_arbitration_prefers_rarely_used(self):
+        prob = problem([0.5, 0.0, 0.0], [10.0, 2.0, 8.0])
+        freq = np.array([0.0, 1.0, 7.0])
+        res = arbitrate_prefetch(
+            prob, PrefetchPlan((0,)), cache=[1, 2], sub_key=lfu_sub_key(freq)
+        )
+        assert res.eject == (1,)
+
+
+class TestDemandArbitration:
+    def test_demand_always_gets_a_victim(self):
+        # Even a worthless demand item evicts the cheapest cached item.
+        prob = problem([0.0, 0.5, 0.4], [10.0] * 3)
+        victim = arbitrate_demand(prob, 0, cache=[1, 2])
+        assert victim == 2
+
+    def test_free_slot_means_no_victim(self):
+        prob = problem([0.5, 0.5], [10.0, 10.0])
+        assert arbitrate_demand(prob, 0, cache=[1], free_slots=1) is None
+
+    def test_empty_cache_means_no_victim(self):
+        prob = problem([0.5, 0.5], [10.0, 10.0])
+        assert arbitrate_demand(prob, 0, cache=[]) is None
+
+    def test_item_already_cached_not_own_victim(self):
+        prob = problem([0.0, 0.5], [10.0, 10.0])
+        assert arbitrate_demand(prob, 0, cache=[0, 1]) == 1

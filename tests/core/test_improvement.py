@@ -1,0 +1,184 @@
+"""Tests for the access-time / access-improvement formulas (eqs. 2, 3, 9).
+
+The central consistency property: the closed-form improvement formulas must
+equal the *difference of expected access times* computed by direct case
+analysis — the paper derives (3) and (9) exactly that way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    PrefetchPlan,
+    PrefetchProblem,
+    access_improvement,
+    access_improvement_with_cache,
+    expected_access_time_no_prefetch,
+    expected_access_time_with_plan,
+    plan_stretch,
+    stretch_time,
+)
+from repro.core.improvement import incremental_gain, theorem3_delta
+from tests.conftest import make_problem, problems
+
+
+def subset_plans(problem: PrefetchProblem):
+    """All valid plans (kernel fits, any tail) for a small problem."""
+    n = problem.n
+    r = problem.retrieval_times
+    v = problem.viewing_time
+    yield PrefetchPlan(())
+    for mask in range(1, 1 << n):
+        members = [i for i in range(n) if mask >> i & 1]
+        total = float(r[members].sum()) if members else 0.0
+        for z in members:
+            if total - r[z] <= v:
+                rest = [i for i in members if i != z]
+                yield PrefetchPlan(tuple(rest) + (z,))
+
+
+class TestStretch:
+    def test_no_overrun(self):
+        assert stretch_time(5.0, 10.0) == 0.0
+
+    def test_overrun(self):
+        assert stretch_time(12.0, 10.0) == pytest.approx(2.0)
+
+    def test_plan_stretch_empty(self):
+        prob = PrefetchProblem(np.array([1.0]), np.array([5.0]), 1.0)
+        assert plan_stretch(prob, PrefetchPlan(())) == 0.0
+
+    def test_plan_stretch_accepts_sequences(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([5.0, 7.0]), 10.0)
+        assert plan_stretch(prob, (0, 1)) == pytest.approx(2.0)
+
+
+class TestExpectedAccessTime:
+    def test_no_prefetch_is_mean_retrieval(self):
+        prob = PrefetchProblem(np.array([0.25, 0.75]), np.array([4.0, 8.0]), 5.0)
+        assert expected_access_time_no_prefetch(prob) == pytest.approx(0.25 * 4 + 0.75 * 8)
+
+    def test_no_prefetch_with_cache_drops_cached_items(self):
+        prob = PrefetchProblem(np.array([0.25, 0.75]), np.array([4.0, 8.0]), 5.0)
+        assert expected_access_time_no_prefetch(prob, cached=[1]) == pytest.approx(1.0)
+
+    def test_figure2_cases(self):
+        # v = 10; plan = (0, 1) with r = (6, 8): stretch = 4.
+        prob = PrefetchProblem(
+            np.array([0.2, 0.3, 0.5]), np.array([6.0, 8.0, 10.0]), 10.0
+        )
+        plan = PrefetchPlan((0, 1))
+        # E[T] = P0*0 (kernel) + P1*st (tail) + P2*(st + r2)
+        expected = 0.3 * 4.0 + 0.5 * (4.0 + 10.0)
+        assert expected_access_time_with_plan(prob, plan) == pytest.approx(expected)
+
+    def test_residual_mass_pays_stretch(self):
+        prob = PrefetchProblem(np.array([0.5]), np.array([12.0]), 10.0)
+        plan = PrefetchPlan((0,))
+        # tail stretches by 2; residual 0.5 pays stretch (+ its own retrieval,
+        # charged via residual_retrieval)
+        assert expected_access_time_with_plan(prob, plan) == pytest.approx(
+            0.5 * 2.0 + 0.5 * 2.0
+        )
+        assert expected_access_time_with_plan(
+            prob, plan, residual_retrieval=7.0
+        ) == pytest.approx(0.5 * 2.0 + 0.5 * (2.0 + 7.0))
+
+    def test_plan_overlapping_cache_rejected(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 3.0)
+        with pytest.raises(ValueError, match="overlap"):
+            expected_access_time_with_plan(prob, PrefetchPlan((0,)), cached=[0])
+
+    def test_ejected_must_be_cached(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 3.0)
+        with pytest.raises(ValueError, match="ejected"):
+            expected_access_time_with_plan(prob, PrefetchPlan((0,)), cached=[1], ejected=[0])
+
+
+class TestEquation3:
+    """g*(F) must equal E[T|no prefetch] - E[T|prefetch F] for every plan."""
+
+    def test_exhaustive_consistency_random_instances(self, rng):
+        for _ in range(40):
+            prob = make_problem(rng, max_n=5)
+            base = expected_access_time_no_prefetch(prob, residual_retrieval=3.0)
+            for plan in subset_plans(prob):
+                direct = base - expected_access_time_with_plan(
+                    prob, plan, residual_retrieval=3.0
+                )
+                assert access_improvement(prob, plan) == pytest.approx(direct, abs=1e-9)
+
+    @given(problems())
+    def test_empty_plan_zero_gain(self, prob):
+        assert access_improvement(prob, PrefetchPlan(())) == 0.0
+
+    @given(problems(total_one=True))
+    def test_full_catalog_non_stretching_plan_gain_is_expected_time(self, prob):
+        # If everything fits, prefetching all of N removes all access time.
+        total = float(prob.retrieval_times.sum())
+        if total <= prob.viewing_time:
+            plan = PrefetchPlan(tuple(range(prob.n)))
+            assert access_improvement(prob, plan) == pytest.approx(
+                expected_access_time_no_prefetch(prob)
+            )
+
+
+class TestEquation9:
+    def test_exhaustive_consistency_with_cache(self, rng):
+        for _ in range(30):
+            prob = make_problem(rng, n=5)
+            cached = [0, 3]
+            base = expected_access_time_no_prefetch(prob, cached, residual_retrieval=2.0)
+            for plan_items in [(), (1,), (2, 1), (1, 2, 4)]:
+                plan = PrefetchPlan(plan_items)
+                if plan_stretch(prob, plan) > 0 and plan_items:
+                    kernel_r = float(prob.retrieval_times[list(plan.kernel)].sum())
+                    if kernel_r > prob.viewing_time:
+                        continue
+                for ejected in [(), (0,), (3,), (0, 3)]:
+                    direct = base - expected_access_time_with_plan(
+                        prob, plan, cached, ejected, residual_retrieval=2.0
+                    )
+                    got = access_improvement_with_cache(prob, plan, cached, ejected)
+                    assert got == pytest.approx(direct, abs=1e-9)
+
+    def test_ejecting_without_prefetch_is_pure_loss(self):
+        prob = PrefetchProblem(
+            np.array([0.4, 0.3, 0.3]), np.array([5.0, 5.0, 5.0]), 10.0
+        )
+        g = access_improvement_with_cache(prob, PrefetchPlan(()), cached=[0], ejected=[0])
+        assert g == pytest.approx(-prob.profit(0))
+
+
+class TestTheorem3:
+    """Incremental delta: g*(K ++ <z>) = g*(K) + delta."""
+
+    def test_random_instances(self, rng):
+        for _ in range(60):
+            prob = make_problem(rng, max_n=6)
+            order = list(range(prob.n))
+            rng.shuffle(order)
+            kernel: list[int] = []
+            used = 0.0
+            for z in order:
+                full = kernel + [z]
+                g_kernel = access_improvement(prob, PrefetchPlan(tuple(kernel)))
+                delta = theorem3_delta(prob, kernel, z)
+                g_full = access_improvement(prob, PrefetchPlan(tuple(full)))
+                assert g_full == pytest.approx(g_kernel + delta, abs=1e-9)
+                # Only extend the kernel while it still fits (construction 1).
+                if used + prob.retrieval_times[z] <= prob.viewing_time:
+                    kernel.append(z)
+                    used += float(prob.retrieval_times[z])
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(0.5, 30.0),
+        st.floats(0.0, 1.0),
+        st.floats(-10.0, 30.0),
+    )
+    def test_incremental_gain_formula(self, p, r, mass, residual):
+        delta = incremental_gain(p, r, mass, residual)
+        assert delta == pytest.approx(p * r - mass * max(0.0, r - residual))

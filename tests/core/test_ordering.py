@@ -1,0 +1,87 @@
+"""Tests for the canonical ordering (Theorem 1 / rule 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import PrefetchPlan, PrefetchProblem, access_improvement, canonical_order, reorder_plan
+from repro.core.ordering import is_canonical, satisfies_theorem1
+from tests.conftest import make_problem, problems
+
+
+class TestCanonicalOrder:
+    @given(problems())
+    def test_is_permutation_and_canonical(self, prob):
+        order = canonical_order(prob)
+        assert sorted(order.tolist()) == list(range(prob.n))
+        assert is_canonical(prob, order)
+
+    def test_descending_probability(self):
+        prob = PrefetchProblem(np.array([0.1, 0.5, 0.4]), np.array([1.0, 1.0, 1.0]), 1.0)
+        np.testing.assert_array_equal(canonical_order(prob), [1, 2, 0])
+
+    def test_ties_broken_by_ascending_retrieval(self):
+        prob = PrefetchProblem(
+            np.array([0.25, 0.25, 0.5]), np.array([9.0, 2.0, 5.0]), 1.0
+        )
+        np.testing.assert_array_equal(canonical_order(prob), [2, 1, 0])
+
+    def test_full_ties_broken_by_id(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([3.0, 3.0]), 1.0)
+        np.testing.assert_array_equal(canonical_order(prob), [0, 1])
+
+    def test_is_canonical_rejects_non_permutation(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([3.0, 3.0]), 1.0)
+        assert not is_canonical(prob, [0, 0])
+
+
+class TestReorderPlan:
+    def test_orders_by_rule5(self):
+        prob = PrefetchProblem(
+            np.array([0.2, 0.5, 0.3]), np.array([4.0, 4.0, 4.0]), 20.0
+        )
+        plan = reorder_plan(prob, [0, 1, 2])
+        assert plan.items == (1, 2, 0)
+
+    @given(problems())
+    def test_reordering_never_reduces_gain_for_stretching_sets(self, prob):
+        """Within one item *set* whose kernel-fit constraint allows it, the
+        rule-5 order (min-probability tail) is optimal — the sound core of
+        Theorem 1's exchange argument."""
+        items = list(range(prob.n))
+        r = prob.retrieval_times
+        total = float(r.sum())
+        canonical_plan = reorder_plan(prob, items)
+        # Compare against every rotation that keeps the kernel feasible.
+        for z in items:
+            if total - float(r[z]) > prob.viewing_time:
+                continue
+            alt = PrefetchPlan(
+                tuple(i for i in canonical_plan.items if i != z) + (z,)
+            )
+            tail = canonical_plan.items[-1]
+            if total - float(r[tail]) > prob.viewing_time:
+                continue  # canonical tail infeasible: Theorem 1's blind spot
+            assert access_improvement(prob, canonical_plan) >= access_improvement(
+                prob, alt
+            ) - 1e-9
+
+
+class TestSatisfiesTheorem1:
+    def test_vacuous_for_fitting_plans(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 10.0)
+        assert satisfies_theorem1(prob, PrefetchPlan((1, 0)))
+
+    def test_detects_min_probability_tail(self, rng):
+        for _ in range(30):
+            prob = make_problem(rng, n=4, v_range=(1.0, 10.0))
+            plan = reorder_plan(prob, range(4))
+            if plan.total_retrieval(prob) > prob.viewing_time:
+                assert satisfies_theorem1(prob, plan)
+
+    def test_detects_violation(self):
+        prob = PrefetchProblem(
+            np.array([0.6, 0.4]), np.array([5.0, 5.0]), 6.0
+        )
+        # (1, 0): stretches (10 > 6) and tail 0 has max probability.
+        assert not satisfies_theorem1(prob, PrefetchPlan((1, 0)))

@@ -1,0 +1,92 @@
+"""Tests for the LP relaxation (Theorem 2) and the eq. (7) bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import PrefetchProblem, linear_relaxation, solve_skp_exact, upper_bound
+from repro.core.ordering import canonical_order
+from repro.core.relaxation import SuffixBounder
+from tests.conftest import make_problem, problems
+
+
+class TestLinearRelaxation:
+    @given(problems())
+    def test_fractions_in_unit_interval(self, prob):
+        rel = linear_relaxation(prob)
+        assert np.all(rel.fractions >= 0.0) and np.all(rel.fractions <= 1.0)
+
+    @given(problems())
+    def test_prefix_structure(self, prob):
+        """Theorem 2: whole items form a canonical prefix, one fractional."""
+        rel = linear_relaxation(prob)
+        order = canonical_order(prob)
+        x = rel.fractions[order]
+        seen_fraction = False
+        for value in x:
+            if value == 1.0 and seen_fraction:
+                pytest.fail("whole item after the break item")
+            if 0.0 < value < 1.0:
+                if seen_fraction:
+                    pytest.fail("two fractional items")
+                seen_fraction = True
+
+    @given(problems())
+    def test_capacity_saturated_or_all_taken(self, prob):
+        rel = linear_relaxation(prob)
+        used = float((rel.fractions * prob.retrieval_times).sum())
+        assert used <= prob.viewing_time + 1e-9 or np.all(rel.fractions == 1.0)
+
+    def test_value_matches_hand_computation(self):
+        prob = PrefetchProblem(
+            np.array([0.5, 0.3, 0.2]), np.array([4.0, 6.0, 2.0]), 7.0
+        )
+        rel = linear_relaxation(prob)
+        # canonical: item0 (4), item1 (6): item0 whole, item1 fractional 3/6
+        assert rel.value == pytest.approx(0.5 * 4 + (3 / 6) * 0.3 * 6)
+        assert rel.break_item == 1
+
+    def test_everything_fits(self):
+        prob = PrefetchProblem(np.array([0.6, 0.4]), np.array([2.0, 3.0]), 10.0)
+        rel = linear_relaxation(prob)
+        assert rel.value == pytest.approx(0.6 * 2 + 0.4 * 3)
+        assert rel.break_item is None
+
+
+class TestUpperBound:
+    @given(problems())
+    def test_dominates_exact_optimum(self, prob):
+        assert upper_bound(prob) >= solve_skp_exact(prob).gain - 1e-9
+
+    def test_zero_viewing_time_gives_zero_bound(self):
+        prob = PrefetchProblem(np.array([1.0]), np.array([5.0]), 0.0)
+        assert upper_bound(prob) == 0.0
+
+
+class TestSuffixBounder:
+    def _naive_bound(self, p, r, start, capacity):
+        value = 0.0
+        for k in range(start, len(p)):
+            if capacity <= 0:
+                break
+            if r[k] <= capacity:
+                value += p[k] * r[k]
+                capacity -= r[k]
+            else:
+                value += capacity * p[k]
+                capacity = 0.0
+        return value
+
+    def test_matches_naive_implementation(self, rng):
+        for _ in range(50):
+            prob = make_problem(rng, max_n=8)
+            order = canonical_order(prob)
+            p = prob.probabilities[order]
+            r = prob.retrieval_times[order]
+            bounder = SuffixBounder(p, r)
+            for start in range(prob.n + 1):
+                for capacity in [0.0, 1.0, 7.3, 100.0, -2.0]:
+                    naive = self._naive_bound(p, r, start, max(0.0, capacity))
+                    assert bounder.bound(start, capacity) == pytest.approx(
+                        naive, abs=1e-9
+                    )

@@ -1,0 +1,109 @@
+"""Unit tests for problem/plan types and their validation."""
+
+import numpy as np
+import pytest
+
+from repro import PrefetchPlan, PrefetchProblem
+
+
+class TestPrefetchProblem:
+    def test_basic_construction(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 3.0)
+        assert prob.n == 2
+        assert prob.viewing_time == 3.0
+        assert prob.residual_mass == pytest.approx(0.0)
+
+    def test_residual_mass(self):
+        prob = PrefetchProblem(np.array([0.25, 0.25]), np.array([1.0, 2.0]), 3.0)
+        assert prob.residual_mass == pytest.approx(0.5)
+
+    def test_probabilities_must_not_exceed_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            PrefetchProblem(np.array([0.7, 0.7]), np.array([1.0, 2.0]), 3.0)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PrefetchProblem(np.array([-0.1, 0.5]), np.array([1.0, 2.0]), 3.0)
+
+    def test_nan_probability_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            PrefetchProblem(np.array([np.nan, 0.5]), np.array([1.0, 2.0]), 3.0)
+
+    def test_nonpositive_retrieval_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PrefetchProblem(np.array([0.5, 0.5]), np.array([0.0, 2.0]), 3.0)
+
+    def test_negative_viewing_time_rejected(self):
+        with pytest.raises(ValueError, match="viewing_time"):
+            PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), -1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0]), 3.0)
+
+    def test_arrays_are_immutable(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 3.0)
+        with pytest.raises(ValueError):
+            prob.probabilities[0] = 0.9
+
+    def test_input_arrays_are_copied(self):
+        p = np.array([0.5, 0.5])
+        prob = PrefetchProblem(p, np.array([1.0, 2.0]), 3.0)
+        p[0] = 0.9
+        assert prob.probabilities[0] == pytest.approx(0.5)
+
+    def test_profit(self):
+        prob = PrefetchProblem(np.array([0.5, 0.25]), np.array([4.0, 8.0]), 3.0)
+        assert prob.profit(0) == pytest.approx(2.0)
+        assert prob.profit(1) == pytest.approx(2.0)
+        np.testing.assert_allclose(prob.profits(), [2.0, 2.0])
+
+    def test_subproblem_keeps_probabilities_as_residual(self):
+        prob = PrefetchProblem(np.array([0.5, 0.3, 0.2]), np.array([1.0, 2.0, 3.0]), 3.0)
+        sub = prob.subproblem([0, 2])
+        assert sub.n == 2
+        np.testing.assert_allclose(sub.probabilities, [0.5, 0.2])
+        assert sub.residual_mass == pytest.approx(0.3)
+
+
+class TestPrefetchPlan:
+    def test_empty_plan(self):
+        plan = PrefetchPlan(())
+        assert plan.is_empty
+        assert plan.tail is None
+        assert plan.kernel == ()
+        assert len(plan) == 0
+
+    def test_kernel_and_tail(self):
+        plan = PrefetchPlan((3, 1, 2))
+        assert plan.kernel == (3, 1)
+        assert plan.tail == 2
+        assert list(plan) == [3, 1, 2]
+        assert 1 in plan and 9 not in plan
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PrefetchPlan((1, 1))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PrefetchPlan((-1,))
+
+    def test_total_retrieval(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.5, 2.5]), 3.0)
+        assert PrefetchPlan((0, 1)).total_retrieval(prob) == pytest.approx(4.0)
+
+    def test_validate_against_rejects_unknown_items(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 2.0]), 3.0)
+        with pytest.raises(ValueError, match="outside problem"):
+            PrefetchPlan((5,)).validate_against(prob)
+
+    def test_validate_against_rejects_overrunning_kernel(self):
+        prob = PrefetchProblem(np.array([0.4, 0.4, 0.2]), np.array([2.0, 2.0, 1.0]), 3.0)
+        # kernel (0, 1) takes 4 > v = 3: invalid construction (1)
+        with pytest.raises(ValueError, match="kernel"):
+            PrefetchPlan((0, 1, 2)).validate_against(prob)
+
+    def test_validate_against_allows_stretching_tail(self):
+        prob = PrefetchProblem(np.array([0.4, 0.4, 0.2]), np.array([2.0, 2.0, 1.0]), 3.0)
+        PrefetchPlan((0, 2, 1)).validate_against(prob)  # kernel 0,2 = 3 <= 3

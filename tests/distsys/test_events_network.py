@@ -1,0 +1,93 @@
+"""Tests for the event queue, link and channel."""
+
+import pytest
+
+from repro.distsys import Channel, EventQueue, Link
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3.0, lambda: seen.append("c"))
+        q.schedule(1.0, lambda: seen.append("a"))
+        q.schedule(2.0, lambda: seen.append("b"))
+        q.run()
+        assert seen == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_within_timestamp(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: seen.append(1))
+        q.schedule(1.0, lambda: seen.append(2))
+        q.run()
+        assert seen == [1, 2]
+
+    def test_run_until_leaves_later_events(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: seen.append(1))
+        q.schedule(5.0, lambda: seen.append(5))
+        q.run(until=2.0)
+        assert seen == [1]
+        assert q.now == 2.0  # clock advances to the horizon
+        assert len(q) == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError, match="before now"):
+            q.schedule(0.5, lambda: None)
+
+    def test_events_may_schedule_events(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: q.schedule_in(1.0, lambda: seen.append("x")))
+        q.run()
+        assert seen == ["x"] and q.now == 2.0
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link(latency=2.0, bandwidth=4.0)
+        assert link.transfer_time(8.0) == pytest.approx(4.0)
+
+    def test_vectorised_retrievals(self):
+        import numpy as np
+
+        link = Link(latency=1.0, bandwidth=2.0)
+        out = link.retrieval_times(np.array([2.0, 4.0]))
+        assert out.tolist() == [2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(latency=-1.0)
+        with pytest.raises(ValueError):
+            Link(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            Link().transfer_time(-1.0)
+
+
+class TestChannel:
+    def test_sequential_transfers(self):
+        ch = Channel(Link(latency=0.0, bandwidth=1.0))
+        s1, c1 = ch.enqueue(0.0, 5.0)
+        s2, c2 = ch.enqueue(0.0, 3.0)
+        assert (s1, c1) == (0.0, 5.0)
+        assert (s2, c2) == (5.0, 8.0)
+
+    def test_idle_gap_not_reused(self):
+        ch = Channel(Link())
+        ch.enqueue(0.0, 1.0)
+        s, c = ch.enqueue(10.0, 1.0)  # channel idle since t=1
+        assert (s, c) == (10.0, 11.0)
+
+    def test_backlog(self):
+        ch = Channel(Link())
+        ch.enqueue(0.0, 4.0)
+        assert ch.backlog(1.0) == pytest.approx(3.0)
+        assert ch.backlog(9.0) == 0.0
+        assert ch.idle_at(4.0)
+        assert ch.total_busy_time == pytest.approx(4.0)

@@ -1,0 +1,106 @@
+"""Tests for the ensemble (mixture-of-experts) predictor."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    EnsemblePredictor,
+    FrequencyPredictor,
+    MarkovPredictor,
+    evaluate_predictor,
+)
+from repro.workload import generate_markov_source
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EnsemblePredictor([])
+
+    def test_mismatched_catalogs_rejected(self):
+        with pytest.raises(ValueError, match="catalog"):
+            EnsemblePredictor([FrequencyPredictor(3), FrequencyPredictor(4)])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one weight per member"):
+            EnsemblePredictor([FrequencyPredictor(3)], weights=[0.5, 0.5])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EnsemblePredictor([FrequencyPredictor(3)], weights=[-1.0])
+        with pytest.raises(ValueError):
+            EnsemblePredictor([FrequencyPredictor(3)], weights=[0.0])
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError, match="discount"):
+            EnsemblePredictor([FrequencyPredictor(3)], adaptive=True, discount=0.0)
+
+
+class TestPrediction:
+    def test_fixed_weights_mix_members(self):
+        freq = FrequencyPredictor(2)
+        markov = MarkovPredictor(2)
+        ens = EnsemblePredictor([freq, markov], weights=[3.0, 1.0])
+        ens.update_many([0, 0, 1])
+        expected = 0.75 * freq.predict() + 0.25 * markov.predict()
+        np.testing.assert_allclose(ens.predict(), expected)
+
+    def test_prediction_sums_to_at_most_one(self):
+        ens = EnsemblePredictor([FrequencyPredictor(4), MarkovPredictor(4)])
+        rng = np.random.default_rng(0)
+        ens.update_many(rng.integers(0, 4, 200))
+        assert ens.predict().sum() <= 1.0 + 1e-9
+
+    def test_update_propagates_to_members(self):
+        freq = FrequencyPredictor(3)
+        ens = EnsemblePredictor([freq])
+        ens.update_many([1, 1, 2])
+        np.testing.assert_allclose(freq.frequencies, [0.0, 2.0, 1.0])
+
+
+class TestAdaptive:
+    def test_adaptive_shifts_weight_to_better_member(self):
+        src = generate_markov_source(8, out_degree=(2, 3), seed=3)
+        ens = EnsemblePredictor(
+            [MarkovPredictor(8), FrequencyPredictor(8)], adaptive=True
+        )
+        ens.update_many(src.walk(3000, rng=1))
+        credit = ens._credit
+        assert credit[0] > credit[1]  # Markov dominates on a Markov stream
+
+    def test_adaptive_ensemble_between_its_members(self):
+        """The mixture must clearly beat its worse member and stay within a
+        modest margin of its best member (it dilutes the best model by the
+        credit still assigned to the other)."""
+        src = generate_markov_source(10, out_degree=(2, 4), seed=5)
+        stream = list(src.walk(3000, rng=2))
+        markov = evaluate_predictor(MarkovPredictor(10), stream, warmup=500)
+        freq = evaluate_predictor(FrequencyPredictor(10), stream, warmup=500)
+        ens = evaluate_predictor(
+            EnsemblePredictor(
+                [MarkovPredictor(10), FrequencyPredictor(10)], adaptive=True
+            ),
+            stream,
+            warmup=500,
+        )
+        assert ens.mean_assigned_probability > freq.mean_assigned_probability
+        assert ens.mean_assigned_probability > 0.8 * markov.mean_assigned_probability
+
+    def test_adaptive_beats_fixed_uniform_weights(self):
+        """Credit tracking should outperform a 50/50 blend on a stream where
+        one member is clearly better."""
+        src = generate_markov_source(10, out_degree=(2, 4), seed=5)
+        stream = list(src.walk(3000, rng=2))
+        fixed = evaluate_predictor(
+            EnsemblePredictor([MarkovPredictor(10), FrequencyPredictor(10)]),
+            stream,
+            warmup=500,
+        )
+        adaptive = evaluate_predictor(
+            EnsemblePredictor(
+                [MarkovPredictor(10), FrequencyPredictor(10)], adaptive=True
+            ),
+            stream,
+            warmup=500,
+        )
+        assert adaptive.mean_assigned_probability > fixed.mean_assigned_probability

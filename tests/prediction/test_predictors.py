@@ -1,0 +1,147 @@
+"""Tests for the access predictors and their evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    DependencyGraphPredictor,
+    FrequencyPredictor,
+    MarkovPredictor,
+    PPMPredictor,
+    evaluate_predictor,
+)
+from repro.workload import generate_markov_source
+
+
+class TestMarkovPredictor:
+    def test_prediction_sums_to_at_most_one(self):
+        pred = MarkovPredictor(5)
+        for item in [0, 1, 0, 2, 0, 1]:
+            pred.update(item)
+        p = pred.predict()
+        assert p.sum() <= 1.0 + 1e-12
+        assert np.all(p >= 0)
+
+    def test_cold_start_predicts_nothing(self):
+        pred = MarkovPredictor(4)
+        assert pred.predict().sum() == 0.0
+        pred.update(2)  # one access, no transition yet
+        assert pred.predict().sum() == 0.0
+
+    def test_learns_deterministic_chain(self):
+        pred = MarkovPredictor(3)
+        for item in [0, 1, 2] * 20:
+            pred.update(item)
+        # currently at 2; next is always 0
+        np.testing.assert_allclose(pred.predict(), [1.0, 0.0, 0.0])
+
+    def test_converges_to_true_rows(self):
+        src = generate_markov_source(8, out_degree=(2, 4), seed=0)
+        pred = MarkovPredictor(8)
+        pred.update_many(src.walk(30000, rng=1))
+        est = pred.transition_estimate()
+        visited = est.sum(axis=1) > 0
+        np.testing.assert_allclose(
+            est[visited], src.transition[visited], atol=0.05
+        )
+
+    def test_smoothing_spreads_mass(self):
+        pred = MarkovPredictor(3, smoothing=1.0)
+        pred.update_many([0, 1, 0, 1])
+        p = pred.predict()  # at 1
+        assert np.all(p > 0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_invalid_item_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(3).update(3)
+
+
+class TestPPMPredictor:
+    def test_order_zero_reduces_to_frequency(self):
+        ppm = PPMPredictor(3, order=0)
+        freq = FrequencyPredictor(3)
+        stream = [0, 1, 1, 2, 1, 0, 1]
+        for item in stream:
+            ppm.update(item)
+            freq.update(item)
+        # PPM-C order 0 is frequency-with-escape: proportional to counts.
+        p_ppm = ppm.predict()
+        p_freq = freq.predict()
+        np.testing.assert_allclose(
+            p_ppm / p_ppm.sum(), p_freq, atol=1e-9
+        )
+
+    def test_prediction_sums_to_at_most_one(self):
+        ppm = PPMPredictor(6, order=3)
+        rng = np.random.default_rng(0)
+        ppm.update_many(rng.integers(0, 6, 300))
+        assert ppm.predict().sum() <= 1.0 + 1e-9
+
+    def test_higher_order_sharpens_on_periodic_stream(self):
+        # Period-3 stream: order-2 contexts are deterministic.
+        stream = [0, 1, 2] * 30
+        low = PPMPredictor(3, order=0)
+        high = PPMPredictor(3, order=2)
+        low.update_many(stream)
+        high.update_many(stream)
+        assert high.predict()[0] > low.predict()[0]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            PPMPredictor(3, order=-1)
+
+
+class TestDependencyGraphPredictor:
+    def test_window_captures_skip_links(self):
+        # With window 2, pattern a..b means b is counted after both a and the
+        # item between them.
+        pred = DependencyGraphPredictor(4, window=2)
+        pred.update_many([0, 1, 2] * 25)
+        p_from_2 = pred.predict()  # current = 2
+        assert p_from_2[0] > 0  # direct successor
+        assert p_from_2[1] > 0  # window-2 successor
+
+    def test_prediction_is_distribution_like(self):
+        pred = DependencyGraphPredictor(5, window=3)
+        rng = np.random.default_rng(1)
+        pred.update_many(rng.integers(0, 5, 400))
+        p = pred.predict()
+        assert p.sum() <= 1.0 + 1e-9
+        assert np.all(p >= 0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DependencyGraphPredictor(3, window=0)
+
+
+class TestFrequencyPredictor:
+    def test_matches_empirical_shares(self):
+        pred = FrequencyPredictor(3)
+        pred.update_many([0, 0, 0, 1])
+        np.testing.assert_allclose(pred.predict(), [0.75, 0.25, 0.0])
+
+    def test_frequencies_exposed_for_arbitration(self):
+        pred = FrequencyPredictor(3)
+        pred.update_many([2, 2, 1])
+        np.testing.assert_allclose(pred.frequencies, [0.0, 1.0, 2.0])
+
+
+class TestEvaluation:
+    def test_markov_beats_frequency_on_markov_stream(self):
+        src = generate_markov_source(12, out_degree=(2, 3), seed=3)
+        stream = list(src.walk(4000, rng=5))
+        markov_score = evaluate_predictor(MarkovPredictor(12), stream, warmup=500)
+        freq_score = evaluate_predictor(FrequencyPredictor(12), stream, warmup=500)
+        assert markov_score.top1_hit_rate > freq_score.top1_hit_rate
+        assert markov_score.mean_log_loss < freq_score.mean_log_loss
+
+    def test_empty_evaluation(self):
+        score = evaluate_predictor(FrequencyPredictor(3), [])
+        assert score.evaluated == 0
+
+    def test_prequential_no_leakage(self):
+        # Scoring happens before the update: a predictor that has seen only
+        # item 0 cannot predict item 1 on its first appearance.
+        score = evaluate_predictor(FrequencyPredictor(2), [0, 1], warmup=1)
+        assert score.mean_assigned_probability == pytest.approx(0.0)

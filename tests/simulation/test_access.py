@@ -1,0 +1,74 @@
+"""Tests for the single-access outcome model, including the key identity:
+E[access_outcome] over requests == the closed-form expectation."""
+
+import numpy as np
+import pytest
+
+from repro import PrefetchPlan, PrefetchProblem, expected_access_time_with_plan
+from repro.simulation import HitKind, access_outcome
+from tests.conftest import make_problem
+
+
+def problem(p, r, v):
+    return PrefetchProblem(np.asarray(p, float), np.asarray(r, float), v)
+
+
+class TestCases:
+    def setup_method(self):
+        # v=10, plan (0, 1): r = (6, 8) -> stretch 4.
+        self.prob = problem([0.2, 0.3, 0.4, 0.1], [6.0, 8.0, 10.0, 2.0], 10.0)
+        self.plan = PrefetchPlan((0, 1))
+
+    def test_kernel_hit(self):
+        out = access_outcome(self.prob, self.plan, 0)
+        assert out.access_time == 0.0 and out.kind == HitKind.KERNEL
+
+    def test_tail_wait(self):
+        out = access_outcome(self.prob, self.plan, 1)
+        assert out.access_time == pytest.approx(4.0) and out.kind == HitKind.TAIL
+
+    def test_miss_pays_stretch_plus_retrieval(self):
+        out = access_outcome(self.prob, self.plan, 2)
+        assert out.access_time == pytest.approx(4.0 + 10.0) and out.kind == HitKind.MISS
+
+    def test_cache_hit_beats_everything(self):
+        out = access_outcome(self.prob, self.plan, 2, cached=[2])
+        assert out.access_time == 0.0 and out.kind == HitKind.CACHE
+
+    def test_ejected_item_is_a_miss(self):
+        out = access_outcome(self.prob, self.plan, 2, cached=[2], ejected=[2])
+        assert out.kind == HitKind.MISS
+
+    def test_empty_plan_is_plain_demand_fetch(self):
+        out = access_outcome(self.prob, PrefetchPlan(()), 3)
+        assert out.access_time == pytest.approx(2.0) and out.kind == HitKind.MISS
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            access_outcome(self.prob, self.plan, 9)
+
+
+class TestExpectationIdentity:
+    """Sum_i P_i * access_outcome(i) must equal the closed form, exactly."""
+
+    def test_weighted_outcomes_match_expected_value(self, rng):
+        for _ in range(40):
+            prob = make_problem(rng, n=6, total_one=True)
+            # a valid plan: canonical-ish kernel that fits + one tail
+            order = np.argsort(-prob.probabilities)
+            kernel, used = [], 0.0
+            for i in order:
+                if used + prob.retrieval_times[i] <= prob.viewing_time:
+                    kernel.append(int(i))
+                    used += float(prob.retrieval_times[i])
+            tail = [int(i) for i in order if int(i) not in kernel][:1]
+            plan = PrefetchPlan(tuple(kernel) + tuple(tail))
+            cached = [int(i) for i in range(6) if i not in plan.items][:2]
+            ejected = cached[:1]
+            weighted = sum(
+                float(prob.probabilities[i])
+                * access_outcome(prob, plan, i, cached, ejected).access_time
+                for i in range(6)
+            )
+            closed = expected_access_time_with_plan(prob, plan, cached, ejected)
+            assert weighted == pytest.approx(closed, abs=1e-9)

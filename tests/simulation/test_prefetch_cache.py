@@ -1,0 +1,123 @@
+"""Tests for the §5.3 prefetch+cache continuous simulation (Figure 7 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import FIGURE7_POLICIES, PrefetchCacheConfig, run_prefetch_cache
+from repro.workload import generate_markov_source
+
+
+def small_source(seed=2):
+    return generate_markov_source(20, out_degree=(3, 6), seed=seed)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchCacheConfig(cache_size=-1)
+        with pytest.raises(ValueError):
+            PrefetchCacheConfig(cache_size=1, planning_window="psychic")
+
+    def test_figure7_policy_table(self):
+        assert set(FIGURE7_POLICIES) == {
+            "No+Pr",
+            "KP+Pr",
+            "SKP+Pr",
+            "SKP+Pr+LFU",
+            "SKP+Pr+DS",
+        }
+
+
+class TestInvariants:
+    def test_access_times_nonnegative_and_bounded(self):
+        src = small_source()
+        res = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=5, n_requests=600, seed=1)
+        )
+        assert np.all(res.access_times >= 0.0)
+        # A miss can pay the carried-over stretch plus its own retrieval,
+        # but the stretch itself is bounded by one planning window's worth of
+        # transfers; sanity-bound generously.
+        assert res.access_times.max() < 10 * src.retrieval_times.max() + src.viewing_times.max()
+
+    def test_request_count_respected(self):
+        src = small_source()
+        res = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=3, n_requests=123, seed=0)
+        )
+        assert res.access_times.shape == (123,)
+        assert sum(res.hit_counts.values()) == 123
+
+    def test_zero_cache_still_runs(self):
+        src = small_source()
+        res = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=0, n_requests=200, seed=0)
+        )
+        # nothing can be cached or prefetched: every access is a miss
+        assert res.hit_counts["cache-hit"] == 0
+        assert res.prefetches_scheduled == 0
+
+    def test_deterministic_given_seed(self):
+        src = small_source()
+        cfg = PrefetchCacheConfig(cache_size=4, n_requests=300, seed=9)
+        a = run_prefetch_cache(src, cfg)
+        b = run_prefetch_cache(src, cfg)
+        np.testing.assert_array_equal(a.access_times, b.access_times)
+
+    def test_no_prefetch_policy_never_schedules(self):
+        src = small_source()
+        res = run_prefetch_cache(
+            src,
+            PrefetchCacheConfig(cache_size=4, n_requests=300, strategy="none", seed=3),
+        )
+        assert res.prefetches_scheduled == 0
+        assert res.network_prefetch_time == 0.0
+
+    def test_full_catalog_cache_converges_to_zero(self):
+        """With the cache as large as the catalog, after warm-up every
+        request hits: mean access time approaches 0 (Figure 7's right edge)."""
+        src = small_source()
+        res = run_prefetch_cache(
+            src,
+            PrefetchCacheConfig(cache_size=20, n_requests=2000, strategy="skp", seed=4),
+        )
+        tail = res.access_times[1000:]
+        assert tail.mean() < 0.5
+
+    def test_effective_window_never_schedules_more_than_nominal(self):
+        src = small_source()
+        nominal = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=5, n_requests=500, seed=6)
+        )
+        effective = run_prefetch_cache(
+            src,
+            PrefetchCacheConfig(
+                cache_size=5, n_requests=500, seed=6, planning_window="effective"
+            ),
+        )
+        assert effective.network_prefetch_time <= nominal.network_prefetch_time + 1e-9
+
+
+class TestPolicyOrdering:
+    """The Figure 7 qualitative result at a mid-size cache."""
+
+    def test_prefetching_beats_no_prefetch(self):
+        src = generate_markov_source(40, out_degree=(4, 8), seed=5)
+        results = {}
+        for name in ("No+Pr", "SKP+Pr", "SKP+Pr+DS"):
+            cfg = PrefetchCacheConfig(
+                cache_size=8, n_requests=1200, seed=11, **FIGURE7_POLICIES[name]
+            )
+            results[name] = run_prefetch_cache(src, cfg).mean_access_time
+        assert results["SKP+Pr"] < results["No+Pr"]
+        assert results["SKP+Pr+DS"] < results["No+Pr"]
+
+    def test_larger_cache_never_much_worse(self):
+        src = small_source()
+        small = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=2, n_requests=1000, seed=8)
+        ).mean_access_time
+        large = run_prefetch_cache(
+            src, PrefetchCacheConfig(cache_size=16, n_requests=1000, seed=8)
+        ).mean_access_time
+        assert large < small

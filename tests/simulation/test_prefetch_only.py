@@ -1,0 +1,112 @@
+"""Tests for the §4.4 prefetch-only simulation (Figures 4–5 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    KPPrefetch,
+    NoPrefetch,
+    PerfectPrefetch,
+    PrefetchOnlyConfig,
+    SKPPrefetch,
+    policy_by_name,
+    run_prefetch_only,
+)
+from repro.workload import generate_scenarios
+
+
+def quick(method="skewy", iterations=800, n=10, seed=3):
+    return PrefetchOnlyConfig(n=n, iterations=iterations, method=method, seed=seed)
+
+
+class TestPolicies:
+    def test_policy_by_name(self):
+        assert policy_by_name("no").name == "no prefetch"
+        assert policy_by_name("kp").name == "KP prefetch"
+        assert policy_by_name("skp").name == "SKP prefetch"
+        assert policy_by_name("skp-faithful").name == "SKP prefetch (faithful)"
+        assert policy_by_name("skp-exact").name == "SKP prefetch (exact)"
+        assert policy_by_name("perfect").requires_oracle
+        with pytest.raises(ValueError):
+            policy_by_name("psychic")
+
+    def test_perfect_requires_oracle(self):
+        from repro import PrefetchProblem
+
+        prob = PrefetchProblem(np.array([1.0]), np.array([2.0]), 1.0)
+        with pytest.raises(RuntimeError):
+            PerfectPrefetch().select(prob)
+        assert PerfectPrefetch().select_with_oracle(prob, 0).items == (0,)
+
+
+class TestRun:
+    def test_no_prefetch_time_equals_retrieval_of_request(self):
+        cfg = quick(iterations=200)
+        scen = generate_scenarios(200, 10, method="skewy", seed=3)
+        res = run_prefetch_only(cfg, [NoPrefetch()], scenarios=scen)
+        expected = scen.retrieval_times[np.arange(200), scen.requests]
+        np.testing.assert_allclose(res.by_name("no prefetch").access_times, expected)
+
+    def test_perfect_prefetch_time_is_clipped_stretch(self):
+        cfg = quick(iterations=200)
+        scen = generate_scenarios(200, 10, method="skewy", seed=3)
+        res = run_prefetch_only(cfg, [PerfectPrefetch()], scenarios=scen)
+        expected = np.maximum(
+            0.0,
+            scen.retrieval_times[np.arange(200), scen.requests] - scen.viewing_times,
+        )
+        np.testing.assert_allclose(
+            res.by_name("perfect prefetch").access_times, expected
+        )
+
+    def test_paper_ordering_skewy(self):
+        """Figure 5(a): perfect <= SKP <= KP <= no prefetch on average."""
+        res = run_prefetch_only(
+            quick(iterations=1500),
+            [NoPrefetch(), KPPrefetch(), SKPPrefetch(), PerfectPrefetch()],
+        )
+        m = {s.name: s.mean() for s in res.series}
+        assert m["perfect prefetch"] <= m["SKP prefetch"] + 1e-9
+        assert m["SKP prefetch"] <= m["KP prefetch"] + 1e-9
+        assert m["KP prefetch"] <= m["no prefetch"] + 1e-9
+        # and prefetching must actually help substantially on skewy
+        assert m["SKP prefetch"] < 0.5 * m["no prefetch"]
+
+    def test_flat_method_skp_and_kp_nearly_identical(self):
+        """Figure 5(b): with flat probabilities the two are almost the same."""
+        res = run_prefetch_only(
+            quick(method="flat", iterations=1500), [KPPrefetch(), SKPPrefetch()]
+        )
+        kp = res.by_name("KP prefetch").mean()
+        skp = res.by_name("SKP prefetch").mean()
+        assert abs(kp - skp) < 0.15 * kp
+
+    def test_skp_stretch_can_exceed_max_retrieval(self):
+        """Figure 4(a): SKP points can exceed max r (stretch penalty) ..."""
+        res = run_prefetch_only(quick(iterations=1500), [SKPPrefetch(), KPPrefetch()])
+        assert res.by_name("SKP prefetch").access_times.max() > 30.0
+        # ... while KP never pays more than stretch-free demand fetch.
+        assert res.by_name("KP prefetch").access_times.max() <= 30.0 + 1e-9
+
+    def test_more_items_increase_access_time(self):
+        """§4.4: moving from n=10 to n=25 raises the average access time."""
+        r10 = run_prefetch_only(quick(iterations=1200, n=10), [SKPPrefetch()])
+        r25 = run_prefetch_only(quick(iterations=1200, n=25), [SKPPrefetch()])
+        assert (
+            r25.by_name("SKP prefetch").mean() > r10.by_name("SKP prefetch").mean()
+        )
+
+    def test_binned_series_shape(self):
+        res = run_prefetch_only(quick(iterations=400), [NoPrefetch()])
+        edges = np.linspace(0.0, 50.0, 26)
+        series = res.binned("no prefetch", edges)
+        assert series.centers.shape == (25,)
+        assert series.counts.sum() <= 400
+
+    def test_deterministic_given_seed(self):
+        a = run_prefetch_only(quick(iterations=150), [SKPPrefetch()])
+        b = run_prefetch_only(quick(iterations=150), [SKPPrefetch()])
+        np.testing.assert_array_equal(
+            a.by_name("SKP prefetch").access_times,
+            b.by_name("SKP prefetch").access_times,
+        )

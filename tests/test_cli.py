@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == __import__("repro").__version__
+
+    def test_solve(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--probabilities",
+                "0.55,0.2,0.15,0.1",
+                "--retrievals",
+                "18,6,4,2",
+                "--viewing-time",
+                "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SKP  plan (0,)" in out
+        assert "upper bound" in out
+
+    def test_solve_faithful_variant(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--probabilities",
+                "0.5,0.5",
+                "--retrievals",
+                "3,4",
+                "--viewing-time",
+                "10",
+                "--variant",
+                "faithful",
+            ]
+        )
+        assert code == 0
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--iterations", "150", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("no prefetch", "KP prefetch", "SKP prefetch", "perfect prefetch"):
+            assert name in out
+
+    def test_figure7_point(self, capsys):
+        code = main(
+            ["figure7", "--policy", "SKP+Pr+DS", "--cache-size", "5", "--requests", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean T" in out
+
+    def test_figure7_unknown_policy(self, capsys):
+        assert main(["figure7", "--policy", "Magic"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

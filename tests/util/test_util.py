@@ -1,0 +1,91 @@
+"""Tests for the shared utility layer (rng, listops, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    as_generator,
+    check_nonnegative_scalar,
+    check_positive_vector,
+    check_probability_vector,
+    concat,
+    exclude,
+    last,
+    spawn_generators,
+    without,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_as_generator_passes_through_generators(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(7, 3)
+        assert len(gens) == 3
+        draws = [g.random(4).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [g.random(3).tolist() for g in spawn_generators(1, 2)]
+        b = [g.random(3).tolist() for g in spawn_generators(1, 2)]
+        assert a == b
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestListOps:
+    def test_concat(self):
+        assert concat([1, 2], (3,), []) == (1, 2, 3)
+
+    def test_without(self):
+        assert without((1, 2, 3, 2), [2]) == (1, 3)
+
+    def test_exclude(self):
+        assert exclude(5, [1, 3]) == (0, 2, 4)
+
+    def test_exclude_out_of_universe(self):
+        with pytest.raises(ValueError):
+            exclude(3, [5])
+
+    def test_last(self):
+        assert last((4, 9)) == 9
+        with pytest.raises(ValueError):
+            last(())
+
+
+class TestValidation:
+    def test_probability_vector_accepts_partial_mass(self):
+        out = check_probability_vector(np.array([0.2, 0.3]))
+        assert out.dtype == np.float64
+
+    def test_probability_vector_total_one_flag(self):
+        check_probability_vector(np.array([0.5, 0.5]), require_total_one=True)
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector(np.array([0.2, 0.3]), require_total_one=True)
+
+    def test_probability_vector_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_probability_vector(np.zeros((2, 2)))
+
+    def test_positive_vector(self):
+        check_positive_vector(np.array([0.1, 5.0]))
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_vector(np.array([0.0]))
+        with pytest.raises(ValueError, match="finite"):
+            check_positive_vector(np.array([np.inf]))
+
+    def test_nonnegative_scalar(self):
+        assert check_nonnegative_scalar(0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative_scalar(-1.0)
+        with pytest.raises(ValueError):
+            check_nonnegative_scalar(float("nan"))

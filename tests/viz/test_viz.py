@@ -1,0 +1,70 @@
+"""Tests for ASCII plotting and CSV output."""
+
+import numpy as np
+import pytest
+
+from repro.viz import line_plot, scatter, write_rows, write_series
+
+
+class TestScatter:
+    def test_contains_marks_and_labels(self):
+        out = scatter(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([1.0, 4.0, 9.0]),
+            title="T vs v",
+            x_label="v",
+            y_label="T",
+        )
+        assert "T vs v" in out
+        assert "·" in out
+        assert "(v →, T ↑)" in out
+
+    def test_clipping_respects_bounds(self):
+        out = scatter(
+            np.array([1.0, 100.0]),
+            np.array([1.0, 100.0]),
+            x_max=10.0,
+            y_max=10.0,
+        )
+        # only one point remains inside the window
+        assert out.count("·") == 1
+
+    def test_non_finite_points_skipped(self):
+        out = scatter(np.array([1.0, np.nan]), np.array([1.0, 2.0]))
+        assert out.count("·") == 1
+
+
+class TestLinePlot:
+    def test_legend_and_series_marks(self):
+        x = np.linspace(0, 10, 20)
+        out = line_plot(
+            x,
+            {"alpha": x * 0.5, "beta": x * 1.5},
+            title="demo",
+        )
+        assert "o=alpha" in out and "x=beta" in out
+        assert out.count("o") >= 10
+
+    def test_nan_values_skipped(self):
+        x = np.array([0.0, 1.0, 2.0])
+        out = line_plot(x, {"s": np.array([1.0, np.nan, 2.0])})
+        assert "s" in out
+
+
+class TestCSV:
+    def test_write_series_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "series.csv"
+        x = np.array([1.0, 2.0])
+        write_series(path, "v", x, {"a": np.array([3.0, 4.0]), "b": np.array([5.0, 6.0])})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "v,a,b"
+        assert lines[1] == "1,3,5"
+
+    def test_write_series_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="length"):
+            write_series(tmp_path / "x.csv", "v", np.array([1.0]), {"a": np.array([1.0, 2.0])})
+
+    def test_write_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows(path, ["a", "b"], [[1, 2], ["x", "y"]])
+        assert path.read_text() == "a,b\n1,2\nx,y\n"

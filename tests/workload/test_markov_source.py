@@ -1,0 +1,84 @@
+"""Tests for the §5.3 Markov request source."""
+
+import numpy as np
+import pytest
+
+from repro.workload import MarkovSource, generate_markov_source, record_markov_trace
+
+
+class TestGeneration:
+    def test_paper_parameters(self):
+        src = generate_markov_source(100, seed=0)
+        assert src.n == 100
+        np.testing.assert_allclose(src.transition.sum(axis=1), 1.0, atol=1e-12)
+        degrees = (src.transition > 0).sum(axis=1)
+        assert np.all((degrees >= 10) & (degrees <= 20))
+        assert np.all((src.viewing_times >= 1.0) & (src.viewing_times <= 100.0))
+        assert np.all((src.retrieval_times >= 1.0) & (src.retrieval_times <= 30.0))
+
+    def test_determinism(self):
+        a = generate_markov_source(30, seed=4)
+        b = generate_markov_source(30, seed=4)
+        np.testing.assert_array_equal(a.transition, b.transition)
+
+    def test_invalid_out_degree(self):
+        with pytest.raises(ValueError, match="out_degree"):
+            generate_markov_source(5, out_degree=(10, 20))
+
+    def test_row_and_successors(self):
+        src = generate_markov_source(40, out_degree=(3, 5), seed=1)
+        row = src.row(7)
+        succ = src.successors(7)
+        assert row.sum() == pytest.approx(1.0)
+        assert 3 <= len(succ) <= 5
+        assert np.all(row[succ] > 0)
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        t = np.array([[0.5, 0.4], [0.5, 0.5]])
+        with pytest.raises(ValueError, match="sum to 1"):
+            MarkovSource(t, np.ones(2), np.ones(2))
+
+    def test_negative_probability_rejected(self):
+        t = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovSource(t, np.ones(2), np.ones(2))
+
+    def test_mismatched_vectors_rejected(self):
+        t = np.eye(2)
+        with pytest.raises(ValueError, match="match"):
+            MarkovSource(t, np.ones(3), np.ones(2))
+
+
+class TestDynamics:
+    def test_walk_visits_only_successors(self):
+        src = generate_markov_source(25, out_degree=(2, 4), seed=3)
+        state = 0
+        for nxt in src.walk(500, rng=7, start=0):
+            assert src.transition[state, nxt] > 0.0
+            state = nxt
+
+    def test_walk_statistics_match_rows(self):
+        # Frequencies of next-state from a fixed state approximate its row.
+        src = generate_markov_source(6, out_degree=(2, 3), seed=5)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(6)
+        for _ in range(20000):
+            counts[src.step(2, rng)] += 1
+        np.testing.assert_allclose(counts / counts.sum(), src.row(2), atol=0.02)
+
+    def test_stationary_distribution_is_fixed_point(self):
+        src = generate_markov_source(15, out_degree=(3, 6), seed=9)
+        pi = src.stationary_distribution()
+        np.testing.assert_allclose(pi @ src.transition, pi, atol=1e-9)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= -1e-12)
+
+    def test_record_trace(self):
+        src = generate_markov_source(12, out_degree=(2, 4), seed=2)
+        trace = record_markov_trace(src, 100, seed=1)
+        assert len(trace) == 100
+        np.testing.assert_array_equal(
+            trace.viewing_times, src.viewing_times[trace.items]
+        )

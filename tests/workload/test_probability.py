@@ -1,0 +1,63 @@
+"""Tests for the skewy/flat probability generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import flat_probabilities, generate_probabilities, skewy_probabilities
+
+
+class TestShapes:
+    @given(st.integers(1, 200), st.integers(1, 30))
+    def test_skewy_rows_sum_to_one(self, batch, n):
+        p = skewy_probabilities(batch, n, seed=1)
+        assert p.shape == (batch, n)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(p >= 0)
+
+    @given(st.integers(1, 200), st.integers(1, 30))
+    def test_flat_rows_sum_to_one(self, batch, n):
+        p = flat_probabilities(batch, n, seed=1)
+        assert p.shape == (batch, n)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(p >= 0)
+
+    def test_single_item(self):
+        np.testing.assert_array_equal(skewy_probabilities(3, 1, seed=0), np.ones((3, 1)))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            skewy_probabilities(0, 5)
+        with pytest.raises(ValueError):
+            flat_probabilities(5, 0)
+
+    def test_dispatch(self):
+        assert generate_probabilities("skewy", 4, 3, seed=0).shape == (4, 3)
+        assert generate_probabilities("flat", 4, 3, seed=0).shape == (4, 3)
+        with pytest.raises(ValueError, match="method"):
+            generate_probabilities("steep", 4, 3)
+
+
+class TestPredictability:
+    """The point of the two methods: skewy must be far more predictable."""
+
+    def test_skewy_more_concentrated_than_flat(self):
+        n = 10
+        skewy = skewy_probabilities(4000, n, seed=11)
+        flat = flat_probabilities(4000, n, seed=11)
+        assert skewy.max(axis=1).mean() > 0.45  # stick breaking: ~0.5+
+        assert flat.max(axis=1).mean() < 0.35  # ~2/n = 0.2
+        assert skewy.max(axis=1).mean() > flat.max(axis=1).mean() + 0.2
+
+    def test_skewy_dominant_position_uniform(self):
+        """After shuffling, the dominant item must not favour low indices."""
+        p = skewy_probabilities(6000, 5, seed=3)
+        argmax = p.argmax(axis=1)
+        counts = np.bincount(argmax, minlength=5) / p.shape[0]
+        assert np.all(np.abs(counts - 0.2) < 0.05)
+
+    def test_determinism_per_seed(self):
+        a = skewy_probabilities(10, 5, seed=42)
+        b = skewy_probabilities(10, 5, seed=42)
+        np.testing.assert_array_equal(a, b)

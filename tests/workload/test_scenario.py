@@ -1,0 +1,49 @@
+"""Tests for batched scenario generation and request sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload import generate_scenarios, sample_requests
+
+
+class TestGenerateScenarios:
+    def test_shapes_and_ranges(self):
+        batch = generate_scenarios(500, 10, method="skewy", seed=0)
+        assert batch.iterations == 500
+        assert batch.n == 10
+        assert batch.probabilities.shape == (500, 10)
+        assert batch.retrieval_times.shape == (500, 10)
+        assert np.all((batch.retrieval_times >= 1.0) & (batch.retrieval_times <= 30.0))
+        assert np.all((batch.viewing_times >= 1.0) & (batch.viewing_times <= 100.0))
+        assert np.all((batch.requests >= 0) & (batch.requests < 10))
+
+    def test_problem_accessor_round_trips(self):
+        batch = generate_scenarios(5, 4, seed=1)
+        prob = batch.problem(2)
+        np.testing.assert_allclose(prob.probabilities, batch.probabilities[2])
+        np.testing.assert_allclose(prob.retrieval_times, batch.retrieval_times[2])
+        assert prob.viewing_time == batch.viewing_times[2]
+
+    def test_deterministic_per_seed(self):
+        a = generate_scenarios(20, 5, seed=9)
+        b = generate_scenarios(20, 5, seed=9)
+        np.testing.assert_array_equal(a.requests, b.requests)
+        np.testing.assert_array_equal(a.probabilities, b.probabilities)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scenarios(0, 5)
+
+
+class TestSampleRequests:
+    def test_requests_follow_distribution(self):
+        rng = np.random.default_rng(0)
+        p = np.tile(np.array([0.7, 0.2, 0.1]), (20000, 1))
+        req = sample_requests(p, rng)
+        freq = np.bincount(req, minlength=3) / req.shape[0]
+        np.testing.assert_allclose(freq, [0.7, 0.2, 0.1], atol=0.02)
+
+    def test_degenerate_distribution(self):
+        rng = np.random.default_rng(0)
+        p = np.tile(np.array([0.0, 1.0, 0.0]), (50, 1))
+        assert np.all(sample_requests(p, rng) == 1)

@@ -1,0 +1,55 @@
+"""Tests for trace record/replay and the Zipf workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload import Trace, zipf_probabilities, zipf_requests
+
+
+class TestTrace:
+    def test_round_trip_save_load(self, tmp_path):
+        trace = Trace(np.array([1, 2, 1]), np.array([3.0, 4.5, 0.25]))
+        path = tmp_path / "t.csv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        np.testing.assert_array_equal(loaded.items, trace.items)
+        np.testing.assert_allclose(loaded.viewing_times, trace.viewing_times)
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a trace"):
+            Trace.load(path)
+
+    def test_iteration_and_slicing(self):
+        trace = Trace(np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0]))
+        assert list(trace) == [(0, 1.0), (1, 2.0), (2, 3.0)]
+        assert len(trace.slice(1)) == 2
+        assert trace.n_items == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([-1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            Trace(np.array([1, 2]), np.array([1.0]))
+
+
+class TestZipf:
+    def test_probabilities_normalised_and_monotone(self):
+        p = zipf_probabilities(20, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_zero_exponent_is_uniform(self):
+        np.testing.assert_allclose(zipf_probabilities(4, 0.0), 0.25)
+
+    def test_requests_follow_head_heavy_distribution(self):
+        req = zipf_requests(20000, 50, exponent=1.2, seed=0)
+        freq = np.bincount(req, minlength=50) / 20000
+        assert freq[0] > freq[10] > freq[40]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(5, -1.0)
