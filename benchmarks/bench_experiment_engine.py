@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Benchmark the experiment engine: serial vs process-pool execution.
+
+Runs the Figure-5 preset (reduced scale) once with ``workers=1`` and once
+with one worker per available core, verifies the metric tables are
+bit-identical (the engine's common-random-numbers contract), and records
+the wall-clock speedup under ``results/bench_experiment_engine.*``.
+
+Run:  python benchmarks/bench_experiment_engine.py [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import results_path, scale
+
+
+def main() -> int:
+    from repro.experiments import default_workers, preset, run
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=scale(240, 1000))
+    parser.add_argument("--preset", default="figure5")
+    args = parser.parse_args()
+
+    spec = preset(args.preset, iterations=args.iterations)
+    workers = default_workers()
+    cells = len(spec.cells())
+    print(f"{spec.summary()}; pool size {workers}")
+
+    started = time.perf_counter()
+    serial = run(spec, workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run(spec, workers=workers)
+    parallel_s = time.perf_counter() - started
+
+    identical = serial.table() == parallel.table()
+    speedup = serial_s / parallel_s
+    lines = [
+        f"experiment engine: {spec.name} ({cells} cells × {spec.iterations} iterations)",
+        f"available cores            : {workers}",
+        f"serial (workers=1)         : {serial_s:8.2f} s",
+        f"process pool (workers={workers:2d})  : {parallel_s:8.2f} s",
+        f"speedup                    : {speedup:8.2f}x",
+        f"metric tables identical    : {identical}",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    results_path("bench_experiment_engine.txt").write_text(report + "\n")
+
+    from repro.viz.csvout import write_rows
+
+    write_rows(
+        results_path("bench_experiment_engine.csv"),
+        ["preset", "cells", "iterations", "workers", "serial_s", "parallel_s", "speedup"],
+        [[spec.name, cells, spec.iterations, workers, f"{serial_s:.3f}", f"{parallel_s:.3f}", f"{speedup:.3f}"]],
+    )
+    if not identical:
+        print("ERROR: serial and parallel tables differ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,15 +1,13 @@
 """Figure 7 — access time per request vs cache size, five policies.
 
-Paper setup: 100-state Markov source (10–20 transitions/state,
-v_i ∈ [1,100], r_i ∈ [1,30]), 50 000 requests per point, cache size swept
-1..100; curves: No+Pr, KP+Pr, SKP+Pr, SKP+Pr+LFU, SKP+Pr+DS.
-
-Reduced scale sweeps 8 cache sizes at 3 000 requests (REPRO_FULL=1 restores
-the paper's sweep).  Expected shapes (asserted):
+Thin wrapper over the ``figure7`` / ``figure7-small`` experiment presets:
+the policy × cache-size double loop of the old driver is now a spec grid
+executed by :func:`repro.experiments.run` across all cores.  This driver
+renders the sweep and asserts the paper's shapes:
 
 * access time decreases with cache size for every policy;
 * prefetching beats no-prefetch at every cache size;
-* sub-arbitration helps: ``SKP+Pr+DS <= SKP+Pr+LFU <= SKP+Pr`` in the
+* sub-arbitration helps: ``skp+pr+ds <= skp+pr+lfu <= skp+pr`` in the
   sweep-averaged ordering, with DS best overall (the paper's conclusion);
 * curves converge as the cache approaches the catalog size.
 """
@@ -18,52 +16,47 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simulation import FIGURE7_POLICIES, PrefetchCacheConfig, run_prefetch_cache
+from repro.experiments import preset, run
 from repro.viz import line_plot, write_series
-from repro.workload import generate_markov_source
 
 from _common import FULL, emit, results_path, scale
 
-SOURCE_SEED = 42
-RUN_SEED = 7
+
+def figure7_result(workers: int | None = None):
+    spec = preset("figure7" if FULL else "figure7-small", iterations=scale(3_000, 50_000))
+    return run(spec, workers=workers)
 
 
-def cache_sizes() -> np.ndarray:
-    if FULL:
-        return np.arange(1, 101)
-    return np.array([1, 5, 10, 20, 35, 50, 75, 100])
-
-
-def figure7_data():
-    source = generate_markov_source(100, seed=SOURCE_SEED)
-    n_requests = scale(3_000, 50_000)
-    sizes = cache_sizes()
-    curves: dict[str, np.ndarray] = {}
-    for name, kwargs in FIGURE7_POLICIES.items():
-        values = []
-        for size in sizes:
-            cfg = PrefetchCacheConfig(
-                cache_size=int(size), n_requests=n_requests, seed=RUN_SEED, **kwargs
-            )
-            values.append(run_prefetch_cache(source, cfg).mean_access_time)
-        curves[name] = np.asarray(values)
+def figure7_curves(result):
+    """(cache sizes, {pipeline: mean access time per size})."""
+    sizes = np.asarray(result.spec.grid["cache_size"], dtype=float)
+    curves = {
+        policy: np.array(
+            [
+                result.cell(policy=policy, cache_size=size).metrics["mean_access_time"]
+                for size in result.spec.grid["cache_size"]
+            ]
+        )
+        for policy in result.spec.grid["policy"]
+    }
     return sizes, curves
 
 
 def test_figure7(benchmark):
-    sizes, curves = figure7_data()
+    result = figure7_result()
+    sizes, curves = figure7_curves(result)
 
     emit(
         "figure7.txt",
         line_plot(
-            sizes.astype(float),
+            sizes,
             curves,
             title="Figure 7: access time per request vs cache size (Markov source)",
             x_label="cache size",
             y_label="avg T",
         ),
     )
-    write_series(results_path("figure7.csv"), "cache_size", sizes.astype(float), curves)
+    write_series(results_path("figure7.csv"), "cache_size", sizes, curves)
 
     print("\ncache-size sweep means (lower is better):")
     for name, values in curves.items():
@@ -73,22 +66,25 @@ def test_figure7(benchmark):
     # 1. broadly decreasing in cache size (compare first vs last point)
     for name, values in curves.items():
         assert values[-1] < values[0], name
-    # 2. prefetching beats No+Pr at every cache size
-    assert np.all(curves["SKP+Pr"] <= curves["No+Pr"] + 1e-9)
-    assert np.all(curves["KP+Pr"] <= curves["No+Pr"] + 1e-9)
+    # 2. prefetching beats no+pr at every cache size
+    assert np.all(curves["skp+pr"] <= curves["no+pr"] + 1e-9)
+    assert np.all(curves["kp+pr"] <= curves["no+pr"] + 1e-9)
     # 3. sweep-averaged ordering of the SKP family: DS best, then LFU, then Pr
     mean = {name: float(values.mean()) for name, values in curves.items()}
-    assert mean["SKP+Pr+DS"] <= mean["SKP+Pr+LFU"] + 0.05
-    assert mean["SKP+Pr+LFU"] <= mean["SKP+Pr"] + 0.05
-    assert mean["SKP+Pr+DS"] == min(mean.values())
-    # 4. convergence at full catalog: all policies near each other
-    last = np.array([values[-1] for values in curves.values() if True])
-    prefetching_last = [v[-1] for k, v in curves.items() if k != "No+Pr"]
+    assert mean["skp+pr+ds"] <= mean["skp+pr+lfu"] + 0.05
+    assert mean["skp+pr+lfu"] <= mean["skp+pr"] + 0.05
+    assert mean["skp+pr+ds"] == min(mean.values())
+    # 4. convergence at full catalog: all prefetching policies near each other
+    prefetching_last = [v[-1] for k, v in curves.items() if k != "no+pr"]
     assert max(prefetching_last) - min(prefetching_last) < 1.0
 
     # --- timed kernel: one small point -------------------------------------
-    source = generate_markov_source(100, seed=SOURCE_SEED)
-    cfg = PrefetchCacheConfig(cache_size=20, n_requests=300, seed=RUN_SEED)
-    benchmark(lambda: run_prefetch_cache(source, cfg))
+    kernel_spec = preset(
+        "figure7-small", iterations=300, name="figure7-kernel"
+    )
+    kernel_cell = {"policy": "skp+pr+ds", "cache_size": 20}
+    from repro.experiments import run_cell
+
+    benchmark(lambda: run_cell(kernel_spec, kernel_cell))
     for name, value in mean.items():
         benchmark.extra_info[f"mean_{name}"] = value

@@ -43,25 +43,20 @@ def figure4() -> None:
 
 
 def figure5() -> None:
-    from bench_figure5 import figure5_panel, render_panel
+    from bench_figure5 import PANELS, figure5_result, render_panel
     from _common import emit
 
-    for panel, (method, n) in {
-        "a": ("skewy", 10),
-        "b": ("flat", 10),
-        "c": ("skewy", 25),
-        "d": ("flat", 25),
-    }.items():
-        res = figure5_panel(method, n)
-        emit(f"figure5_{method}_n{n}.txt", render_panel(res, panel, method, n))
+    result = figure5_result()
+    for panel, (method, n) in PANELS.items():
+        emit(f"figure5_{method}_n{n}.txt", render_panel(result, panel, method, n))
 
 
 def figure7() -> None:
-    from bench_figure7 import figure7_data
+    from bench_figure7 import figure7_curves, figure7_result
     from _common import emit, results_path
     from repro.viz import line_plot, write_series
 
-    sizes, curves = figure7_data()
+    sizes, curves = figure7_curves(figure7_result())
     emit(
         "figure7.txt",
         line_plot(

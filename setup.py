@@ -1,7 +1,24 @@
-"""Legacy shim: lets `pip install -e .` use setup.py develop on toolchains
-without the `wheel` package (this offline environment ships setuptools 65
-only).  All metadata lives in pyproject.toml."""
+"""Packaging shim (this offline environment ships setuptools without the
+`wheel` package, so metadata lives here rather than pyproject.toml).
 
-from setuptools import setup
+Keep ``version`` in sync with ``repro.__version__``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-speculative-prefetching",
+    version="1.1.0",
+    description=(
+        "Reproduction of Tuah, Kumar & Venkatesh (IPPS/SPDP 1999): a "
+        "performance model of speculative prefetching in distributed "
+        "information systems, with a spec-driven experiment engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

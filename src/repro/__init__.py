@@ -11,7 +11,7 @@ those need (workload generators, a Markov request source, cache policies,
 access predictors, and a discrete-event distributed-information-system
 simulator).
 
-Quick start::
+Quick start — solve one instance::
 
     import numpy as np
     from repro import PrefetchProblem, solve_skp
@@ -24,8 +24,23 @@ Quick start::
     result = solve_skp(problem)
     print(result.plan.items, result.gain)
 
-See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
-full system inventory.
+Quick start — run experiments through the declarative API
+(:mod:`repro.experiments`; see ``docs/experiments.md`` for the spec schema,
+preset catalog and parallelism knobs)::
+
+    from repro.experiments import preset, run
+
+    result = run(preset("figure5-small"), workers=4)
+    print(result.format_table())
+    result.write("results")  # figure5-small.csv / figure5-small.json
+
+or, from the shell::
+
+    python -m repro experiment list
+    python -m repro experiment run figure5-small --workers 4
+
+See ``examples/quickstart.py`` for a guided tour of the model objects and
+``examples/experiment_sweep.py`` for spec-driven scenario sweeps.
 """
 
 from repro.core import (
@@ -56,7 +71,7 @@ from repro.core import (
     upper_bound,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"  # keep in sync with setup.py
 
 __all__ = [
     "__version__",

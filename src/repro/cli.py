@@ -2,28 +2,54 @@
 
 Small, dependency-free front door for the library:
 
-* ``solve``     — solve one SKP instance given on the command line;
-* ``simulate``  — run the §4.4 prefetch-only experiment and print a summary;
-* ``figure7``   — run one Figure 7 point (policy × cache size);
-* ``version``   — print the package version.
+* ``solve``      — solve one SKP instance given on the command line;
+* ``simulate``   — run the §4.4 prefetch-only experiment and print a summary;
+* ``figure7``    — run one Figure 7 point (policy × cache size);
+* ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
+  file across worker processes, ``list`` the preset/component catalogs,
+  ``describe`` one preset;
+* ``version``    — print the package version.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _float_list(parser: argparse.ArgumentParser, option: str, text: str) -> np.ndarray:
+    try:
+        return np.asarray([float(x) for x in text.split(",") if x.strip() != ""])
+    except ValueError:
+        parser.error(f"{option} must be a comma-separated list of numbers, got {text!r}")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro import PrefetchProblem, solve_kp, solve_skp, solve_skp_exact, upper_bound
 
-    p = np.asarray([float(x) for x in args.probabilities.split(",")])
-    r = np.asarray([float(x) for x in args.retrievals.split(",")])
-    problem = PrefetchProblem(p, r, args.viewing_time)
+    p = _float_list(args.parser, "--probabilities", args.probabilities)
+    r = _float_list(args.parser, "--retrievals", args.retrievals)
+    if p.shape != r.shape:
+        args.parser.error(
+            f"--probabilities has {p.shape[0]} values but --retrievals has "
+            f"{r.shape[0]}; the lists must be the same length"
+        )
+    try:
+        problem = PrefetchProblem(p, r, args.viewing_time)
+    except ValueError as exc:
+        args.parser.error(str(exc))
     kp = solve_kp(problem)
     skp = solve_skp(problem, variant=args.variant)
     exact = solve_skp_exact(problem)
@@ -79,6 +105,85 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# experiment subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_experiment_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import all_registries, preset, preset_names
+
+    print("experiment presets:")
+    for name in preset_names():
+        print(f"  {preset(name).summary()}")
+    print()
+    print("component registries:")
+    for family, registry in all_registries().items():
+        print(f"  {family:14s} {', '.join(registry.names())}")
+    return 0
+
+
+def _cmd_experiment_describe(args: argparse.Namespace) -> int:
+    from repro.experiments import PRESETS, preset
+
+    if args.name not in PRESETS:
+        args.parser.error(
+            f"unknown preset {args.name!r}; available: {', '.join(PRESETS.names())}"
+        )
+    spec = preset(args.name)
+    print(spec.summary())
+    if spec.description:
+        print(spec.description)
+    print()
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        PRESETS,
+        ExperimentSpec,
+        RegistryError,
+        default_workers,
+        preset,
+        run,
+    )
+
+    if args.spec_file is not None:
+        path = Path(args.spec_file)
+        if not path.is_file():
+            args.parser.error(f"spec file not found: {path}")
+        try:
+            spec = ExperimentSpec.from_json(path.read_text())
+        except (ValueError, RegistryError) as exc:  # bad JSON, SpecError, unknown name
+            args.parser.error(f"invalid spec file {path}: {exc}")
+    else:
+        if args.name is None:
+            args.parser.error("give a preset name or --spec-file")
+        if args.name not in PRESETS:
+            args.parser.error(
+                f"unknown preset {args.name!r}; available: {', '.join(PRESETS.names())}"
+            )
+        spec = preset(args.name)
+    spec = spec.with_overrides(iterations=args.iterations, seed=args.seed)
+
+    workers = default_workers() if args.workers is None else args.workers  # for display
+    total = len(spec.cells())
+    print(f"{spec.summary()} [workers={workers}]", file=sys.stderr)
+
+    def progress(done: int, _total: int, cell) -> None:
+        if args.quiet:
+            return
+        params = " ".join(f"{k}={v}" for k, v in cell.params.items())
+        metrics = " ".join(f"{k}={v:.4g}" for k, v in cell.metrics.items())
+        print(f"  [{done}/{total}] {params}: {metrics}", file=sys.stderr)
+
+    result = run(spec, workers=workers, progress=progress)
+    csv_path, json_path = result.write(args.output_dir)
+    print(result.format_table())
+    print(f"\nwrote {csv_path} and {json_path}")
+    return 0
+
+
 def _cmd_version(_args: argparse.Namespace) -> int:
     import repro
 
@@ -95,25 +200,52 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--retrievals", required=True, help="comma-separated r_i")
     solve.add_argument("--viewing-time", type=float, required=True)
     solve.add_argument("--variant", choices=["corrected", "faithful"], default="corrected")
-    solve.set_defaults(func=_cmd_solve)
+    solve.set_defaults(func=_cmd_solve, parser=solve)
 
     simulate = sub.add_parser("simulate", help="run the §4.4 prefetch-only experiment")
-    simulate.add_argument("--items", type=int, default=10)
-    simulate.add_argument("--iterations", type=int, default=2000)
+    simulate.add_argument("--items", type=_positive_int, default=10)
+    simulate.add_argument("--iterations", type=_positive_int, default=2000)
     simulate.add_argument("--method", choices=["skewy", "flat"], default="skewy")
     simulate.add_argument("--seed", type=int, default=0)
-    simulate.set_defaults(func=_cmd_simulate)
+    simulate.set_defaults(func=_cmd_simulate, parser=simulate)
 
     fig7 = sub.add_parser("figure7", help="run one Figure 7 point")
     fig7.add_argument("--policy", default="SKP+Pr+DS")
     fig7.add_argument("--cache-size", type=int, default=20)
-    fig7.add_argument("--requests", type=int, default=2000)
+    fig7.add_argument("--requests", type=_positive_int, default=2000)
     fig7.add_argument("--seed", type=int, default=0)
     fig7.add_argument("--source-seed", type=int, default=42)
-    fig7.set_defaults(func=_cmd_figure7)
+    fig7.set_defaults(func=_cmd_figure7, parser=fig7)
+
+    experiment = sub.add_parser(
+        "experiment", help="run/list/describe spec-driven experiments"
+    )
+    esub = experiment.add_subparsers(dest="experiment_command", required=True)
+
+    erun = esub.add_parser("run", help="execute a preset or a spec JSON file")
+    erun.add_argument("name", nargs="?", help="preset name (see `experiment list`)")
+    erun.add_argument("--spec-file", help="path to an ExperimentSpec JSON file")
+    erun.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: all cores; 1 = sequential)",
+    )
+    erun.add_argument("--output-dir", default="results", help="artifact directory")
+    erun.add_argument("--iterations", type=_positive_int, default=None)
+    erun.add_argument("--seed", type=int, default=None)
+    erun.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    erun.set_defaults(func=_cmd_experiment_run, parser=erun)
+
+    elist = esub.add_parser("list", help="list presets and registered components")
+    elist.set_defaults(func=_cmd_experiment_list, parser=elist)
+
+    edescribe = esub.add_parser("describe", help="show one preset's full spec")
+    edescribe.add_argument("name")
+    edescribe.set_defaults(func=_cmd_experiment_describe, parser=edescribe)
 
     version = sub.add_parser("version", help="print the package version")
-    version.set_defaults(func=_cmd_version)
+    version.set_defaults(func=_cmd_version, parser=version)
     return parser
 
 

@@ -68,6 +68,26 @@ class PrefetchProblem:
         object.__setattr__(self, "retrieval_times", r)
         object.__setattr__(self, "viewing_time", v)
 
+    @classmethod
+    def from_validated(
+        cls,
+        probabilities: np.ndarray,
+        retrieval_times: np.ndarray,
+        viewing_time: float,
+    ) -> "PrefetchProblem":
+        """Fast-path constructor for inputs a batch already validated.
+
+        Skips ``__post_init__`` (no re-checks, no copies), so the caller must
+        guarantee the invariants and pass read-only arrays — see
+        :meth:`repro.workload.scenario.ScenarioBatch.problems`, which
+        validates whole batches once instead of row by row in hot loops.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "probabilities", probabilities)
+        object.__setattr__(self, "retrieval_times", retrieval_times)
+        object.__setattr__(self, "viewing_time", float(viewing_time))
+        return self
+
     @property
     def n(self) -> int:
         """Number of candidate items (the paper's ``n``)."""

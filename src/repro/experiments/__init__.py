@@ -1,0 +1,68 @@
+"""`repro.experiments` — the spec-driven front door for running experiments.
+
+The subsystem has four pieces:
+
+* **registries** (:mod:`~repro.experiments.registry`) — string-keyed catalogs
+  of strategies, planner pipelines, predictors, cache policies and workload
+  sources, so specs address components by name (``"skp:corrected"``,
+  ``"ppm"``, ``"lru"``, ``"zipf"``);
+* **specs** (:mod:`~repro.experiments.spec`) — declarative, JSON-round-trip
+  :class:`ExperimentSpec` objects (workload × component grid × iterations ×
+  seed) plus the preset catalog in :mod:`~repro.experiments.presets`;
+* **engine** (:mod:`~repro.experiments.engine`) — :func:`run` expands a spec
+  into grid cells, seeds each with common random numbers, and executes them
+  sequentially or across a process pool;
+* **artifacts** (:mod:`~repro.experiments.artifacts`) — the uniform
+  :class:`ExperimentResult` with provenance and CSV/JSON writers.
+
+Typical use::
+
+    from repro.experiments import preset, run
+
+    result = run(preset("figure5-small"), workers=4)
+    result.write("results")            # figure5-small.csv / .json
+    print(result.format_table())
+"""
+
+from repro.experiments.artifacts import CellResult, ExperimentResult
+from repro.experiments.engine import default_workers, run, run_cell
+from repro.experiments.presets import PRESETS, preset, preset_names
+from repro.experiments.registry import (
+    CACHE_POLICIES,
+    PIPELINES,
+    PREDICTORS,
+    STRATEGIES,
+    WORKLOADS,
+    CacheContext,
+    DuplicateRegistrationError,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
+    all_registries,
+)
+from repro.experiments.spec import KIND_INFO, ExperimentSpec, SpecError
+
+__all__ = [
+    "CellResult",
+    "ExperimentResult",
+    "default_workers",
+    "run",
+    "run_cell",
+    "PRESETS",
+    "preset",
+    "preset_names",
+    "CACHE_POLICIES",
+    "PIPELINES",
+    "PREDICTORS",
+    "STRATEGIES",
+    "WORKLOADS",
+    "CacheContext",
+    "DuplicateRegistrationError",
+    "Registry",
+    "RegistryError",
+    "UnknownComponentError",
+    "all_registries",
+    "KIND_INFO",
+    "ExperimentSpec",
+    "SpecError",
+]

@@ -1,0 +1,151 @@
+"""Uniform experiment results: per-cell metric tables plus provenance.
+
+Every engine run returns an :class:`ExperimentResult` regardless of the
+experiment kind, so downstream code (CLI, benchmarks, plots) never needs to
+know which simulator produced the numbers.  The result carries provenance —
+spec hash, master seed, package version — sufficient to reproduce it, and
+writes itself as CSV (the metric table) or JSON (everything).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CellResult", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics of one grid cell.
+
+    ``params`` are the cell's grid-axis values; ``seed`` is the derived
+    common-random-numbers seed; ``elapsed`` is wall-clock seconds (excluded
+    from the metric table so tables are bit-identical across worker counts).
+    """
+
+    params: dict
+    metrics: dict
+    seed: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All cells of one experiment run, in grid order."""
+
+    spec: "ExperimentSpec"  # noqa: F821 - imported lazily to avoid a cycle
+    cells: tuple[CellResult, ...]
+    provenance: dict
+
+    # -- access ------------------------------------------------------------
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(self.spec.grid)
+
+    def metric_names(self) -> tuple[str, ...]:
+        return self.spec.metric_names()
+
+    def metric(self, name: str) -> list[float]:
+        """One metric across all cells, in grid order."""
+        return [float(c.metrics[name]) for c in self.cells]
+
+    def cell(self, **params) -> CellResult:
+        """The unique cell whose grid parameters match ``params``."""
+        matches = [
+            c for c in self.cells if all(c.params.get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {params!r}; need exactly 1")
+        return matches[0]
+
+    def select(self, **params) -> list[CellResult]:
+        """All cells matching the given grid parameters."""
+        return [
+            c for c in self.cells if all(c.params.get(k) == v for k, v in params.items())
+        ]
+
+    # -- tabulation --------------------------------------------------------
+    def table(self) -> tuple[list[str], list[list]]:
+        """(header, rows): grid axes then metrics — deterministic for a spec."""
+        header = list(self.axis_names()) + list(self.metric_names())
+        rows = [
+            [c.params[a] for a in self.axis_names()]
+            + [c.metrics[m] for m in self.metric_names()]
+            for c in self.cells
+        ]
+        return header, rows
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "provenance": dict(self.provenance),
+            "cells": [
+                {
+                    "params": _plain(c.params),
+                    "metrics": _plain(c.metrics),
+                    "seed": int(c.seed),
+                    "elapsed": float(c.elapsed),
+                }
+                for c in self.cells
+            ],
+        }
+
+    # -- writers -----------------------------------------------------------
+    def to_csv(self, path: str | Path) -> Path:
+        from repro.viz.csvout import write_rows
+
+        header, rows = self.table()
+        path = Path(path)
+        write_rows(path, header, [[_cell_text(v) for v in row] for row in rows])
+        return path
+
+    def to_json(self, path: str | Path, *, indent: int = 2) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=indent) + "\n")
+        return path
+
+    def write(self, directory: str | Path) -> tuple[Path, Path]:
+        """Write ``<name>.csv`` and ``<name>.json`` under ``directory``."""
+        directory = Path(directory)
+        return (
+            self.to_csv(directory / f"{self.spec.name}.csv"),
+            self.to_json(directory / f"{self.spec.name}.json"),
+        )
+
+    def format_table(self) -> str:
+        """Aligned text rendition of the metric table (CLI output)."""
+        header, rows = self.table()
+        cells = [[_cell_text(v) for v in row] for row in rows]
+        widths = [
+            max(len(header[j]), *(len(r[j]) for r in cells)) if cells else len(header[j])
+            for j in range(len(header))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[j]) for j, h in enumerate(header)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(r[j].ljust(widths[j]) for j in range(len(header))) for r in cells]
+        return "\n".join(lines)
+
+
+def _plain(mapping: dict) -> dict:
+    """JSON-safe copy: tuples become lists, numpy scalars become floats."""
+    out = {}
+    for k, v in mapping.items():
+        if isinstance(v, tuple):
+            out[k] = list(v)
+        elif hasattr(v, "item"):  # numpy scalar
+            out[k] = v.item()
+        else:
+            out[k] = v
+    return out
+
+
+def _cell_text(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, tuple):
+        return "-".join(str(v) for v in value)
+    return str(value)

@@ -1,0 +1,294 @@
+"""The experiment execution engine: expand a spec, run its cells, in parallel.
+
+:func:`run` is the single entry point for executing anything in the package.
+It expands an :class:`~repro.experiments.spec.ExperimentSpec` into grid
+cells, executes each cell with its derived common-random-numbers seed, and
+returns an :class:`~repro.experiments.artifacts.ExperimentResult`.
+
+Cells are embarrassingly parallel (each carries its own seed and shares no
+state), so ``workers > 1`` fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; the figure sweeps that were
+serial loops in the old benchmark drivers now use all cores.  Execution
+falls back to the in-process sequential path when a pool cannot be created
+(restricted environments) — results are identical either way, because every
+cell's randomness is fully determined by the spec.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+import repro
+from repro.experiments.artifacts import CellResult, ExperimentResult
+from repro.experiments.registry import (
+    CACHE_POLICIES,
+    PIPELINES,
+    PREDICTORS,
+    STRATEGIES,
+    WORKLOADS,
+    CacheContext,
+)
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["run", "run_cell", "default_workers"]
+
+#: Callback invoked after each finished cell: ``progress(done, total, cell_result)``.
+ProgressCallback = Callable[[int, int, CellResult], None]
+
+
+def default_workers() -> int:
+    """All usable cores (the engine's share-nothing cells scale linearly)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Per-kind cell runners.  Each returns the full metric dict for one cell;
+# all randomness must come from the passed seed so results are independent
+# of execution order and process placement.
+# ---------------------------------------------------------------------------
+
+def _markov_source(workload: Mapping):
+    return WORKLOADS.create(
+        "markov",
+        int(workload["states"]),
+        out_degree=(int(workload["out_min"]), int(workload["out_max"])),
+        v_range=(float(workload.get("v_min", 1.0)), float(workload.get("v_max", 100.0))),
+        r_range=(float(workload.get("r_min", 1.0)), float(workload.get("r_max", 30.0))),
+        seed=int(workload["source_seed"]),
+    )
+
+
+def _run_prefetch_only(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.simulation.prefetch_only import PrefetchOnlyConfig, run_prefetch_only
+    from repro.workload.scenario import ScenarioBatch, sample_requests
+
+    wl = spec.cell_workload(cell)
+    iters = int(spec.iterations)
+    n = int(wl["n"])
+    rng = np.random.default_rng(seed)
+    p = WORKLOADS.create(wl["source"], iters, n, rng, exponent=float(wl["exponent"]))
+    r = rng.uniform(float(wl["r_min"]), float(wl["r_max"]), size=(iters, n))
+    v = rng.uniform(float(wl["v_min"]), float(wl["v_max"]), size=iters)
+    batch = ScenarioBatch(
+        probabilities=p,
+        retrieval_times=r,
+        viewing_times=v,
+        requests=sample_requests(p, rng),
+    )
+    policy = STRATEGIES.create(str(cell["policy"]))
+    config = PrefetchOnlyConfig(
+        n=n,
+        iterations=iters,
+        method=str(wl["source"]),
+        r_range=(float(wl["r_min"]), float(wl["r_max"])),
+        v_range=(float(wl["v_min"]), float(wl["v_max"])),
+        seed=None,
+    )
+    result = run_prefetch_only(config, [policy], scenarios=batch)
+    series = result.series[0]
+    kinds = series.hit_kinds
+    return {
+        "mean_access_time": series.mean(),
+        "frac_kernel_hit": kinds.get("kernel-hit", 0) / iters,
+        "frac_tail_wait": kinds.get("tail-wait", 0) / iters,
+        "frac_miss": kinds.get("miss", 0) / iters,
+    }
+
+
+def _run_prefetch_cache(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.simulation.prefetch_cache import PrefetchCacheConfig, run_prefetch_cache
+
+    wl = spec.cell_workload(cell)
+    pipeline = dict(PIPELINES.get(str(cell["policy"])))
+    config = PrefetchCacheConfig(
+        cache_size=int(cell["cache_size"]),
+        n_requests=int(spec.iterations),
+        strategy=str(pipeline["strategy"]),
+        sub_arbitration=pipeline["sub_arbitration"],
+        skp_variant=str(wl["skp_variant"]),
+        planning_window=str(wl["planning_window"]),
+        seed=seed,
+    )
+    res = run_prefetch_cache(_markov_source(wl), config)
+    precision = res.prefetch_precision
+    return {
+        "mean_access_time": res.mean_access_time,
+        "hit_rate": res.hit_rate,
+        # A pipeline that never prefetches has undefined precision; report 0
+        # rather than NaN so metric tables stay comparable and CSV-clean.
+        "prefetch_precision": 0.0 if precision != precision else precision,
+    }
+
+
+def _run_cache_trace(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.workload.zipf import zipf_probabilities
+
+    wl = spec.cell_workload(cell)
+    rng = np.random.default_rng(seed)
+    iters = int(spec.iterations)
+    if wl["source"] == "zipf":
+        n = int(wl["n"])
+        p = zipf_probabilities(n, float(wl["exponent"]))
+        r = rng.uniform(float(wl["r_min"]), float(wl["r_max"]), size=n)
+        stream = rng.choice(n, size=iters, p=p)
+    else:  # markov
+        source = _markov_source(dict(wl, states=wl.get("n", 100)))
+        p = source.stationary_distribution()
+        r = source.retrieval_times
+        stream = np.fromiter(source.walk(iters, rng), dtype=np.intp, count=iters)
+    context = CacheContext(retrieval_times=r, probabilities=p, seed=seed % (2**32))
+    cache = CACHE_POLICIES.create(str(cell["policy"]), int(cell["cache_size"]), context)
+    for item in stream:
+        if not cache.access(int(item)):
+            cache.insert(int(item))
+    return {
+        "hit_rate": cache.stats.hit_rate,
+        "evictions": float(cache.stats.evictions),
+    }
+
+
+def _run_predictor_eval(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.prediction.evaluation import evaluate_predictor
+
+    wl = spec.cell_workload(cell)
+    source = _markov_source(wl)
+    rng = np.random.default_rng(seed)
+    stream = source.walk(int(spec.iterations), rng)
+    warmup = int(cell.get("warmup", wl["warmup"]))
+    predictor = PREDICTORS.create(str(cell["predictor"]), source.n)
+    score = evaluate_predictor(predictor, stream, warmup=warmup)
+    return {
+        "top1_hit_rate": score.top1_hit_rate,
+        "top5_hit_rate": score.top5_hit_rate,
+        "mean_assigned_probability": score.mean_assigned_probability,
+        "mean_log_loss": score.mean_log_loss,
+    }
+
+
+_KIND_RUNNERS = {
+    "prefetch-only": _run_prefetch_only,
+    "prefetch-cache": _run_prefetch_cache,
+    "cache-trace": _run_cache_trace,
+    "predictor-eval": _run_predictor_eval,
+}
+
+
+def run_cell(spec: ExperimentSpec, cell: Mapping) -> CellResult:
+    """Execute one grid cell (module-level so it pickles into worker processes)."""
+    seed = spec.cell_seed(cell)
+    started = time.perf_counter()
+    metrics = _KIND_RUNNERS[spec.kind](spec, cell, seed)
+    selected = {name: metrics[name] for name in spec.metric_names()}
+    return CellResult(
+        params=dict(cell),
+        metrics=selected,
+        seed=seed,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+def run(
+    spec: ExperimentSpec,
+    *,
+    workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Execute every cell of ``spec`` and collect the results in grid order.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` (default) uses :func:`default_workers` — one per available
+        core; ``1`` runs sequentially in-process; any value is capped at the
+        cell count.  Metric tables are identical for any worker count: each
+        cell's randomness is derived from the spec alone.
+    progress:
+        Optional ``progress(done, total, cell_result)`` callback streamed as
+        cells finish (completion order, not grid order).
+    """
+    spec.validate()
+    cells = spec.cells()
+    requested = default_workers() if workers is None else max(1, int(workers))
+    effective = min(requested, len(cells))
+    results: list[CellResult | None] = [None] * len(cells)
+
+    executed_parallel = False
+    if effective > 1:
+        executed_parallel = _run_pool(spec, cells, effective, results, progress)
+    if not executed_parallel:
+        for index, cell in enumerate(cells):
+            results[index] = run_cell(spec, cell)
+            if progress is not None:
+                progress(index + 1, len(cells), results[index])
+
+    provenance = {
+        "spec_hash": spec.spec_hash(),
+        "seed": int(spec.seed),
+        "version": repro.__version__,
+        "workers": effective if executed_parallel else 1,
+        "cells": len(cells),
+    }
+    return ExperimentResult(spec=spec, cells=tuple(results), provenance=provenance)
+
+
+def _run_pool(
+    spec: ExperimentSpec,
+    cells: list[dict],
+    workers: int,
+    results: list,
+    progress: ProgressCallback | None,
+) -> bool:
+    """Fan cells out over a process pool; False if the pool was unavailable.
+
+    Only pool *infrastructure* failures (cannot spawn workers, broken pool)
+    trigger the sequential fallback; an exception raised by a cell runner
+    propagates to the caller unchanged — falling back would just re-raise it
+    after re-running the whole grid.
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError, ImportError) as exc:
+        _warn_pool_unavailable(exc, results)
+        return False
+    try:
+        with pool:
+            futures = {
+                pool.submit(run_cell, spec, cell): index
+                for index, cell in enumerate(cells)
+            }
+            done_count = 0
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[futures[future]] = future.result()
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, len(cells), results[futures[future]])
+        return True
+    except BrokenProcessPool as exc:
+        # Worker processes died before/while running (e.g. sandboxes that
+        # forbid spawning); sequential execution produces the same numbers.
+        _warn_pool_unavailable(exc, results)
+        return False
+
+
+def _warn_pool_unavailable(exc: BaseException, results: list) -> None:
+    import warnings
+
+    warnings.warn(f"process pool unavailable ({exc}); running sequentially")
+    for index in range(len(results)):
+        results[index] = None

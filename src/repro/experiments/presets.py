@@ -1,0 +1,210 @@
+"""Named experiment presets — the catalog behind ``repro experiment run``.
+
+Each preset is a factory returning a fresh :class:`ExperimentSpec`, so
+callers can override iterations/seed without mutating shared state.  The
+paper's figures are covered by ``figure4`` / ``figure5`` / ``figure7`` (and
+fast ``-small`` variants for smoke tests and CI), and the catalog extends
+past the paper with Zipf-exponent sweeps, bandwidth (retrieval-time) sweeps,
+a cache-size × replacement-policy grid, and a predictor comparison.
+
+Figure 5's curves (average access time per viewing-time bin) are expressed
+as a ``v_bin`` grid axis: each bin is its own cell drawing ``v`` inside the
+bin, which turns the old serial binned loop into an embarrassingly parallel
+grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Registry
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+PRESETS = Registry("experiment preset")
+
+
+def preset(preset_name: str, **overrides) -> ExperimentSpec:
+    """Build the named preset spec (see :func:`preset_names`).
+
+    Keyword overrides are forwarded to
+    :meth:`ExperimentSpec.with_overrides` (``iterations``, ``seed``, ``name``).
+    """
+    spec: ExperimentSpec = PRESETS.create(preset_name)
+    return spec.with_overrides(**overrides)
+
+
+def preset_names() -> tuple[str, ...]:
+    return PRESETS.names()
+
+
+def _v_bins(lo: float, hi: float, count: int) -> tuple[tuple[float, float], ...]:
+    width = (hi - lo) / count
+    return tuple((lo + k * width, lo + (k + 1) * width) for k in range(count))
+
+
+FIGURE5_POLICIES = ("none", "kp", "skp", "skp:faithful", "perfect")
+FIGURE7_PIPELINES = ("no+pr", "kp+pr", "skp+pr", "skp+pr+lfu", "skp+pr+ds")
+
+
+@PRESETS.register("figure4")
+def _figure4() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="figure4",
+        kind="prefetch-only",
+        grid={"policy": ("skp", "kp"), "source": ("skewy", "flat")},
+        iterations=500,
+        seed=4,
+        description=(
+            "Figure 4 aggregates: SKP vs KP access times on the skewy and "
+            "flat generators, n=10 (the paper plots 500 scatter points)."
+        ),
+    )
+
+
+@PRESETS.register("figure5")
+def _figure5() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="figure5",
+        kind="prefetch-only",
+        grid={
+            "policy": FIGURE5_POLICIES,
+            "source": ("skewy", "flat"),
+            "n": (10, 25),
+            "v_bin": _v_bins(0.0, 50.0, 25),
+        },
+        iterations=1000,
+        seed=5,
+        description=(
+            "Figure 5: average access time per viewing-time bin for the four "
+            "paper curves plus the faithful-Fig-3 SKP variant, panels "
+            "(skewy/flat) × (n=10/25)."
+        ),
+    )
+
+
+@PRESETS.register("figure5-small")
+def _figure5_small() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="figure5-small",
+        kind="prefetch-only",
+        grid={
+            "policy": FIGURE5_POLICIES,
+            "v_bin": _v_bins(0.0, 50.0, 10),
+        },
+        iterations=120,
+        seed=5,
+        description="Reduced Figure 5 panel (a): skewy, n=10, 10 viewing-time bins.",
+    )
+
+
+@PRESETS.register("figure7")
+def _figure7() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="figure7",
+        kind="prefetch-cache",
+        grid={
+            "policy": FIGURE7_PIPELINES,
+            "cache_size": tuple(range(1, 101)),
+        },
+        iterations=50_000,
+        seed=7,
+        description=(
+            "Figure 7: access time per request vs cache size on the 100-state "
+            "Markov source, five planner pipelines, full paper sweep."
+        ),
+    )
+
+
+@PRESETS.register("figure7-small")
+def _figure7_small() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="figure7-small",
+        kind="prefetch-cache",
+        grid={
+            "policy": FIGURE7_PIPELINES,
+            "cache_size": (1, 5, 10, 20, 35, 50, 75, 100),
+        },
+        iterations=1500,
+        seed=7,
+        description="Reduced Figure 7: 8 cache sizes at 1500 requests per point.",
+    )
+
+
+@PRESETS.register("zipf-sweep")
+def _zipf_sweep() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="zipf-sweep",
+        kind="prefetch-only",
+        workload={"source": "zipf", "n": 15},
+        grid={
+            "policy": ("none", "kp", "skp", "perfect"),
+            "exponent": (0.5, 0.8, 1.0, 1.2, 1.5),
+        },
+        iterations=2000,
+        seed=11,
+        description=(
+            "Beyond the paper: policy comparison as catalog popularity skews "
+            "from near-flat (α=0.5) to heavy-tailed (α=1.5)."
+        ),
+    )
+
+
+@PRESETS.register("bandwidth-sweep")
+def _bandwidth_sweep() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bandwidth-sweep",
+        kind="prefetch-only",
+        grid={
+            "policy": ("kp", "skp"),
+            "r_max": (5.0, 10.0, 20.0, 30.0, 45.0, 60.0),
+        },
+        iterations=2000,
+        seed=13,
+        description=(
+            "Beyond the paper: shrink/grow the link bandwidth (max retrieval "
+            "time) to locate where stretching beats the conservative KP."
+        ),
+    )
+
+
+@PRESETS.register("cache-grid")
+def _cache_grid() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="cache-grid",
+        kind="cache-trace",
+        grid={
+            "policy": ("lru", "lfu", "fifo", "random", "pr", "pr:ds", "watchman"),
+            "cache_size": (5, 10, 20, 40, 80),
+        },
+        iterations=5000,
+        seed=17,
+        description=(
+            "Cache-size × replacement-policy grid on a Zipf(1.0) trace of 100 "
+            "items, including the paper's Pr cache and WATCHMAN."
+        ),
+    )
+
+
+@PRESETS.register("predictor-grid")
+def _predictor_grid() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="predictor-grid",
+        kind="predictor-eval",
+        grid={
+            "predictor": (
+                "frequency",
+                "markov",
+                "markov:smoothed",
+                "ppm",
+                "ppm:order3",
+                "graph",
+                "ensemble",
+            ),
+        },
+        iterations=3000,
+        seed=19,
+        description=(
+            "Prequential predictor comparison on the §5.3 Markov source: "
+            "which access model earns the P_i the planner presupposes?"
+        ),
+    )

@@ -1,0 +1,305 @@
+"""String-keyed component registries — the naming layer of the experiments API.
+
+Every pluggable component family gets one :class:`Registry` so that specs
+(and the command line) can address implementations by name instead of by
+import path, in the style of Icarus' experiment orchestration:
+
+* :data:`STRATEGIES`      — prefetch-only policies (``"skp"``, ``"skp:faithful"``,
+  ``"kp"``, ``"none"``, ``"perfect"``); factories take no arguments and
+  return a :class:`repro.simulation.policies.PrefetchPolicy`;
+* :data:`PIPELINES`       — Figure-6/7 planner pipelines (``"skp+pr+ds"`` …);
+  entries are keyword dictionaries for
+  :class:`repro.simulation.prefetch_cache.PrefetchCacheConfig`;
+* :data:`PREDICTORS`      — access models (``"ppm"``, ``"markov"`` …);
+  factories take the catalog size ``n_items``;
+* :data:`CACHE_POLICIES`  — replacement policies (``"lru"``, ``"pr"`` …);
+  factories take ``(capacity, context)`` where ``context`` is a
+  :class:`CacheContext` carrying retrieval times and popularity;
+* :data:`WORKLOADS`       — probability/request sources (``"skewy"``,
+  ``"flat"``, ``"zipf"``, ``"markov"``).
+
+Registration is declarative::
+
+    from repro.experiments.registry import STRATEGIES
+
+    @STRATEGIES.register("my-policy")
+    def _build():
+        return MyPolicy()
+
+Registering an existing name raises :class:`DuplicateRegistrationError`;
+resolving an unknown one raises :class:`UnknownComponentError` listing the
+available names, so a typo in a spec fails loudly at validation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "DuplicateRegistrationError",
+    "UnknownComponentError",
+    "CacheContext",
+    "STRATEGIES",
+    "PIPELINES",
+    "PREDICTORS",
+    "CACHE_POLICIES",
+    "WORKLOADS",
+    "all_registries",
+]
+
+
+class RegistryError(Exception):
+    """Base class for registry failures."""
+
+
+class DuplicateRegistrationError(RegistryError):
+    """A name was registered twice in the same registry."""
+
+
+class UnknownComponentError(RegistryError, KeyError):
+    """A name does not resolve in the registry."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0] if self.args else ""
+
+
+class Registry:
+    """A string-keyed catalog of components with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = str(kind)
+        self._entries: dict[str, object] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str, obj: object = None):
+        """Register ``obj`` under ``name``; usable directly or as a decorator.
+
+        ``REG.register("x", thing)`` registers immediately;
+        ``@REG.register("x")`` registers the decorated callable.
+        """
+        name = str(name)
+        if obj is not None:
+            self._add(name, obj)
+            return obj
+
+        def decorator(target):
+            self._add(name, target)
+            return target
+
+        return decorator
+
+    def _add(self, name: str, obj: object) -> None:
+        if name in self._entries:
+            raise DuplicateRegistrationError(
+                f"{self.kind} registry already has an entry named {name!r}"
+            )
+        self._entries[name] = obj
+
+    # -- resolution --------------------------------------------------------
+    def get(self, name: str) -> object:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Resolve ``name`` and call the factory with the given arguments."""
+        factory = self.get(name)
+        if not callable(factory):
+            raise RegistryError(
+                f"{self.kind} entry {name!r} is not callable; use get() instead"
+            )
+        return factory(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+STRATEGIES = Registry("prefetch strategy")
+PIPELINES = Registry("planner pipeline")
+PREDICTORS = Registry("access predictor")
+CACHE_POLICIES = Registry("cache policy")
+WORKLOADS = Registry("workload source")
+
+
+def all_registries() -> dict[str, Registry]:
+    """The component registries keyed by family name (for CLI listings)."""
+    return {
+        "strategies": STRATEGIES,
+        "pipelines": PIPELINES,
+        "predictors": PREDICTORS,
+        "cache-policies": CACHE_POLICIES,
+        "workloads": WORKLOADS,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Built-in strategies (prefetch-only policies, Figures 4/5)
+# ---------------------------------------------------------------------------
+
+def _register_builtin_strategies() -> None:
+    from repro.simulation.policies import (
+        KPPrefetch,
+        NoPrefetch,
+        PerfectPrefetch,
+        SKPPrefetch,
+    )
+
+    STRATEGIES.register("none", NoPrefetch)
+    STRATEGIES.register("kp", KPPrefetch)
+    STRATEGIES.register("skp", SKPPrefetch)
+    STRATEGIES.register("skp:corrected", SKPPrefetch)
+    STRATEGIES.register("skp:faithful", lambda: SKPPrefetch(variant="faithful"))
+    STRATEGIES.register("skp:exact", lambda: SKPPrefetch(exact=True))
+    STRATEGIES.register("perfect", PerfectPrefetch)
+
+
+# ---------------------------------------------------------------------------
+# Built-in pipelines (Figure 7 policy configurations)
+# ---------------------------------------------------------------------------
+
+def _register_builtin_pipelines() -> None:
+    from repro.simulation.prefetch_cache import FIGURE7_POLICIES
+
+    for label, kwargs in FIGURE7_POLICIES.items():
+        # "SKP+Pr+DS" -> "skp+pr+ds": spec names are lowercase by convention.
+        PIPELINES.register(label.lower(), dict(kwargs, label=label))
+
+
+# ---------------------------------------------------------------------------
+# Built-in predictors
+# ---------------------------------------------------------------------------
+
+def _register_builtin_predictors() -> None:
+    from repro.prediction import (
+        DependencyGraphPredictor,
+        EnsemblePredictor,
+        FrequencyPredictor,
+        MarkovPredictor,
+        PPMPredictor,
+    )
+
+    PREDICTORS.register("frequency", FrequencyPredictor)
+    PREDICTORS.register("markov", MarkovPredictor)
+    PREDICTORS.register("markov:smoothed", lambda n: MarkovPredictor(n, smoothing=0.5))
+    PREDICTORS.register("ppm", PPMPredictor)
+    PREDICTORS.register("ppm:order3", lambda n: PPMPredictor(n, order=3))
+    PREDICTORS.register("graph", DependencyGraphPredictor)
+    PREDICTORS.register(
+        "ensemble",
+        lambda n: EnsemblePredictor(
+            [MarkovPredictor(n), PPMPredictor(n), FrequencyPredictor(n)],
+            adaptive=True,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in cache policies
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheContext:
+    """Workload-derived inputs some replacement policies need.
+
+    ``probabilities`` is the (static) next-access distribution of the trace
+    and ``retrieval_times`` the per-item network cost; count-based policies
+    ignore both.
+    """
+
+    retrieval_times: np.ndarray
+    probabilities: np.ndarray
+    seed: int = 0
+
+
+def _register_builtin_cache_policies() -> None:
+    from repro.cache import (
+        FIFOCache,
+        LFUCache,
+        LRUCache,
+        PrCache,
+        RandomCache,
+        WatchmanCache,
+    )
+
+    CACHE_POLICIES.register("lru", lambda capacity, ctx: LRUCache(capacity))
+    CACHE_POLICIES.register("lfu", lambda capacity, ctx: LFUCache(capacity))
+    CACHE_POLICIES.register("fifo", lambda capacity, ctx: FIFOCache(capacity))
+    CACHE_POLICIES.register(
+        "random", lambda capacity, ctx: RandomCache(capacity, seed=ctx.seed)
+    )
+    CACHE_POLICIES.register(
+        "watchman", lambda capacity, ctx: WatchmanCache(capacity, ctx.retrieval_times)
+    )
+
+    def _pr(capacity: int, ctx: CacheContext, sub_arbitration: str | None = None):
+        p = np.asarray(ctx.probabilities, dtype=np.float64)
+        return PrCache(
+            capacity,
+            ctx.retrieval_times,
+            lambda: p,
+            sub_arbitration=sub_arbitration,
+        )
+
+    CACHE_POLICIES.register("pr", _pr)
+    CACHE_POLICIES.register(
+        "pr:lfu", lambda capacity, ctx: _pr(capacity, ctx, sub_arbitration="lfu")
+    )
+    CACHE_POLICIES.register(
+        "pr:ds", lambda capacity, ctx: _pr(capacity, ctx, sub_arbitration="ds")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in workload sources
+# ---------------------------------------------------------------------------
+
+def _register_builtin_workloads() -> None:
+    from repro.workload import (
+        flat_probabilities,
+        generate_markov_source,
+        skewy_probabilities,
+        zipf_probabilities,
+    )
+
+    def _zipf_rows(batch: int, n: int, rng, *, exponent: float = 1.0) -> np.ndarray:
+        """Zipf popularity with the hot item at a uniform position per row."""
+        base = zipf_probabilities(n, exponent)
+        rows = np.tile(base, (batch, 1))
+        perm = np.argsort(rng.random((batch, n)), axis=1)
+        return np.take_along_axis(rows, perm, axis=1)
+
+    WORKLOADS.register(
+        "skewy", lambda batch, n, rng, **params: skewy_probabilities(batch, n, rng)
+    )
+    WORKLOADS.register(
+        "flat", lambda batch, n, rng, **params: flat_probabilities(batch, n, rng)
+    )
+    WORKLOADS.register("zipf", _zipf_rows)
+    WORKLOADS.register("markov", generate_markov_source)
+
+
+_register_builtin_strategies()
+_register_builtin_pipelines()
+_register_builtin_predictors()
+_register_builtin_cache_policies()
+_register_builtin_workloads()

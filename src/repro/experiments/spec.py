@@ -1,0 +1,378 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` captures everything needed to reproduce an
+experiment — the kind of simulation, the workload parameters, a grid of
+component/parameter axes, the iteration count and the master seed — as plain
+data.  Specs round-trip losslessly through JSON
+(``spec == ExperimentSpec.from_json(spec.to_json())``), hash stably
+(:meth:`ExperimentSpec.spec_hash` goes into result provenance), and expand
+into a list of *cells* (one grid point each) that the engine executes.
+
+The four experiment kinds:
+
+``prefetch-only``
+    The §4.4 Monte-Carlo simulation behind Figures 4/5: i.i.d. one-shot
+    scenarios, one ``policy`` axis naming :data:`~repro.experiments.registry.STRATEGIES`
+    entries, plus optional workload axes (``source``, ``n``, ``r_max``,
+    ``v_bin`` …).
+``prefetch-cache``
+    The §5.3 continuous Markov-source simulation behind Figure 7:
+    ``policy`` axis naming :data:`~repro.experiments.registry.PIPELINES`
+    entries and a ``cache_size`` axis.
+``cache-trace``
+    Replacement-policy trace replay: ``policy`` axis naming
+    :data:`~repro.experiments.registry.CACHE_POLICIES` entries and a
+    ``cache_size`` axis over a Zipf or Markov request stream.
+``predictor-eval``
+    Prequential predictor scoring on a Markov trace: ``predictor`` axis
+    naming :data:`~repro.experiments.registry.PREDICTORS` entries.
+
+Seeding contract (common random numbers): a cell's seed is derived from the
+spec seed plus the cell's *workload-affecting* parameters only.  Cells that
+differ only in ``policy``/``predictor``/``cache_size`` therefore face
+identical draws, so metric differences between them are component effects,
+not sampling noise — and results are independent of worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping
+
+from repro.experiments.registry import (
+    CACHE_POLICIES,
+    PIPELINES,
+    PREDICTORS,
+    STRATEGIES,
+)
+
+__all__ = ["ExperimentSpec", "SpecError", "KIND_INFO", "KindInfo"]
+
+
+class SpecError(ValueError):
+    """An experiment spec failed validation."""
+
+
+#: Grid axes that select a component rather than shape the workload; they are
+#: excluded from cell-seed derivation so all components see the same draws.
+COMPONENT_AXES = ("policy", "predictor", "cache_size")
+
+
+@dataclass(frozen=True)
+class KindInfo:
+    """Schema of one experiment kind: defaults, axes, and metric names."""
+
+    workload_defaults: dict
+    axes: tuple[str, ...]
+    required_axes: tuple[str, ...]
+    component_registries: dict  # axis name -> Registry for name validation
+    metrics: tuple[str, ...]
+    sources: tuple[str, ...] = ()  # allowed values of the "source" param
+
+
+KIND_INFO: dict[str, KindInfo] = {
+    "prefetch-only": KindInfo(
+        workload_defaults={
+            "source": "skewy",
+            "n": 10,
+            "r_min": 1.0,
+            "r_max": 30.0,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "exponent": 1.0,
+        },
+        axes=("policy", "source", "n", "r_min", "r_max", "v_min", "v_max", "v_bin", "exponent"),
+        required_axes=("policy",),
+        component_registries={"policy": STRATEGIES},
+        metrics=(
+            "mean_access_time",
+            "frac_kernel_hit",
+            "frac_tail_wait",
+            "frac_miss",
+        ),
+        sources=("skewy", "flat", "zipf"),
+    ),
+    "prefetch-cache": KindInfo(
+        workload_defaults={
+            "states": 100,
+            "out_min": 10,
+            "out_max": 20,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "r_min": 1.0,
+            "r_max": 30.0,
+            "source_seed": 42,
+            "planning_window": "nominal",
+            "skp_variant": "corrected",
+        },
+        axes=("policy", "cache_size"),
+        required_axes=("policy", "cache_size"),
+        component_registries={"policy": PIPELINES},
+        metrics=("mean_access_time", "hit_rate", "prefetch_precision"),
+    ),
+    "cache-trace": KindInfo(
+        workload_defaults={
+            "source": "zipf",
+            "n": 100,
+            "exponent": 1.0,
+            "r_min": 1.0,
+            "r_max": 30.0,
+            "out_min": 10,
+            "out_max": 20,
+            "source_seed": 42,
+        },
+        axes=("policy", "cache_size", "exponent", "n"),
+        required_axes=("policy", "cache_size"),
+        component_registries={"policy": CACHE_POLICIES},
+        metrics=("hit_rate", "evictions"),
+        sources=("zipf", "markov"),
+    ),
+    "predictor-eval": KindInfo(
+        workload_defaults={
+            "states": 100,
+            "out_min": 10,
+            "out_max": 20,
+            "source_seed": 42,
+            "warmup": 50,
+        },
+        axes=("predictor", "warmup"),
+        required_axes=("predictor",),
+        component_registries={"predictor": PREDICTORS},
+        metrics=(
+            "top1_hit_rate",
+            "top5_hit_rate",
+            "mean_assigned_probability",
+            "mean_log_loss",
+        ),
+    ),
+}
+
+
+def _freeze(value):
+    """Normalise nested JSON-ish data: sequences become tuples.
+
+    Applied on construction so a spec built in Python (tuples) and one
+    loaded from JSON (lists) compare equal.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _freeze(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` for JSON export: tuples become lists."""
+    if isinstance(value, Mapping):
+        return {k: _thaw(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: workload × component grid × iterations × seed.
+
+    ``grid`` maps axis names to the values to sweep; the cells are the
+    cartesian product of the axes in the order given.  ``metrics`` selects a
+    subset of the kind's metric set for the result table (empty = all).
+    """
+
+    name: str
+    kind: str
+    workload: dict = field(default_factory=dict)
+    grid: dict = field(default_factory=dict)
+    iterations: int = 1000
+    seed: int = 0
+    metrics: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _freeze(self.workload))
+        grid = {
+            str(axis): _freeze(values) for axis, values in dict(self.grid).items()
+        }
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "metrics", tuple(str(m) for m in self.metrics))
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+    @property
+    def info(self) -> KindInfo:
+        return KIND_INFO[self.kind]
+
+    def validate(self) -> None:
+        """Check the spec against the kind schema and the registries."""
+        if self.kind not in KIND_INFO:
+            raise SpecError(
+                f"unknown experiment kind {self.kind!r}; one of {sorted(KIND_INFO)}"
+            )
+        info = self.info
+        if not self.name:
+            raise SpecError("spec needs a non-empty name")
+        if int(self.iterations) < 1:
+            raise SpecError(f"iterations must be positive, got {self.iterations}")
+        for key in self.workload:
+            if key not in info.workload_defaults:
+                raise SpecError(
+                    f"unknown workload parameter {key!r} for kind {self.kind!r}; "
+                    f"known: {sorted(info.workload_defaults)}"
+                )
+        for axis, values in self.grid.items():
+            if axis not in info.axes:
+                raise SpecError(
+                    f"unknown grid axis {axis!r} for kind {self.kind!r}; "
+                    f"known: {list(info.axes)}"
+                )
+            if not isinstance(values, tuple) or not values:
+                raise SpecError(f"grid axis {axis!r} needs a non-empty sequence of values")
+        for axis in info.required_axes:
+            if axis not in self.grid:
+                raise SpecError(f"kind {self.kind!r} requires a {axis!r} grid axis")
+        for axis, registry in info.component_registries.items():
+            for value in self.grid.get(axis, ()):
+                registry.get(str(value))  # raises UnknownComponentError
+        if info.sources:
+            default_source = self.effective_workload().get("source")
+            for source in self.grid.get("source", (default_source,)):
+                if source not in info.sources:
+                    raise SpecError(
+                        f"kind {self.kind!r} supports sources {list(info.sources)}, "
+                        f"got {source!r}"
+                    )
+        for value in self.grid.get("v_bin", ()):
+            if (
+                not isinstance(value, tuple)
+                or len(value) != 2
+                or not all(isinstance(x, (int, float)) for x in value)
+                or not value[0] <= value[1]
+            ):
+                raise SpecError(
+                    f"v_bin values must be (lo, hi) pairs with lo <= hi, got {value!r}"
+                )
+        for metric in self.metrics:
+            if metric not in info.metrics:
+                raise SpecError(
+                    f"unknown metric {metric!r} for kind {self.kind!r}; "
+                    f"known: {list(info.metrics)}"
+                )
+
+    # -- derived views -----------------------------------------------------
+    def effective_workload(self) -> dict:
+        """Workload parameters with the kind defaults filled in."""
+        merged = dict(self.info.workload_defaults)
+        merged.update(self.workload)
+        return merged
+
+    def metric_names(self) -> tuple[str, ...]:
+        return self.metrics if self.metrics else self.info.metrics
+
+    def cells(self) -> list[dict]:
+        """Cartesian product of the grid axes, in axis order."""
+        combos: list[dict] = [{}]
+        for axis, values in self.grid.items():
+            combos = [dict(c, **{axis: v}) for c in combos for v in values]
+        return combos
+
+    def cell_workload(self, cell: Mapping) -> dict:
+        """Workload parameters effective in ``cell`` (axes override defaults)."""
+        merged = self.effective_workload()
+        for axis, value in cell.items():
+            if axis in COMPONENT_AXES:
+                continue
+            if axis == "v_bin":
+                merged["v_min"], merged["v_max"] = value
+            else:
+                merged[axis] = value
+        return merged
+
+    def cell_seed(self, cell: Mapping) -> int:
+        """Deterministic per-cell seed from the workload-affecting parameters.
+
+        Component axes are excluded so every policy/predictor/cache size sees
+        the same draws (common random numbers), independent of cell order or
+        worker count.
+        """
+        payload = {
+            "seed": int(self.seed),
+            "iterations": int(self.iterations),
+            "kind": self.kind,
+            "workload": self.cell_workload(cell),
+        }
+        digest = hashlib.sha256(
+            json.dumps(_thaw(payload), sort_keys=True).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "workload": _thaw(self.workload),
+            "grid": _thaw(self.grid),
+            "iterations": int(self.iterations),
+            "seed": int(self.seed),
+            "metrics": list(self.metrics),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+        data = dict(data)
+        unknown = set(data) - {
+            "name", "kind", "workload", "grid", "iterations", "seed", "metrics", "description",
+        }
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(
+            name=str(data.get("name", "")),
+            kind=str(data.get("kind", "")),
+            workload=dict(data.get("workload", {})),
+            grid=dict(data.get("grid", {})),
+            iterations=int(data.get("iterations", 1000)),
+            seed=int(data.get("seed", 0)),
+            metrics=tuple(data.get("metrics", ())),
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content hash (order-insensitive) for provenance records."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def with_overrides(
+        self,
+        *,
+        iterations: int | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> "ExperimentSpec":
+        """A copy with selected scalar fields replaced (CLI overrides)."""
+        changes: dict = {}
+        if iterations is not None:
+            changes["iterations"] = int(iterations)
+        if seed is not None:
+            changes["seed"] = int(seed)
+        if name is not None:
+            changes["name"] = str(name)
+        return replace(self, **changes) if changes else self
+
+    def summary(self) -> str:
+        """One human line: kind, grid shape, iteration count."""
+        shape = " × ".join(f"{axis}[{len(vals)}]" for axis, vals in self.grid.items())
+        cells = len(self.cells())
+        return (
+            f"{self.name}: {self.kind}, grid {shape or '—'} = {cells} cells, "
+            f"{self.iterations} iterations/cell, seed {self.seed}"
+        )

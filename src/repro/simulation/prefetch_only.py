@@ -92,8 +92,7 @@ def run_prefetch_only(
     times = {p.name: np.empty(iters, dtype=np.float64) for p in policies}
     kinds: dict[str, dict[str, int]] = {p.name: {} for p in policies}
 
-    for k in range(iters):
-        problem = scenarios.problem(k)
+    for k, problem in enumerate(scenarios.problems()):
         requested = int(scenarios.requests[k])
         for policy in policies:
             plan = (

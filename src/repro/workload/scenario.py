@@ -9,11 +9,13 @@ pure Python: the per-iteration work reduces to the solver call.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterator
 
 import numpy as np
 
 from repro.core.types import PrefetchProblem
 from repro.util.rng import as_generator
+from repro.util.validation import PROBABILITY_TOLERANCE
 from repro.workload.probability import generate_probabilities
 
 __all__ = ["ScenarioBatch", "generate_scenarios", "sample_requests"]
@@ -49,6 +51,56 @@ class ScenarioBatch:
             retrieval_times=self.retrieval_times[k],
             viewing_time=float(self.viewing_times[k]),
         )
+
+    def check(self) -> None:
+        """Validate the whole batch at once (matrix-level, vectorised).
+
+        Enforces the same invariants :class:`PrefetchProblem` checks per
+        instance — finite non-negative probabilities with row sums ≤ 1,
+        strictly positive retrieval times, non-negative viewing times — plus
+        shape consistency across the three arrays.
+        """
+        p, r, v = self.probabilities, self.retrieval_times, self.viewing_times
+        if p.ndim != 2 or r.shape != p.shape:
+            raise ValueError(
+                f"probabilities {p.shape} and retrieval_times {r.shape} must be "
+                "matching (iterations, n) matrices"
+            )
+        if v.shape != (p.shape[0],):
+            raise ValueError(f"viewing_times shape {v.shape} does not match batch {p.shape}")
+        if not np.all(np.isfinite(p)) or np.any(p < 0):
+            raise ValueError("probabilities must be finite and non-negative")
+        if np.any(p.sum(axis=1) > 1.0 + PROBABILITY_TOLERANCE):
+            raise ValueError("some probability rows sum to more than 1")
+        if not np.all(np.isfinite(r)) or np.any(r <= 0):
+            raise ValueError("retrieval_times must be finite and strictly positive")
+        if not np.all(np.isfinite(v)) or np.any(v < 0):
+            raise ValueError("viewing_times must be finite and non-negative")
+
+    def problems(self) -> Iterator[PrefetchProblem]:
+        """Iterate solver-ready problems, validating the batch only once.
+
+        :meth:`problem` re-validates and copies its row on every call, which
+        dominates tight Monte-Carlo loops; this path runs :meth:`check` once,
+        freezes the arrays, and hands out read-only row views via the
+        fast-path constructor.
+
+        Note the side effect: the yielded problems *alias* this batch's
+        arrays, so ``probabilities`` and ``retrieval_times`` are marked
+        read-only permanently (mutating them would silently change problems
+        already handed to a solver).  Batches are normally drawn fresh per
+        run; to perturb one in place, copy its arrays first or use
+        :meth:`problem`.
+        """
+        self.check()
+        self.probabilities.setflags(write=False)
+        self.retrieval_times.setflags(write=False)
+        for k in range(self.iterations):
+            yield PrefetchProblem.from_validated(
+                self.probabilities[k],
+                self.retrieval_times[k],
+                float(self.viewing_times[k]),
+            )
 
 
 def sample_requests(probabilities: np.ndarray, rng: np.random.Generator) -> np.ndarray:

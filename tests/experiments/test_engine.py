@@ -1,0 +1,173 @@
+"""Engine execution: all kinds, worker-count invariance, artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSpec, ExperimentResult, preset, run, run_cell
+
+
+def po_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        name="engine-po",
+        kind="prefetch-only",
+        grid={"policy": ("none", "skp", "perfect"), "n": (5,)},
+        iterations=60,
+        seed=3,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestKinds:
+    def test_prefetch_only_metrics(self):
+        result = run(po_spec())
+        assert len(result.cells) == 3
+        for cell in result.cells:
+            assert set(cell.metrics) == {
+                "mean_access_time",
+                "frac_kernel_hit",
+                "frac_tail_wait",
+                "frac_miss",
+            }
+            fracs = (
+                cell.metrics["frac_kernel_hit"]
+                + cell.metrics["frac_tail_wait"]
+                + cell.metrics["frac_miss"]
+            )
+            assert fracs == pytest.approx(1.0)
+
+    def test_prefetch_only_common_random_numbers_ordering(self):
+        # Same draws for every policy, so the oracle can never lose to skp,
+        # and skp can never lose to no-prefetch (in expectation; with CRN and
+        # these iteration counts the ordering is deterministic).
+        result = run(po_spec(iterations=300))
+        mean = {c.params["policy"]: c.metrics["mean_access_time"] for c in result.cells}
+        assert mean["perfect"] <= mean["skp"] + 1e-9
+        assert mean["skp"] <= mean["none"] + 1e-9
+
+    def test_prefetch_cache(self):
+        spec = ExperimentSpec(
+            name="engine-pc",
+            kind="prefetch-cache",
+            workload={"states": 30, "out_min": 3, "out_max": 6},
+            grid={"policy": ("no+pr", "skp+pr+ds"), "cache_size": (4,)},
+            iterations=80,
+            seed=5,
+        )
+        result = run(spec)
+        mean = {c.params["policy"]: c.metrics["mean_access_time"] for c in result.cells}
+        assert mean["skp+pr+ds"] <= mean["no+pr"] + 1e-9
+        for cell in result.cells:
+            assert 0.0 <= cell.metrics["hit_rate"] <= 1.0
+            assert 0.0 <= cell.metrics["prefetch_precision"] <= 1.0
+
+    def test_cache_trace(self):
+        spec = ExperimentSpec(
+            name="engine-ct",
+            kind="cache-trace",
+            workload={"n": 40, "exponent": 1.2},
+            grid={"policy": ("lru", "lfu"), "cache_size": (4, 12)},
+            iterations=400,
+            seed=7,
+        )
+        result = run(spec)
+        for policy in ("lru", "lfu"):
+            small = result.cell(policy=policy, cache_size=4).metrics["hit_rate"]
+            big = result.cell(policy=policy, cache_size=12).metrics["hit_rate"]
+            assert 0.0 <= small <= big <= 1.0
+
+    def test_cache_trace_markov_source(self):
+        spec = ExperimentSpec(
+            name="engine-ctm",
+            kind="cache-trace",
+            workload={"source": "markov", "n": 25, "out_min": 3, "out_max": 5},
+            grid={"policy": ("lru",), "cache_size": (6,)},
+            iterations=200,
+            seed=7,
+        )
+        result = run(spec)
+        assert 0.0 < result.cells[0].metrics["hit_rate"] <= 1.0
+
+    def test_predictor_eval(self):
+        spec = ExperimentSpec(
+            name="engine-pe",
+            kind="predictor-eval",
+            workload={"states": 20, "out_min": 2, "out_max": 4, "warmup": 40},
+            grid={"predictor": ("frequency", "markov")},
+            iterations=400,
+            seed=9,
+        )
+        result = run(spec)
+        mean = {c.params["predictor"]: c.metrics["top1_hit_rate"] for c in result.cells}
+        # A first-order model must beat popularity counting on a Markov chain.
+        assert mean["markov"] > mean["frequency"]
+
+
+class TestParallelism:
+    def test_worker_counts_produce_identical_tables(self):
+        spec = po_spec(iterations=40, grid={"policy": ("none", "skp"), "n": (4, 6)})
+        serial = run(spec, workers=1)
+        parallel = run(spec, workers=2)
+        assert serial.table() == parallel.table()
+        assert [c.params for c in serial.cells] == [c.params for c in parallel.cells]
+
+    def test_figure5_small_preset_worker_invariance(self):
+        spec = preset("figure5-small", iterations=20)
+        assert run(spec, workers=1).table() == run(spec, workers=3).table()
+
+    def test_progress_callback_streams_every_cell(self):
+        spec = po_spec(iterations=10)
+        seen = []
+        run(spec, workers=1, progress=lambda done, total, cell: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_run_cell_matches_engine(self):
+        spec = po_spec(iterations=25)
+        cell = spec.cells()[1]
+        direct = run_cell(spec, cell)
+        engine = run(spec).cells[1]
+        assert direct.metrics == engine.metrics
+        assert direct.seed == engine.seed
+
+
+class TestArtifacts:
+    def make_result(self) -> ExperimentResult:
+        return run(po_spec(iterations=30))
+
+    def test_provenance(self):
+        result = self.make_result()
+        assert result.provenance["spec_hash"] == result.spec.spec_hash()
+        assert result.provenance["cells"] == 3
+        assert "version" in result.provenance
+
+    def test_table_shape(self):
+        header, rows = self.make_result().table()
+        assert header[:2] == ["policy", "n"]
+        assert len(rows) == 3
+        assert len(rows[0]) == len(header)
+
+    def test_metric_and_select(self):
+        result = self.make_result()
+        assert len(result.metric("mean_access_time")) == 3
+        assert len(result.select(n=5)) == 3
+        with pytest.raises(KeyError):
+            result.cell(policy="nope")
+
+    def test_write_csv_and_json(self, tmp_path):
+        result = self.make_result()
+        csv_path, json_path = result.write(tmp_path)
+        assert csv_path.name == "engine-po.csv"
+        header_line = csv_path.read_text().splitlines()[0]
+        assert header_line.startswith("policy,n,mean_access_time")
+        payload = json.loads(json_path.read_text())
+        assert payload["spec"]["name"] == "engine-po"
+        assert len(payload["cells"]) == 3
+        # The JSON spec reconstructs the original experiment.
+        assert ExperimentSpec.from_dict(payload["spec"]) == result.spec
+
+    def test_format_table_renders(self):
+        text = self.make_result().format_table()
+        assert "mean_access_time" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3 + 2  # header + rule + rows

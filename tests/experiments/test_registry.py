@@ -1,0 +1,124 @@
+"""Registry semantics and the built-in component catalog."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import Cache
+from repro.experiments.registry import (
+    CACHE_POLICIES,
+    PIPELINES,
+    PREDICTORS,
+    STRATEGIES,
+    WORKLOADS,
+    CacheContext,
+    DuplicateRegistrationError,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
+    all_registries,
+)
+from repro.prediction.base import AccessPredictor
+from repro.simulation.policies import PrefetchPolicy
+
+
+class TestRegistrySemantics:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.register("a", object())
+        assert "a" in reg
+        assert len(reg) == 1
+
+    def test_decorator_registration(self):
+        reg = Registry("thing")
+
+        @reg.register("fn")
+        def factory():
+            return 42
+
+        assert reg.create("fn") == 42
+        assert factory() == 42  # decorator returns the target unchanged
+
+    def test_duplicate_registration_raises(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(DuplicateRegistrationError):
+            reg.register("a", 2)
+        assert reg.get("a") == 1  # original untouched
+
+    def test_duplicate_in_builtin_registry_raises(self):
+        # _add raises before inserting, so the catalog is not corrupted.
+        with pytest.raises(DuplicateRegistrationError):
+            STRATEGIES.register("skp", object())
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("widget")
+        reg.register("known", 1)
+        with pytest.raises(UnknownComponentError, match="known"):
+            reg.get("missing")
+
+    def test_create_on_non_callable_raises(self):
+        reg = Registry("thing")
+        reg.register("data", {"k": 1})
+        with pytest.raises(RegistryError, match="not callable"):
+            reg.create("data")
+
+    def test_names_sorted(self):
+        reg = Registry("thing")
+        reg.register("b", 1)
+        reg.register("a", 2)
+        assert reg.names() == ("a", "b")
+        assert list(reg) == ["a", "b"]
+
+
+class TestBuiltinCatalog:
+    """Round-trip: every registered name resolves to a working component."""
+
+    def test_all_registries_nonempty(self):
+        for family, registry in all_registries().items():
+            assert len(registry) > 0, family
+
+    def test_every_strategy_builds_a_policy(self):
+        for name in STRATEGIES.names():
+            policy = STRATEGIES.create(name)
+            assert isinstance(policy, PrefetchPolicy), name
+
+    def test_every_pipeline_has_planner_kwargs(self):
+        for name in PIPELINES.names():
+            entry = PIPELINES.get(name)
+            assert set(entry) >= {"strategy", "sub_arbitration"}, name
+
+    def test_every_predictor_builds(self):
+        for name in PREDICTORS.names():
+            predictor = PREDICTORS.create(name, 6)
+            assert isinstance(predictor, AccessPredictor), name
+            predictor.update(0)
+            p = predictor.predict()
+            assert p.shape == (6,)
+
+    def test_every_cache_policy_builds_and_caches(self):
+        rng = np.random.default_rng(0)
+        context = CacheContext(
+            retrieval_times=rng.uniform(1.0, 30.0, 8),
+            probabilities=np.full(8, 1 / 8),
+            seed=1,
+        )
+        for name in CACHE_POLICIES.names():
+            cache = CACHE_POLICIES.create(name, 3, context)
+            assert isinstance(cache, Cache), name
+            for item in (0, 1, 2, 3, 4, 2):
+                if not cache.access(item):
+                    cache.insert(item)
+            assert len(cache) <= 3, name
+            assert cache.stats.accesses == 6, name
+
+    def test_every_workload_resolves(self):
+        for name in WORKLOADS.names():
+            assert callable(WORKLOADS.get(name)), name
+
+    def test_probability_workloads_generate_rows(self):
+        rng = np.random.default_rng(3)
+        for name in ("skewy", "flat", "zipf"):
+            rows = WORKLOADS.create(name, 5, 7, rng, exponent=1.0)
+            assert rows.shape == (5, 7)
+            assert np.allclose(rows.sum(axis=1), 1.0)
+            assert np.all(rows >= 0)

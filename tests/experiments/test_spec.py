@@ -1,0 +1,182 @@
+"""ExperimentSpec: validation, JSON round-trips, grid expansion, seeding."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    SpecError,
+    UnknownComponentError,
+    preset,
+    preset_names,
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        name="tiny",
+        kind="prefetch-only",
+        grid={"policy": ("skp", "none"), "n": (4, 6)},
+        iterations=10,
+        seed=1,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown experiment kind"):
+            tiny_spec(kind="nonsense")
+
+    def test_empty_name(self):
+        with pytest.raises(SpecError, match="name"):
+            tiny_spec(name="")
+
+    def test_nonpositive_iterations(self):
+        with pytest.raises(SpecError, match="iterations"):
+            tiny_spec(iterations=0)
+
+    def test_unknown_grid_axis(self):
+        with pytest.raises(SpecError, match="unknown grid axis"):
+            tiny_spec(grid={"policy": ("skp",), "bogus": (1, 2)})
+
+    def test_missing_required_axis(self):
+        with pytest.raises(SpecError, match="requires a 'policy'"):
+            tiny_spec(grid={"n": (4,)})
+
+    def test_empty_axis_values(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            tiny_spec(grid={"policy": ()})
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(UnknownComponentError):
+            tiny_spec(grid={"policy": ("skp", "warp-drive")})
+
+    def test_unknown_workload_parameter(self):
+        with pytest.raises(SpecError, match="workload parameter"):
+            tiny_spec(workload={"wormholes": 3})
+
+    def test_unknown_source(self):
+        with pytest.raises(SpecError, match="sources"):
+            tiny_spec(workload={"source": "markov"})  # not valid for prefetch-only
+
+    def test_unknown_source_in_grid_axis(self):
+        with pytest.raises(SpecError, match="sources"):
+            tiny_spec(grid={"policy": ("skp",), "source": ("skewy", "bogus")})
+
+    def test_malformed_v_bin_values(self):
+        for bad in ((1, 2, 3), 5, (7.0, 3.0)):
+            with pytest.raises(SpecError, match="v_bin"):
+                tiny_spec(grid={"policy": ("skp",), "v_bin": (bad,)})
+
+    def test_unknown_metric(self):
+        with pytest.raises(SpecError, match="unknown metric"):
+            tiny_spec(metrics=("latency_p99",))
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(SpecError, match="unknown spec fields"):
+            ExperimentSpec.from_dict({"name": "x", "kind": "prefetch-only", "extra": 1})
+
+
+class TestRoundTrip:
+    def test_json_round_trip_identity(self):
+        spec = tiny_spec(workload={"r_max": 20.0}, metrics=("mean_access_time",))
+        assert spec == ExperimentSpec.from_json(spec.to_json())
+
+    def test_round_trip_normalises_lists(self):
+        # Lists (as JSON produces) and tuples compare equal after freezing.
+        a = tiny_spec(grid={"policy": ["skp"], "v_bin": [[0, 5], [5, 10]]})
+        b = tiny_spec(grid={"policy": ("skp",), "v_bin": ((0, 5), (5, 10))})
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(preset_names()))
+    def test_every_preset_round_trips(self, name):
+        spec = preset(name)
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert spec == again
+        assert spec.spec_hash() == again.spec_hash()
+
+    def test_to_json_is_valid_json(self):
+        parsed = json.loads(tiny_spec().to_json(indent=2))
+        assert parsed["kind"] == "prefetch-only"
+
+
+class TestHashing:
+    def test_hash_stable_across_instances(self):
+        assert tiny_spec().spec_hash() == tiny_spec().spec_hash()
+
+    def test_hash_changes_with_content(self):
+        assert tiny_spec().spec_hash() != tiny_spec(seed=2).spec_hash()
+
+
+class TestGrid:
+    def test_cells_cartesian_product_in_axis_order(self):
+        cells = tiny_spec().cells()
+        assert len(cells) == 4
+        assert cells[0] == {"policy": "skp", "n": 4}
+        assert cells[-1] == {"policy": "none", "n": 6}
+
+    def test_cell_workload_merges_axes(self):
+        spec = tiny_spec()
+        wl = spec.cell_workload({"policy": "skp", "n": 6})
+        assert wl["n"] == 6
+        assert wl["source"] == "skewy"  # kind default
+
+    def test_v_bin_axis_maps_to_v_range(self):
+        spec = ExperimentSpec(
+            name="b",
+            kind="prefetch-only",
+            grid={"policy": ("skp",), "v_bin": ((10.0, 12.0),)},
+            iterations=5,
+        )
+        wl = spec.cell_workload(spec.cells()[0])
+        assert (wl["v_min"], wl["v_max"]) == (10.0, 12.0)
+
+    def test_metric_names_default_to_kind_metrics(self):
+        assert "mean_access_time" in tiny_spec().metric_names()
+        assert tiny_spec(metrics=("frac_miss",)).metric_names() == ("frac_miss",)
+
+
+class TestSeeding:
+    def test_component_axes_share_seed(self):
+        spec = tiny_spec()
+        assert spec.cell_seed({"policy": "skp", "n": 4}) == spec.cell_seed(
+            {"policy": "none", "n": 4}
+        )
+
+    def test_workload_axes_change_seed(self):
+        spec = tiny_spec()
+        assert spec.cell_seed({"policy": "skp", "n": 4}) != spec.cell_seed(
+            {"policy": "skp", "n": 6}
+        )
+
+    def test_master_seed_changes_cell_seeds(self):
+        cell = {"policy": "skp", "n": 4}
+        assert tiny_spec().cell_seed(cell) != tiny_spec(seed=99).cell_seed(cell)
+
+    def test_cache_size_is_component_axis(self):
+        spec = ExperimentSpec(
+            name="c7",
+            kind="prefetch-cache",
+            grid={"policy": ("skp+pr",), "cache_size": (5, 10)},
+            iterations=5,
+        )
+        cells = spec.cells()
+        assert spec.cell_seed(cells[0]) == spec.cell_seed(cells[1])
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        spec = tiny_spec()
+        bumped = spec.with_overrides(iterations=77, seed=9, name="tiny2")
+        assert (bumped.iterations, bumped.seed, bumped.name) == (77, 9, "tiny2")
+        assert spec.iterations == 10  # original untouched
+
+    def test_with_overrides_noop_returns_equal_spec(self):
+        spec = tiny_spec()
+        assert spec.with_overrides() == spec
+
+    def test_summary_mentions_grid_shape(self):
+        assert "policy[2]" in tiny_spec().summary()

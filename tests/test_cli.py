@@ -64,3 +64,163 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLIValidation:
+    """Malformed input must exit with a clean argparse error, not a traceback."""
+
+    def test_solve_mismatched_lengths(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "solve",
+                    "--probabilities",
+                    "0.5,0.3,0.2",
+                    "--retrievals",
+                    "3,4",
+                    "--viewing-time",
+                    "10",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "same length" in err
+
+    def test_solve_non_numeric_probabilities(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "solve",
+                    "--probabilities",
+                    "0.5,zebra",
+                    "--retrievals",
+                    "3,4",
+                    "--viewing-time",
+                    "10",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "comma-separated list of numbers" in capsys.readouterr().err
+
+    def test_solve_invalid_probability_mass(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "solve",
+                    "--probabilities",
+                    "0.9,0.9",
+                    "--retrievals",
+                    "3,4",
+                    "--viewing-time",
+                    "10",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "sum" in capsys.readouterr().err
+
+    def test_simulate_rejects_nonpositive_iterations(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--iterations", "0"])
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+
+class TestExperimentCLI:
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5-small" in out
+        assert "figure7" in out
+        for family in ("strategies", "pipelines", "predictors", "cache-policies", "workloads"):
+            assert family in out
+        assert "skp:corrected" in out
+
+    def test_experiment_describe(self, capsys):
+        assert main(["experiment", "describe", "figure5-small"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "prefetch-only"' in out
+        assert "v_bin" in out
+
+    def test_experiment_describe_unknown(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "describe", "figure99"])
+        assert excinfo.value.code == 2
+        assert "figure5-small" in capsys.readouterr().err  # lists alternatives
+
+    def test_experiment_run_unknown_preset(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "run", "figure99"])
+        assert excinfo.value.code == 2
+
+    def test_experiment_run_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "run",
+                "figure5-small",
+                "--iterations",
+                "20",
+                "--workers",
+                "1",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "figure5-small.csv").is_file()
+        assert (tmp_path / "figure5-small.json").is_file()
+        out = capsys.readouterr().out
+        assert "mean_access_time" in out
+        assert "wrote" in out
+
+    def test_experiment_run_spec_file(self, tmp_path, capsys):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="cli-spec",
+            kind="prefetch-only",
+            grid={"policy": ["none", "skp"]},
+            iterations=15,
+            seed=2,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        code = main(
+            [
+                "experiment",
+                "run",
+                "--spec-file",
+                str(spec_path),
+                "--workers",
+                "1",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "cli-spec.csv").is_file()
+
+    def test_experiment_run_missing_spec_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "run", "--spec-file", "/no/such/file.json"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{ not json",
+            '{"name": "x", "kind": "warp-drive"}',
+            '{"name": "x", "kind": "prefetch-only", "grid": {"policy": ["no-such"]}}',
+        ],
+    )
+    def test_experiment_run_invalid_spec_file_is_clean_error(
+        self, tmp_path, capsys, content
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text(content)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "run", "--spec-file", str(bad)])
+        assert excinfo.value.code == 2
+        assert "invalid spec file" in capsys.readouterr().err

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workload import generate_scenarios, sample_requests
+from repro.workload import ScenarioBatch, generate_scenarios, sample_requests
 
 
 class TestGenerateScenarios:
@@ -33,6 +33,71 @@ class TestGenerateScenarios:
     def test_zero_iterations_rejected(self):
         with pytest.raises(ValueError):
             generate_scenarios(0, 5)
+
+
+class TestProblemsFastPath:
+    def test_problems_match_problem_accessor(self):
+        batch = generate_scenarios(25, 4, seed=2)
+        for k, fast in enumerate(batch.problems()):
+            slow = batch.problem(k)
+            np.testing.assert_array_equal(fast.probabilities, slow.probabilities)
+            np.testing.assert_array_equal(fast.retrieval_times, slow.retrieval_times)
+            assert fast.viewing_time == slow.viewing_time
+            assert fast.n == slow.n
+
+    def test_problems_yield_read_only_views(self):
+        batch = generate_scenarios(5, 3, seed=2)
+        prob = next(iter(batch.problems()))
+        with pytest.raises(ValueError):
+            prob.probabilities[0] = 0.9
+        # Views, not copies: no per-iteration allocation of the rows.
+        assert prob.probabilities.base is batch.probabilities
+
+    def test_check_rejects_negative_probabilities(self):
+        batch = generate_scenarios(4, 3, seed=2)
+        bad = ScenarioBatch(
+            probabilities=batch.probabilities.copy(),
+            retrieval_times=batch.retrieval_times,
+            viewing_times=batch.viewing_times,
+            requests=batch.requests,
+        )
+        bad.probabilities[1, 0] = -0.1
+        with pytest.raises(ValueError, match="non-negative"):
+            list(bad.problems())
+
+    def test_check_rejects_overweight_rows(self):
+        batch = generate_scenarios(4, 3, seed=2)
+        bad = ScenarioBatch(
+            probabilities=batch.probabilities * 1.5,
+            retrieval_times=batch.retrieval_times,
+            viewing_times=batch.viewing_times,
+            requests=batch.requests,
+        )
+        with pytest.raises(ValueError, match="sum"):
+            list(bad.problems())
+
+    def test_check_rejects_nonpositive_retrievals(self):
+        batch = generate_scenarios(4, 3, seed=2)
+        bad = ScenarioBatch(
+            probabilities=batch.probabilities,
+            retrieval_times=batch.retrieval_times.copy(),
+            viewing_times=batch.viewing_times,
+            requests=batch.requests,
+        )
+        bad.retrieval_times[0, 0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            list(bad.problems())
+
+    def test_check_rejects_shape_mismatch(self):
+        batch = generate_scenarios(4, 3, seed=2)
+        bad = ScenarioBatch(
+            probabilities=batch.probabilities,
+            retrieval_times=batch.retrieval_times[:, :2],
+            viewing_times=batch.viewing_times,
+            requests=batch.requests,
+        )
+        with pytest.raises(ValueError, match="matching"):
+            bad.check()
 
 
 class TestSampleRequests:
