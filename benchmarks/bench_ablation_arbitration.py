@@ -9,7 +9,6 @@ so the contribution of each stage is visible in isolation.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cache import FIFOCache, LFUCache, LRUCache, PrCache, WatchmanCache
 from repro.simulation import PrefetchCacheConfig, run_prefetch_cache

@@ -9,7 +9,6 @@ two end to end on the Figure 7 workload.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.simulation import PrefetchCacheConfig, run_prefetch_cache
 from repro.viz import write_rows

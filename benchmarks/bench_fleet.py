@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Benchmark the fleet simulator: throughput and access time vs fleet size.
+
+Runs the Zipf-mixture fleet at n_clients ∈ {1, 10, 100} on a shared 8-slot
+uplink and records simulator throughput (events/sec and requests/sec) next
+to the fleet metrics (mean access time, p95, server utilization), under
+``results/bench_fleet.*``.  The interesting curve is requests/sec vs fleet
+size: per-request cost is dominated by SKP planning, with an O(log n)
+event-queue pop and an O(n_clients) uplink grant scan per transfer — small
+at these scales — so throughput should degrade gently while contention
+drives access times up.
+
+Run:  python benchmarks/bench_fleet.py [--requests N]
+(reduced scale by default; REPRO_FULL=1 for the 10x version)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, results_path, scale
+
+FLEET_SIZES = (1, 10, 100)
+
+
+def main() -> int:
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.viz.csvout import write_rows
+    from repro.workload.population import zipf_mixture_population
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=scale(200, 2000),
+                        help="requests per client")
+    parser.add_argument("--catalog", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=29)
+    args = parser.parse_args()
+
+    config = FleetConfig(cache_capacity=8, strategy="skp", concurrency=args.concurrency)
+    header = [
+        "n_clients", "requests", "elapsed_s", "events_per_s", "requests_per_s",
+        "mean_access_time", "p95_access_time", "server_utilization",
+    ]
+    rows: list[list[str]] = []
+    lines = [
+        f"fleet benchmark: catalog {args.catalog}, {args.requests} requests/client, "
+        f"{args.concurrency}-slot uplink, skp+pr",
+        "",
+        "n_clients  requests  elapsed   events/s  requests/s  mean T   p95 T    util",
+    ]
+    for n_clients in FLEET_SIZES:
+        population = zipf_mixture_population(
+            n_clients, args.catalog, args.requests,
+            overlap=0.5, stagger=50.0, seed=args.seed,
+        )
+        started = time.perf_counter()
+        result = run_fleet(population, config)
+        elapsed = time.perf_counter() - started
+        requests = population.total_requests
+        rows.append([
+            str(n_clients), str(requests), f"{elapsed:.3f}",
+            f"{result.events / elapsed:.1f}", f"{requests / elapsed:.1f}",
+            f"{result.aggregate.mean_access_time:.4f}",
+            f"{result.aggregate.p95_access_time:.4f}",
+            f"{result.server_utilization:.4f}",
+        ])
+        lines.append(
+            f"{n_clients:9d}  {requests:8d}  {elapsed:7.2f}s  {result.events / elapsed:8.0f}"
+            f"  {requests / elapsed:10.0f}  {result.aggregate.mean_access_time:7.3f}"
+            f"  {result.aggregate.p95_access_time:7.2f}  {result.server_utilization:.3f}"
+        )
+    write_rows(results_path("bench_fleet.csv"), header, rows)
+    emit("bench_fleet.txt", "\n".join(lines))
+    print(f"\nwrote {results_path('bench_fleet.csv')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import PrefetchProblem, solve_kp, solve_skp, solve_skp_exact
+from repro import solve_kp, solve_skp, solve_skp_exact
 from repro.workload import generate_scenarios
 
 from _common import scale

@@ -19,7 +19,6 @@ from repro.core.lookahead import solve_skp_lookahead
 from repro.core.network_aware import threshold_plan
 from repro.simulation.access import access_outcome
 from repro.workload import generate_markov_source
-from repro.workload.scenario import sample_requests
 
 STEPS = 4000
 THETAS = [0.0, 0.05, 0.1, 0.15, 0.2]

@@ -9,7 +9,8 @@ solver that maximises it, the cache-integration arbitration of §5, and the
 full Monte-Carlo evaluation of Figures 4, 5 and 7 — plus the substrates
 those need (workload generators, a Markov request source, cache policies,
 access predictors, and a discrete-event distributed-information-system
-simulator).
+simulator that scales from one client on a private link to a fleet of
+clients contending for one server uplink — see ``docs/distsys.md``).
 
 Quick start — solve one instance::
 
@@ -71,7 +72,7 @@ from repro.core import (
     upper_bound,
 )
 
-__version__ = "1.1.0"  # keep in sync with setup.py
+__version__ = "1.2.0"  # keep in sync with pyproject.toml
 
 __all__ = [
     "__version__",

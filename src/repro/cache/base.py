@@ -8,7 +8,7 @@ frequency policies can maintain their state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CacheStats", "Cache"]
 

@@ -5,9 +5,11 @@ Small, dependency-free front door for the library:
 * ``solve``      — solve one SKP instance given on the command line;
 * ``simulate``   — run the §4.4 prefetch-only experiment and print a summary;
 * ``figure7``    — run one Figure 7 point (policy × cache size);
+* ``fleet``      — run one fleet point: N clients sharing a contended
+  server uplink on a population workload;
 * ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
-  file across worker processes, ``list`` the preset/component catalogs,
-  ``describe`` one preset;
+  file across worker processes (including the ``fleet-*`` presets),
+  ``list`` the preset/component catalogs, ``describe`` one preset;
 * ``version``    — print the package version.
 """
 
@@ -26,6 +28,27 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be a non-negative integer, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _unit_interval(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
     return value
 
 
@@ -102,6 +125,79 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         f"{args.policy} cache={args.cache_size}: mean T {res.mean_access_time:.4f}, "
         f"hit rate {res.hit_rate:.3f}, prefetch precision {res.prefetch_precision:.3f}"
     )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.experiments import (
+        CACHE_POLICIES,
+        PIPELINES,
+        WORKLOADS,
+        build_server_cache,
+    )
+
+    if args.policy not in PIPELINES:
+        args.parser.error(
+            f"unknown pipeline {args.policy!r}; available: {', '.join(PIPELINES.names())}"
+        )
+    if args.server_cache not in CACHE_POLICIES:
+        args.parser.error(
+            f"unknown cache policy {args.server_cache!r}; "
+            f"available: {', '.join(CACHE_POLICIES.names())}"
+        )
+    if args.source not in ("zipf-mix", "markov-pop"):
+        args.parser.error("--source must be zipf-mix or markov-pop")
+    common = dict(stagger=args.stagger, seed=args.seed)
+    if args.source == "zipf-mix":
+        population = WORKLOADS.create(
+            "zipf-mix", args.clients, args.catalog, args.requests,
+            overlap=args.overlap, **common,
+        )
+    else:
+        population = WORKLOADS.create(
+            "markov-pop", args.clients, args.catalog, args.requests, **common
+        )
+    server_cache = build_server_cache(
+        args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
+    )
+    pipeline = dict(PIPELINES.get(args.policy))
+    config = FleetConfig(
+        cache_capacity=args.cache_capacity,
+        strategy=str(pipeline["strategy"]),
+        sub_arbitration=pipeline["sub_arbitration"],
+        concurrency=None if args.concurrency <= 0 else args.concurrency,
+        discipline=args.discipline,
+        miss_penalty=args.miss_penalty,
+    )
+    res = run_fleet(population, config, server_cache=server_cache)
+    agg = res.aggregate
+    print(
+        f"fleet: {args.clients} clients x {args.requests} requests "
+        f"({args.source}, catalog {args.catalog}, "
+        f"uplink {args.concurrency if args.concurrency > 0 else 'unbounded'} "
+        f"slots, {args.discipline})"
+    )
+    print(
+        f"  mean T {agg.mean_access_time:.4f}  p50 {agg.p50_access_time:.4f}  "
+        f"p95 {agg.p95_access_time:.4f}  p99 {agg.p99_access_time:.4f}"
+    )
+    print(
+        f"  hit rate {agg.hit_rate:.3f}  prefetch precision "
+        f"{agg.prefetch_precision:.3f}  fairness {agg.fairness:.3f}"
+    )
+    busy = (
+        f"utilization {res.server_utilization:.3f}"
+        if args.concurrency > 0
+        else f"offered load {res.offered_load:.3f}"
+    )
+    print(
+        f"  server: {busy}  prefetch load "
+        f"{res.prefetch_load_frac:.3f}  transfers {res.transfers_granted}  "
+        f"makespan {res.makespan:.1f}  events {res.events}"
+    )
+    if server_cache is not None:
+        print(f"  server cache hit rate {res.server_cache_hit_rate:.3f}")
     return 0
 
 
@@ -216,6 +312,33 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--seed", type=int, default=0)
     fig7.add_argument("--source-seed", type=int, default=42)
     fig7.set_defaults(func=_cmd_figure7, parser=fig7)
+
+    fleet = sub.add_parser("fleet", help="run one fleet point (N clients, shared uplink)")
+    fleet.add_argument("--clients", type=_positive_int, default=10)
+    fleet.add_argument("--requests", type=_positive_int, default=500,
+                       help="requests per client")
+    fleet.add_argument("--catalog", type=_positive_int, default=100,
+                       help="catalog size (items)")
+    fleet.add_argument("--source", default="zipf-mix",
+                       choices=["zipf-mix", "markov-pop"])
+    fleet.add_argument("--policy", default="skp+pr",
+                       help="planner pipeline name (see `experiment list`)")
+    fleet.add_argument("--overlap", type=_unit_interval, default=0.5,
+                       help="shared-hot-set fraction for zipf-mix")
+    fleet.add_argument("--concurrency", type=_nonnegative_int, default=4,
+                       help="uplink slots (0 = unbounded)")
+    fleet.add_argument("--discipline", default="fifo", choices=["fifo", "fair"])
+    fleet.add_argument("--cache-capacity", type=_nonnegative_int, default=8)
+    fleet.add_argument("--server-cache", default="lru",
+                       help="shared server-side cache policy name")
+    fleet.add_argument("--server-cache-size", type=_nonnegative_int, default=0,
+                       help="shared server-side cache size (0 = off)")
+    fleet.add_argument("--miss-penalty", type=_nonnegative_float, default=0.0,
+                       help="backing-store service penalty")
+    fleet.add_argument("--stagger", type=_nonnegative_float, default=50.0,
+                       help="client start times uniform in [0, stagger]")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.set_defaults(func=_cmd_fleet, parser=fleet)
 
     experiment = sub.add_parser(
         "experiment", help="run/list/describe spec-driven experiments"

@@ -16,13 +16,12 @@ The planner implements the paper's full pipeline (Figure 6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.arbitration import (
-    ArbitrationResult,
     arbitrate_demand,
     arbitrate_prefetch,
     ds_sub_key,

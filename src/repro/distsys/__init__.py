@@ -1,27 +1,38 @@
 """Distributed-information-system substrate (event-driven).
 
 * :mod:`repro.distsys.events` — discrete-event queue;
-* :mod:`repro.distsys.network` — latency/bandwidth link and the
-  non-preemptive transfer channel (the §2 assumption in mechanism form);
-* :mod:`repro.distsys.server` — sized item catalog;
+* :mod:`repro.distsys.network` — latency/bandwidth link, the non-preemptive
+  per-client transfer channel (the §2 assumption in mechanism form), and the
+  fleet's shared finite-concurrency server uplink;
+* :mod:`repro.distsys.server` — sized item catalog, optionally fronted by a
+  shared server-side cache;
 * :mod:`repro.distsys.client` — cache + planner + channel client;
-* :mod:`repro.distsys.session` — trace replay driver.
+* :mod:`repro.distsys.session` — trace replay driver (one client);
+* :mod:`repro.distsys.fleet` — N clients, one contended uplink, population
+  workloads, fleet-level metrics.
 """
 
 from repro.distsys.events import EventQueue
-from repro.distsys.network import Channel, Link
+from repro.distsys.network import Channel, Link, ServerUplink
 from repro.distsys.server import ItemServer
 from repro.distsys.client import Client, ClientStats
 from repro.distsys.session import SessionResult, predictor_provider, run_session
+from repro.distsys.fleet import Fleet, FleetClient, FleetConfig, FleetResult, run_fleet
 
 __all__ = [
     "EventQueue",
     "Channel",
     "Link",
+    "ServerUplink",
     "ItemServer",
     "Client",
     "ClientStats",
     "SessionResult",
     "predictor_provider",
     "run_session",
+    "Fleet",
+    "FleetClient",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet",
 ]

@@ -17,7 +17,6 @@ planning time; each admitted prefetch is paired with a victim or free slot.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,30 +25,15 @@ from repro.core.types import PrefetchProblem
 from repro.distsys.events import EventQueue
 from repro.distsys.network import Channel, Link
 from repro.distsys.server import ItemServer
+from repro.simulation.metrics import AccessStats
 
 __all__ = ["Client", "ClientStats"]
 
 ProbabilityProvider = Callable[[int], np.ndarray]
 
-
-@dataclass
-class ClientStats:
-    cache_hits: int = 0
-    pending_waits: int = 0
-    misses: int = 0
-    prefetches_scheduled: int = 0
-    prefetches_used: int = 0
-    network_prefetch_time: float = 0.0
-    network_demand_time: float = 0.0
-    access_times: list[float] = field(default_factory=list)
-
-    @property
-    def requests(self) -> int:
-        return self.cache_hits + self.pending_waits + self.misses
-
-    @property
-    def mean_access_time(self) -> float:
-        return float(np.mean(self.access_times)) if self.access_times else float("nan")
+#: Historical name; the dataclass now lives in :mod:`repro.simulation.metrics`
+#: so the lean engine, this client, and the fleet share one stats container.
+ClientStats = AccessStats
 
 
 class Client:

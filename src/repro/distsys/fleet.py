@@ -1,0 +1,379 @@
+"""Fleet simulator: N prefetching clients contending for one server uplink.
+
+The single-client engines answer "does speculation pay off over a private
+link?".  The fleet answers the production question: what happens when every
+client's prefetch traffic competes with every other client's *demand*
+traffic for the same server egress.  N event-driven clients share one
+:class:`~repro.distsys.events.EventQueue`, one
+:class:`~repro.distsys.server.ItemServer` (optionally fronted by a shared
+server-side cache) and one :class:`~repro.distsys.network.ServerUplink`
+with finite concurrency and FIFO or fair cross-client scheduling — so
+prefetch intrusion becomes a cross-client effect, not just a per-client
+stretch.
+
+Each :class:`FleetClient` implements exactly the semantics of
+:class:`~repro.distsys.client.Client` (transfers never aborted, demand
+fetches wait for the client's whole backlog, eviction lists leave the cache
+at planning time, each admitted prefetch paired with a victim or free
+slot), but fully event-driven: completion times emerge from the shared
+timeline instead of being computed at enqueue.  A 1-client fleet over an
+unbounded uplink reproduces the single-client engine's access times
+*bit-exactly* (see ``tests/integration/test_cross_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.base import Cache
+from repro.core.planner import Prefetcher
+from repro.core.types import PrefetchProblem
+from repro.distsys.events import EventQueue
+from repro.distsys.network import Link, ServerUplink
+from repro.distsys.server import ItemServer
+from repro.simulation.metrics import AccessStats, FleetAggregate, aggregate_access_stats
+from repro.workload.population import ClientWorkload, Population
+
+__all__ = ["FleetConfig", "FleetClient", "Fleet", "FleetResult", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shared knobs of one fleet run (per-client workloads live in the
+    :class:`~repro.workload.population.Population`)."""
+
+    cache_capacity: int = 8
+    strategy: str = "skp"  # "none" | "kp" | "skp"
+    sub_arbitration: str | None = None  # None | "lfu" | "ds"
+    skp_variant: str = "corrected"
+    planning_window: str = "nominal"  # "nominal" | "effective"
+    concurrency: int | None = 4  # uplink slots; None = unbounded
+    discipline: str = "fifo"  # "fifo" | "fair"
+    latency: float = 0.0
+    bandwidth: float = 1.0
+    miss_penalty: float = 0.0  # server-cache miss service penalty
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.planning_window not in ("nominal", "effective"):
+            raise ValueError(f"unknown planning_window {self.planning_window!r}")
+
+
+class FleetClient:
+    """One event-driven prefetching client inside a fleet.
+
+    The request/serve/plan cycle is driven entirely by scheduled events:
+    ``start()`` seeds the warm-start item at the client's (possibly
+    staggered) start time; every served request plans prefetches for its
+    viewing period and schedules the next request; transfer completions
+    arrive as uplink callbacks.
+    """
+
+    def __init__(
+        self,
+        workload: ClientWorkload,
+        server: ItemServer,
+        link: Link,
+        uplink: ServerUplink,
+        queue: EventQueue,
+        prefetcher: Prefetcher,
+        *,
+        cache_capacity: int,
+        planning_window: str = "nominal",
+    ) -> None:
+        if planning_window not in ("nominal", "effective"):
+            raise ValueError(f"unknown planning_window {planning_window!r}")
+        if cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        self.client_id = int(workload.client_id)
+        self.workload = workload
+        self.server = server
+        self.link = link
+        self.uplink = uplink
+        self.queue = queue
+        self.prefetcher = prefetcher
+        self.capacity = int(cache_capacity)
+        self.planning_window = planning_window
+        self.retrievals = server.retrieval_times(link)
+        self.provider = workload.provider()
+
+        self.cache: set[int] = set()
+        self.origin: dict[int, str] = {}
+        # Pending prefetches: completion time once granted a slot, else None.
+        self.pending: dict[int, float | None] = {}
+        self.frequencies = np.zeros(server.n_items, dtype=np.float64)
+        self.stats = AccessStats()
+        self.finished_at: float | None = None
+
+        self._k = 0  # next trace index
+        self._waiting: tuple[int, int, float] | None = None  # (index, item, t_req)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self.queue.schedule(self.workload.start_time, self._begin)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    def _begin(self) -> None:
+        """Warm start: pre-serve the initial item, plan, queue request 0."""
+        now = self.queue.now
+        item = int(self.workload.initial_item)
+        self.frequencies[item] += 1.0
+        if self.capacity > 0:
+            self.cache.add(item)
+            self.origin[item] = "demand"
+        viewing = float(self.workload.initial_viewing_time)
+        self._view(item, viewing, now)
+        self._schedule_request(now + viewing)
+
+    def _schedule_request(self, at: float) -> None:
+        if self._k < len(self.workload.trace):
+            self.queue.schedule(at, self._request)
+        else:
+            self.finished_at = at
+
+    # -- request handling ----------------------------------------------
+    def _request(self) -> None:
+        now = self.queue.now
+        k = self._k
+        item = int(self.workload.trace.items[k])
+        self._promote_ready(now)
+
+        if item in self.cache:
+            self.stats.cache_hits += 1
+            if self.origin.get(item) == "prefetch":
+                self.stats.prefetches_used += 1
+                self.origin[item] = "prefetch-used"
+            self._serve(k, item, now, now)
+        elif item in self.pending:
+            self._waiting = (k, item, now)  # served by the transfer's arrival
+        else:
+            duration = self.link.transfer_time(self.server.size(item))
+            self.stats.network_demand_time += duration
+            self.stats.misses += 1
+            self.uplink.submit(
+                self.client_id,
+                item,
+                duration,
+                now,
+                lambda completion, k=k, item=item, t_req=now: self._demand_done(
+                    k, item, t_req, completion
+                ),
+                kind="demand",
+            )
+
+    def _demand_done(self, k: int, item: int, t_req: float, completion: float) -> None:
+        # Per-client FIFO means the whole backlog drained before this demand
+        # started (§2: prefetches are never aborted); promote any stragglers.
+        self._promote_ready(completion)
+        if self.capacity > 0:
+            if len(self.cache) >= self.capacity:
+                problem = PrefetchProblem(self.provider(item), self.retrievals, 0.0)
+                victim = self.prefetcher.demand_victim(
+                    problem,
+                    item,
+                    sorted(self.cache),
+                    cache_capacity=self.capacity,
+                    frequencies=self.frequencies,
+                )
+                if victim is not None:
+                    self.cache.discard(victim)
+                    self.origin.pop(victim, None)
+            self.cache.add(item)
+            self.origin[item] = "demand"
+        self._serve(k, item, t_req, completion)
+
+    # -- prefetch arrivals ---------------------------------------------
+    def _granted(self, item: int, completion: float) -> None:
+        if item in self.pending:
+            self.pending[item] = completion
+
+    def _promote_ready(self, now: float) -> None:
+        """Promote granted prefetches that have landed by ``now``.
+
+        Mirrors the lean engine's ``promote(t_req)``: a transfer completing
+        at exactly the request instant counts as a cache hit even if its
+        completion event is ordered after the request event.
+        """
+        done = [
+            item
+            for item, arrival in self.pending.items()
+            if arrival is not None and arrival <= now
+        ]
+        for item in done:
+            self._promote(item)
+
+    def _promote(self, item: int) -> None:
+        del self.pending[item]
+        self.cache.add(item)
+        self.origin[item] = "prefetch"
+
+    def _prefetch_done(self, item: int, completion: float) -> None:
+        if item in self.pending:
+            self._promote(item)
+        if self._waiting is not None and self._waiting[1] == item:
+            k, _, t_req = self._waiting
+            self._waiting = None
+            self.stats.pending_waits += 1
+            self.stats.prefetches_used += 1
+            self.origin[item] = "prefetch-used"
+            self._serve(k, item, t_req, completion)
+
+    # -- serve + plan ----------------------------------------------------
+    def _serve(self, k: int, item: int, t_req: float, t_serve: float) -> None:
+        self.stats.access_times.append(t_serve - t_req)
+        self.frequencies[item] += 1.0
+        viewing = float(self.workload.trace.viewing_times[k])
+        self._k = k + 1
+        self._view(item, viewing, now=t_serve)
+        self._schedule_request(t_serve + viewing)
+
+    def _view(self, item: int, viewing_time: float, now: float) -> None:
+        """Plan and submit prefetches for the viewing period after ``item``."""
+        window = float(viewing_time)
+        if self.planning_window == "effective":
+            window = max(0.0, window - self.uplink.backlog(self.client_id, now))
+        problem = PrefetchProblem(self.provider(item), self.retrievals, window)
+        outcome = self.prefetcher.plan(
+            problem,
+            cache=sorted(self.cache),
+            cache_capacity=self.capacity - len(self.pending),
+            frequencies=self.frequencies,
+            pinned=sorted(self.pending),
+        )
+        for victim in outcome.eject:
+            self.cache.discard(victim)
+            self.origin.pop(victim, None)
+        for f in outcome.prefetch:
+            duration = self.link.transfer_time(self.server.size(f))
+            self.pending[f] = None
+            self.stats.prefetches_scheduled += 1
+            self.stats.network_prefetch_time += duration
+            self.uplink.submit(
+                self.client_id,
+                f,
+                duration,
+                now,
+                lambda completion, it=f: self._prefetch_done(it, completion),
+                kind="prefetch",
+                on_grant=self._granted,
+            )
+        assert len(self.cache) + len(self.pending) <= max(self.capacity, 0)
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet run: per-client stats plus fleet-level metrics.
+
+    ``offered_load`` is the mean number of concurrent transfers (Erlangs:
+    total service time / makespan) and is always defined;
+    ``server_utilization`` is the fraction of slot-time in use
+    (``offered_load / concurrency``) and is NaN for an unbounded uplink,
+    where there is no slot count to divide by.
+    """
+
+    config: FleetConfig
+    client_stats: tuple[AccessStats, ...]
+    aggregate: FleetAggregate
+    makespan: float
+    events: int
+    offered_load: float
+    server_utilization: float
+    prefetch_load_frac: float
+    server_cache_hit_rate: float
+    transfers_granted: int
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.client_stats)
+
+    @property
+    def mean_access_time(self) -> float:
+        return self.aggregate.mean_access_time
+
+
+class Fleet:
+    """Wire a :class:`Population` to one shared server and run it to quiescence."""
+
+    def __init__(
+        self,
+        population: Population,
+        config: FleetConfig = FleetConfig(),
+        *,
+        server_cache: Cache | None = None,
+    ) -> None:
+        self.population = population
+        self.config = config
+        self.queue = EventQueue()
+        self.server = ItemServer(
+            population.sizes, cache=server_cache, miss_penalty=config.miss_penalty
+        )
+        self.link = Link(latency=config.latency, bandwidth=config.bandwidth)
+        self.uplink = ServerUplink(
+            self.queue,
+            self.server,
+            concurrency=config.concurrency,
+            discipline=config.discipline,
+        )
+        prefetcher = Prefetcher(
+            strategy=config.strategy,
+            variant=config.skp_variant,
+            sub_arbitration=config.sub_arbitration,
+        )
+        self.clients = [
+            FleetClient(
+                workload,
+                self.server,
+                self.link,
+                self.uplink,
+                self.queue,
+                prefetcher,
+                cache_capacity=config.cache_capacity,
+                planning_window=config.planning_window,
+            )
+            for workload in population.clients
+        ]
+
+    def run(self) -> FleetResult:
+        for client in self.clients:
+            client.start()
+        events = self.queue.run()
+        unfinished = [c.client_id for c in self.clients if not c.done]
+        if unfinished:  # pragma: no cover - would indicate an engine bug
+            raise RuntimeError(f"clients {unfinished} never finished their traces")
+        makespan = max(
+            self.queue.now, max(c.finished_at for c in self.clients)
+        )
+        total_service = self.uplink.total_service_time
+        offered = total_service / makespan if makespan > 0 else 0.0
+        slots = self.uplink.concurrency
+        utilization = offered / slots if slots else float("nan")
+        prefetch_service = self.uplink.service_time_by_kind["prefetch"]
+        cache = self.server.cache
+        return FleetResult(
+            config=self.config,
+            client_stats=tuple(c.stats for c in self.clients),
+            aggregate=aggregate_access_stats([c.stats for c in self.clients]),
+            makespan=makespan,
+            events=events,
+            offered_load=offered,
+            server_utilization=utilization,
+            prefetch_load_frac=prefetch_service / total_service if total_service else 0.0,
+            server_cache_hit_rate=cache.stats.hit_rate if cache is not None else float("nan"),
+            transfers_granted=self.uplink.granted,
+        )
+
+
+def run_fleet(
+    population: Population,
+    config: FleetConfig = FleetConfig(),
+    *,
+    server_cache: Cache | None = None,
+) -> FleetResult:
+    """Build and run a fleet in one call."""
+    return Fleet(population, config, server_cache=server_cache).run()

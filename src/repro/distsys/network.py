@@ -1,19 +1,30 @@
-"""Network link model: latency + bandwidth, one transfer at a time.
+"""Network link model: latency + bandwidth links, per-client channels, and
+the fleet's shared server uplink.
 
 The paper abstracts the network into per-item retrieval times ``r_i``.  This
 module grounds them: ``r_i = latency + size_i / bandwidth`` over a single
 sequential channel (the client's downlink), which is also how the §2
 assumption "the prefetch completes before the demand fetch" arises — a
 transfer in progress is never preempted.
+
+:class:`Channel` is the one-client view (completion times computable at
+enqueue).  :class:`ServerUplink` is the many-client generalisation: one
+server egress with finite concurrency shared by every client, so prefetch
+traffic from one client delays demand fetches of another — the cross-client
+intrusion the single-link model cannot express.  Under contention a
+transfer's completion depends on *future* arrivals, so the uplink delivers
+completions through the event queue instead of returning them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Link", "Channel"]
+__all__ = ["Link", "Channel", "ServerUplink"]
 
 
 @dataclass(frozen=True)
@@ -69,3 +80,182 @@ class Channel:
     def backlog(self, now: float) -> float:
         """Remaining busy time as seen at ``now`` (the live stretch)."""
         return max(0.0, self.busy_until - float(now))
+
+
+# ---------------------------------------------------------------------------
+# The fleet's shared server egress
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Transfer:
+    """One submitted transfer; ``completion`` is unknown until granted."""
+
+    client_id: int
+    item: int
+    duration: float  # client-link transfer time (server penalty added at grant)
+    kind: str  # "prefetch" | "demand"
+    seq: int
+    submitted: float
+    on_complete: Callable[[float], None]
+    on_grant: Callable[[int, float], None] | None = None
+    completion: float | None = field(default=None)
+
+
+class ServerUplink:
+    """Shared server egress: at most ``concurrency`` transfers in flight.
+
+    Each client's transfers are served in submission order, one at a time —
+    exactly the sequential, non-preemptive :class:`Channel` semantics of the
+    single-client model — and the head transfer of every idle client competes
+    for free uplink slots.  With ``concurrency=None`` (unbounded) every
+    client proceeds as if it had a private link, which is how a 1-client
+    fleet degenerates to the original :class:`~repro.distsys.client.Client`.
+
+    Scheduling disciplines when a slot frees:
+
+    * ``"fifo"``  — grant the transfer submitted earliest (global order);
+    * ``"fair"``  — round-robin over clients: the least-recently-granted
+      client with a ready transfer goes first.
+
+    A granted transfer occupies a slot for its client-link transfer time
+    plus whatever the server adds (:meth:`ItemServer.serve` — the shared
+    server-cache miss penalty).  Completion times are delivered through the
+    event queue; ties are resolved by submission sequence, so the timeline
+    is deterministic.
+    """
+
+    _DISCIPLINES = ("fifo", "fair")
+
+    def __init__(self, queue, server, *, concurrency: int | None = None,
+                 discipline: str = "fifo") -> None:
+        if discipline not in self._DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {self._DISCIPLINES}, got {discipline!r}"
+            )
+        if concurrency is not None and int(concurrency) < 1:
+            raise ValueError("concurrency must be positive (or None for unbounded)")
+        self.queue = queue
+        self.server = server
+        self.concurrency = None if concurrency is None else int(concurrency)
+        self.discipline = discipline
+        self._queues: dict[int, deque[_Transfer]] = {}
+        self._in_flight: dict[int, _Transfer] = {}  # client -> granted transfer
+        self._seq = 0
+        self._grant_counter = 0
+        self._last_grant: dict[int, int] = {}
+        # -- stats ---------------------------------------------------------
+        self.granted = 0
+        self.total_service_time = 0.0
+        self.service_time_by_kind = {"prefetch": 0.0, "demand": 0.0}
+        self.peak_in_flight = 0
+        self.last_completion = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        client_id: int,
+        item: int,
+        duration: float,
+        now: float,
+        on_complete: Callable[[float], None],
+        *,
+        kind: str = "demand",
+        on_grant: Callable[[int, float], None] | None = None,
+    ) -> None:
+        """Queue a transfer of ``duration`` (client-link time) for ``client_id``.
+
+        ``on_grant(item, completion)`` fires when a slot is granted (possibly
+        synchronously); ``on_complete(completion)`` fires from the event
+        queue when the transfer lands.
+        """
+        if duration <= 0:
+            raise ValueError("transfer duration must be positive")
+        if kind not in self.service_time_by_kind:
+            raise ValueError(f"unknown transfer kind {kind!r}")
+        transfer = _Transfer(
+            client_id=int(client_id),
+            item=int(item),
+            duration=float(duration),
+            kind=kind,
+            seq=self._seq,
+            submitted=float(now),
+            on_complete=on_complete,
+            on_grant=on_grant,
+        )
+        self._seq += 1
+        self._queues.setdefault(transfer.client_id, deque()).append(transfer)
+        self._try_grant(float(now))
+
+    # ------------------------------------------------------------------
+    def _ready_clients(self) -> list[int]:
+        # Linear scan per grant: dwarfed by per-request planning cost at the
+        # supported fleet sizes (see benchmarks/bench_fleet.py), and a heap
+        # would have to re-key on every grant under the "fair" discipline.
+        return [
+            cid
+            for cid, q in self._queues.items()
+            if q and cid not in self._in_flight
+        ]
+
+    def _pick(self, ready: list[int]) -> int:
+        if self.discipline == "fifo":
+            return min(ready, key=lambda cid: self._queues[cid][0].seq)
+        # fair: least-recently-granted client first; brand-new clients (no
+        # grant yet) rank by submission order via the -1 sentinel + seq tie.
+        return min(
+            ready,
+            key=lambda cid: (self._last_grant.get(cid, -1), self._queues[cid][0].seq),
+        )
+
+    def _try_grant(self, now: float) -> None:
+        while True:
+            if self.concurrency is not None and len(self._in_flight) >= self.concurrency:
+                return
+            ready = self._ready_clients()
+            if not ready:
+                return
+            cid = self._pick(ready)
+            transfer = self._queues[cid].popleft()
+            self._in_flight[cid] = transfer
+            self._last_grant[cid] = self._grant_counter
+            self._grant_counter += 1
+            service = transfer.duration + self.server.serve(transfer.item)
+            completion = now + service
+            transfer.completion = completion
+            self.granted += 1
+            self.total_service_time += service
+            self.service_time_by_kind[transfer.kind] += service
+            self.peak_in_flight = max(self.peak_in_flight, len(self._in_flight))
+            self.last_completion = max(self.last_completion, completion)
+            self.queue.schedule(completion, lambda t=transfer: self._complete(t))
+            if transfer.on_grant is not None:
+                transfer.on_grant(transfer.item, completion)
+
+    def _complete(self, transfer: _Transfer) -> None:
+        del self._in_flight[transfer.client_id]
+        if not self._queues.get(transfer.client_id):
+            self._queues.pop(transfer.client_id, None)
+        self._try_grant(self.queue.now)
+        transfer.on_complete(transfer.completion)
+
+    # ------------------------------------------------------------------
+    def backlog(self, client_id: int, now: float) -> float:
+        """This client's queued work as seen at ``now``, ignoring contention.
+
+        Folds the in-flight completion and queued durations left to right —
+        the exact arithmetic of :meth:`Channel.backlog` — so with an
+        unbounded uplink the value is bit-identical to the single-client
+        channel's live stretch.  Under contention it is an optimistic lower
+        bound (grants may be delayed by other clients).
+        """
+        client_id = int(client_id)
+        t = float(now)
+        in_flight = self._in_flight.get(client_id)
+        if in_flight is not None:
+            t = in_flight.completion
+        for transfer in self._queues.get(client_id, ()):
+            t = t + transfer.duration
+        return max(0.0, t - float(now))
+
+    def idle(self) -> bool:
+        return not self._in_flight and not any(self._queues.values())

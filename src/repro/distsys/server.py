@@ -1,28 +1,47 @@
-"""The information server: a catalog of sized items.
+"""The information server: a catalog of sized items, optionally fronted by a
+shared server-side cache.
 
 Deliberately thin — the paper's server is just "where remote items live".
 It owns item sizes (equal by default, per §5's assumption) and derives
 retrieval times for a given link, so examples can explore non-uniform sizes
 (the §6 future-work axis) without touching the client.
+
+For the fleet, the server may carry a shared cache (any
+:class:`repro.cache.base.Cache` policy, reused server-side): ``miss_penalty``
+models the backing store behind the server, paid on every serve without a
+cache and only on misses with one — so hot-set overlap across clients
+becomes a measurable server-side effect.  The defaults (no cache, zero
+penalty) preserve the single-client model exactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.base import Cache
 from repro.distsys.network import Link
 
 __all__ = ["ItemServer"]
 
 
 class ItemServer:
-    def __init__(self, sizes: np.ndarray) -> None:
+    def __init__(
+        self,
+        sizes: np.ndarray,
+        *,
+        cache: Cache | None = None,
+        miss_penalty: float = 0.0,
+    ) -> None:
         sizes = np.asarray(sizes, dtype=np.float64)
         if sizes.ndim != 1 or sizes.shape[0] < 1:
             raise ValueError("sizes must be a non-empty 1-D array")
         if np.any(sizes <= 0) or not np.all(np.isfinite(sizes)):
             raise ValueError("sizes must be finite and positive")
+        if miss_penalty < 0 or not np.isfinite(miss_penalty):
+            raise ValueError("miss_penalty must be finite and non-negative")
         self.sizes = sizes
+        self.cache = cache
+        self.miss_penalty = float(miss_penalty)
 
     @classmethod
     def uniform(cls, n_items: int, size: float = 1.0) -> "ItemServer":
@@ -38,3 +57,19 @@ class ItemServer:
 
     def retrieval_times(self, link: Link) -> np.ndarray:
         return link.retrieval_times(self.sizes)
+
+    def serve(self, item: int) -> float:
+        """Record a server-side access; returns the extra service time.
+
+        ``miss_penalty`` models the backing store behind the server: with no
+        cache every serve pays it; with a cache only misses do (the item is
+        then admitted, evicting per the cache's policy).  The default
+        penalty of zero preserves the single-client model exactly.
+        """
+        if self.cache is None:
+            return self.miss_penalty
+        item = int(item)
+        if self.cache.access(item):
+            return 0.0
+        self.cache.insert(item)
+        return self.miss_penalty

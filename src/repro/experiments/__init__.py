@@ -39,6 +39,7 @@ from repro.experiments.registry import (
     RegistryError,
     UnknownComponentError,
     all_registries,
+    build_server_cache,
 )
 from repro.experiments.spec import KIND_INFO, ExperimentSpec, SpecError
 
@@ -62,6 +63,7 @@ __all__ = [
     "RegistryError",
     "UnknownComponentError",
     "all_registries",
+    "build_server_cache",
     "KIND_INFO",
     "ExperimentSpec",
     "SpecError",

@@ -185,6 +185,92 @@ def _cache_grid() -> ExperimentSpec:
     )
 
 
+@PRESETS.register("fleet-small")
+def _fleet_small() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-small",
+        kind="fleet",
+        workload={
+            "n": 40,
+            "top_k": 10,
+            "stagger": 20.0,
+            "cache_capacity": 6,
+            "concurrency": 2,
+        },
+        grid={"policy": ("skp+pr",), "n_clients": (1, 4)},
+        iterations=150,
+        seed=23,
+        description=(
+            "Smoke-scale fleet: 1 vs 4 clients on a 40-item Zipf-mixture "
+            "catalog over a 2-slot uplink (CI and determinism tests)."
+        ),
+    )
+
+
+@PRESETS.register("fleet-zipf")
+def _fleet_zipf() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-zipf",
+        kind="fleet",
+        workload={"concurrency": 8},
+        grid={
+            "policy": ("no+pr", "skp+pr", "skp+pr+ds"),
+            "n_clients": (1, 10, 100),
+        },
+        iterations=10_000,
+        seed=29,
+        description=(
+            "Fleet scale-up: does speculation still pay off when 1 / 10 / "
+            "100 Zipf-mixture clients share an 8-slot server uplink?  "
+            "iterations = requests per client."
+        ),
+    )
+
+
+@PRESETS.register("fleet-contention")
+def _fleet_contention() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-contention",
+        kind="fleet",
+        workload={"overlap": 0.8},
+        grid={
+            "policy": ("skp+pr",),
+            "n_clients": (16,),
+            "concurrency": (1, 2, 4, 8, 0),  # 0 = unbounded
+            "discipline": ("fifo", "fair"),
+        },
+        iterations=1000,
+        seed=31,
+        description=(
+            "Prefetch intrusion as a cross-client effect: 16 clients vs "
+            "uplink concurrency (1..8, unbounded) under FIFO and fair "
+            "scheduling; contention axes share draws (CRN)."
+        ),
+    )
+
+
+@PRESETS.register("fleet-overlap")
+def _fleet_overlap() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-overlap",
+        kind="fleet",
+        workload={"miss_penalty": 10.0},
+        grid={
+            "policy": ("skp+pr",),
+            "n_clients": (10,),
+            "overlap": (0.0, 0.5, 1.0),
+            "server_cache_size": (0, 25),
+        },
+        iterations=1000,
+        seed=37,
+        description=(
+            "Hot-set overlap × shared server cache: a 25-item server-side "
+            "LRU absorbs the backing-store penalty only insofar as clients "
+            "share a hot set."
+        ),
+    )
+
+
 @PRESETS.register("predictor-grid")
 def _predictor_grid() -> ExperimentSpec:
     return ExperimentSpec(

@@ -16,7 +16,10 @@ import path, in the style of Icarus' experiment orchestration:
   factories take ``(capacity, context)`` where ``context`` is a
   :class:`CacheContext` carrying retrieval times and popularity;
 * :data:`WORKLOADS`       — probability/request sources (``"skewy"``,
-  ``"flat"``, ``"zipf"``, ``"markov"``).
+  ``"flat"``, ``"zipf"``, ``"markov"``) and fleet population builders
+  (``"zipf-mix"``, ``"markov-pop"``; factories take
+  ``(n_clients, n_items, requests, **knobs)`` and return a
+  :class:`repro.workload.population.Population`).
 
 Registration is declarative::
 
@@ -34,7 +37,7 @@ available names, so a typo in a spec fails loudly at validation time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Callable, Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -50,6 +53,7 @@ __all__ = [
     "CACHE_POLICIES",
     "WORKLOADS",
     "all_registries",
+    "build_server_cache",
 ]
 
 
@@ -150,6 +154,36 @@ def all_registries() -> dict[str, Registry]:
         "cache-policies": CACHE_POLICIES,
         "workloads": WORKLOADS,
     }
+
+
+def build_server_cache(
+    policy_name: str,
+    capacity: int,
+    sizes: np.ndarray,
+    *,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+    seed: int = 0,
+):
+    """Construct a fleet's shared server-side cache, or None if disabled.
+
+    Resolves ``policy_name`` in :data:`CACHE_POLICIES` with a
+    :class:`CacheContext` derived from the catalog — link retrieval times
+    over the given ``sizes`` and a flat popularity prior (the population's
+    true mixture is per-client, so the server-side view is agnostic).  The
+    one place both the experiment engine and the CLI build this from.
+    """
+    if int(capacity) <= 0:
+        return None
+    from repro.distsys.network import Link
+
+    sizes = np.asarray(sizes, dtype=np.float64)
+    context = CacheContext(
+        retrieval_times=Link(latency=latency, bandwidth=bandwidth).retrieval_times(sizes),
+        probabilities=np.full(sizes.shape[0], 1.0 / sizes.shape[0]),
+        seed=int(seed) % (2**32),
+    )
+    return CACHE_POLICIES.create(str(policy_name), int(capacity), context)
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +330,11 @@ def _register_builtin_workloads() -> None:
     )
     WORKLOADS.register("zipf", _zipf_rows)
     WORKLOADS.register("markov", generate_markov_source)
+
+    from repro.workload.population import markov_population, zipf_mixture_population
+
+    WORKLOADS.register("zipf-mix", zipf_mixture_population)
+    WORKLOADS.register("markov-pop", markov_population)
 
 
 _register_builtin_strategies()

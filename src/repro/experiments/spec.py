@@ -8,7 +8,7 @@ data.  Specs round-trip losslessly through JSON
 (:meth:`ExperimentSpec.spec_hash` goes into result provenance), and expand
 into a list of *cells* (one grid point each) that the engine executes.
 
-The four experiment kinds:
+The five experiment kinds:
 
 ``prefetch-only``
     The §4.4 Monte-Carlo simulation behind Figures 4/5: i.i.d. one-shot
@@ -26,12 +26,21 @@ The four experiment kinds:
 ``predictor-eval``
     Prequential predictor scoring on a Markov trace: ``predictor`` axis
     naming :data:`~repro.experiments.registry.PREDICTORS` entries.
+``fleet``
+    N clients sharing one contended server uplink
+    (:mod:`repro.distsys.fleet`): ``policy`` axis naming
+    :data:`~repro.experiments.registry.PIPELINES` entries, an ``n_clients``
+    axis, population knobs (``overlap``, Zipf-mixture / Markov-population
+    sources), and contention knobs (``concurrency``, ``discipline``,
+    ``server_cache_size``).  ``iterations`` is requests *per client*.
 
 Seeding contract (common random numbers): a cell's seed is derived from the
 spec seed plus the cell's *workload-affecting* parameters only.  Cells that
-differ only in ``policy``/``predictor``/``cache_size`` therefore face
-identical draws, so metric differences between them are component effects,
-not sampling noise — and results are independent of worker count.
+differ only in ``policy``/``predictor``/``cache_size`` — or in a kind's
+declared ``component_params`` (the fleet's contention knobs, which shape
+service but not the draws) — therefore face identical draws, so metric
+differences between them are component effects, not sampling noise — and
+results are independent of worker count.
 """
 
 from __future__ import annotations
@@ -70,6 +79,11 @@ class KindInfo:
     component_registries: dict  # axis name -> Registry for name validation
     metrics: tuple[str, ...]
     sources: tuple[str, ...] = ()  # allowed values of the "source" param
+    #: Parameters that select service machinery rather than shape the draws
+    #: (e.g. the fleet's contention knobs); like :data:`COMPONENT_AXES` they
+    #: are excluded from cell-seed derivation so sweeping them keeps common
+    #: random numbers.
+    component_params: tuple[str, ...] = ()
 
 
 KIND_INFO: dict[str, KindInfo] = {
@@ -145,6 +159,71 @@ KIND_INFO: dict[str, KindInfo] = {
             "top5_hit_rate",
             "mean_assigned_probability",
             "mean_log_loss",
+        ),
+    ),
+    "fleet": KindInfo(
+        workload_defaults={
+            "source": "zipf-mix",
+            "n": 100,
+            "exponent_min": 0.8,
+            "exponent_max": 1.2,
+            "overlap": 0.5,
+            "top_k": 20,
+            "out_min": 10,
+            "out_max": 20,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "size_min": 1.0,
+            "size_max": 30.0,
+            "stagger": 50.0,
+            "cache_capacity": 8,
+            "planning_window": "nominal",
+            "skp_variant": "corrected",
+            "latency": 0.0,
+            "bandwidth": 1.0,
+            "concurrency": 4,
+            "discipline": "fifo",
+            "server_cache": "lru",
+            "server_cache_size": 0,
+            "miss_penalty": 0.0,
+        },
+        axes=(
+            "policy",
+            "n_clients",
+            "overlap",
+            "concurrency",
+            "discipline",
+            "server_cache_size",
+        ),
+        required_axes=("policy", "n_clients"),
+        component_registries={"policy": PIPELINES},
+        metrics=(
+            "mean_access_time",
+            "p95_access_time",
+            "hit_rate",
+            "server_utilization",
+            "prefetch_load_frac",
+            "server_cache_hit_rate",
+            "fairness",
+        ),
+        sources=("zipf-mix", "markov-pop"),
+        # Everything that shapes service rather than the population draws:
+        # sweeping any of these keeps common random numbers.  n_clients
+        # qualifies because per-client streams are hashed from (seed,
+        # client id) alone — a 100-client fleet extends a 1-client fleet
+        # client-by-client, so the scale axis compares identical draws.
+        component_params=(
+            "n_clients",
+            "cache_capacity",
+            "planning_window",
+            "skp_variant",
+            "latency",
+            "bandwidth",
+            "concurrency",
+            "discipline",
+            "server_cache",
+            "server_cache_size",
+            "miss_penalty",
         ),
     ),
 }
@@ -243,6 +322,15 @@ class ExperimentSpec:
                         f"kind {self.kind!r} supports sources {list(info.sources)}, "
                         f"got {source!r}"
                     )
+        if self.kind == "fleet":
+            wl = self.effective_workload()
+            CACHE_POLICIES.get(str(wl["server_cache"]))  # typo fails at validation
+            for value in self.grid.get("n_clients", ()):
+                if not isinstance(value, int) or value < 1:
+                    raise SpecError(f"n_clients values must be positive ints, got {value!r}")
+            for value in self.grid.get("discipline", (wl["discipline"],)):
+                if value not in ("fifo", "fair"):
+                    raise SpecError(f"discipline must be 'fifo' or 'fair', got {value!r}")
         for value in self.grid.get("v_bin", ()):
             if (
                 not isinstance(value, tuple)
@@ -278,10 +366,16 @@ class ExperimentSpec:
         return combos
 
     def cell_workload(self, cell: Mapping) -> dict:
-        """Workload parameters effective in ``cell`` (axes override defaults)."""
+        """Workload parameters effective in ``cell`` (axes override defaults).
+
+        Component axes and the kind's ``component_params`` stay at their
+        workload defaults here; runners read their swept values from the
+        cell itself.
+        """
         merged = self.effective_workload()
+        skipped = set(COMPONENT_AXES) | set(self.info.component_params)
         for axis, value in cell.items():
-            if axis in COMPONENT_AXES:
+            if axis in skipped:
                 continue
             if axis == "v_bin":
                 merged["v_min"], merged["v_max"] = value
@@ -289,18 +383,30 @@ class ExperimentSpec:
                 merged[axis] = value
         return merged
 
+    def cell_param(self, cell: Mapping, name: str):
+        """A component parameter's effective value: cell axis, else default."""
+        if name in cell:
+            return cell[name]
+        return self.effective_workload()[name]
+
     def cell_seed(self, cell: Mapping) -> int:
         """Deterministic per-cell seed from the workload-affecting parameters.
 
-        Component axes are excluded so every policy/predictor/cache size sees
+        Component axes and ``component_params`` are excluded so every
+        policy/predictor/cache size — and every contention setting — sees
         the same draws (common random numbers), independent of cell order or
         worker count.
         """
+        workload = {
+            k: v
+            for k, v in self.cell_workload(cell).items()
+            if k not in self.info.component_params
+        }
         payload = {
             "seed": int(self.seed),
             "iterations": int(self.iterations),
             "kind": self.kind,
-            "workload": self.cell_workload(cell),
+            "workload": workload,
         }
         digest = hashlib.sha256(
             json.dumps(_thaw(payload), sort_keys=True).encode()

@@ -4,11 +4,20 @@
 * :mod:`repro.simulation.policies` — the four Figure 5 prefetch policies;
 * :mod:`repro.simulation.prefetch_only` — §4.4 experiment (Figures 4–5);
 * :mod:`repro.simulation.prefetch_cache` — §5.3 experiment (Figure 7);
-* :mod:`repro.simulation.metrics` — binning and summaries.
+* :mod:`repro.simulation.metrics` — binning, summaries, and the shared
+  per-client :class:`AccessStats` with its fleet aggregation.
 """
 
 from repro.simulation.access import AccessOutcome, HitKind, access_outcome
-from repro.simulation.metrics import BinnedSeries, Summary, bin_mean, summarise
+from repro.simulation.metrics import (
+    AccessStats,
+    BinnedSeries,
+    FleetAggregate,
+    Summary,
+    aggregate_access_stats,
+    bin_mean,
+    summarise,
+)
 from repro.simulation.policies import (
     KPPrefetch,
     NoPrefetch,
@@ -34,8 +43,11 @@ __all__ = [
     "AccessOutcome",
     "HitKind",
     "access_outcome",
+    "AccessStats",
     "BinnedSeries",
+    "FleetAggregate",
     "Summary",
+    "aggregate_access_stats",
     "bin_mean",
     "summarise",
     "KPPrefetch",

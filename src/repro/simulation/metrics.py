@@ -1,12 +1,128 @@
-"""Aggregation helpers for simulation output (binning, summaries)."""
+"""Aggregation helpers for simulation output (binning, summaries, fleets).
+
+Besides the Figure 5 binning utilities, this module owns the shared
+per-client access accounting (:class:`AccessStats`, historically
+``repro.distsys.client.ClientStats``) and its population-level roll-up
+(:func:`aggregate_access_stats`), so the single-client engines and the fleet
+simulator report through one dataclass instead of three near-duplicates.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["BinnedSeries", "bin_mean", "summarise"]
+__all__ = [
+    "AccessStats",
+    "BinnedSeries",
+    "FleetAggregate",
+    "aggregate_access_stats",
+    "bin_mean",
+    "summarise",
+]
+
+
+@dataclass
+class AccessStats:
+    """Per-client access accounting shared by the event-driven engines.
+
+    One instance accumulates the life of one client: how requests were
+    served (``cache_hits`` / ``pending_waits`` / ``misses``), what the
+    prefetcher did, how much network time each traffic class consumed, and
+    the per-request access times themselves.
+    """
+
+    cache_hits: int = 0
+    pending_waits: int = 0
+    misses: int = 0
+    prefetches_scheduled: int = 0
+    prefetches_used: int = 0
+    network_prefetch_time: float = 0.0
+    network_demand_time: float = 0.0
+    access_times: list[float] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return self.cache_hits + self.pending_waits + self.misses
+
+    @property
+    def mean_access_time(self) -> float:
+        return float(np.mean(self.access_times)) if self.access_times else float("nan")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else float("nan")
+
+    @property
+    def prefetch_precision(self) -> float:
+        """Fraction of scheduled prefetches that were eventually requested."""
+        if self.prefetches_scheduled == 0:
+            return float("nan")
+        return self.prefetches_used / self.prefetches_scheduled
+
+
+@dataclass(frozen=True)
+class FleetAggregate:
+    """Population roll-up of many :class:`AccessStats`.
+
+    Percentiles are over the *pooled* per-request access times; ``fairness``
+    is Jain's index over per-client mean access times (1 = perfectly even,
+    1/N = one client absorbs all the delay).
+    """
+
+    n_clients: int
+    requests: int
+    mean_access_time: float
+    p50_access_time: float
+    p95_access_time: float
+    p99_access_time: float
+    hit_rate: float
+    prefetch_precision: float
+    network_prefetch_time: float
+    network_demand_time: float
+    fairness: float
+    per_client_mean: np.ndarray
+
+
+def aggregate_access_stats(stats: Sequence[AccessStats]) -> FleetAggregate:
+    """Fold per-client :class:`AccessStats` into one :class:`FleetAggregate`."""
+    stats = list(stats)
+    if not stats:
+        raise ValueError("need at least one AccessStats to aggregate")
+    pooled = np.concatenate(
+        [np.asarray(s.access_times, dtype=np.float64) for s in stats]
+    ) if any(s.access_times for s in stats) else np.empty(0)
+    requests = sum(s.requests for s in stats)
+    hits = sum(s.cache_hits for s in stats)
+    scheduled = sum(s.prefetches_scheduled for s in stats)
+    used = sum(s.prefetches_used for s in stats)
+    per_client = np.asarray([s.mean_access_time for s in stats], dtype=np.float64)
+    active = per_client[~np.isnan(per_client)]
+    if active.size and float((active**2).sum()) > 0.0:
+        fairness = float(active.sum()) ** 2 / (active.size * float((active**2).sum()))
+    else:
+        fairness = 1.0  # all-zero (or empty) access times: nothing is unfair
+    if pooled.size:
+        p50, p95, p99 = (float(np.percentile(pooled, q)) for q in (50, 95, 99))
+        mean = float(pooled.mean())
+    else:
+        p50 = p95 = p99 = mean = float("nan")
+    return FleetAggregate(
+        n_clients=len(stats),
+        requests=requests,
+        mean_access_time=mean,
+        p50_access_time=p50,
+        p95_access_time=p95,
+        p99_access_time=p99,
+        hit_rate=hits / requests if requests else float("nan"),
+        prefetch_precision=used / scheduled if scheduled else float("nan"),
+        network_prefetch_time=float(sum(s.network_prefetch_time for s in stats)),
+        network_demand_time=float(sum(s.network_demand_time for s in stats)),
+        fairness=fairness,
+        per_client_mean=per_client,
+    )
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ Timeline semantics (single channel, DESIGN.md §3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

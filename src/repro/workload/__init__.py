@@ -7,7 +7,9 @@
 * :mod:`repro.workload.markov_source` — the §5.3 100-state Markov request
   source (Figure 7);
 * :mod:`repro.workload.zipf` — heavy-tailed popularity (robustness);
-* :mod:`repro.workload.trace` — record/replay of request traces.
+* :mod:`repro.workload.trace` — record/replay of request traces;
+* :mod:`repro.workload.population` — per-client fleet workloads
+  (Zipf mixtures with hot-set overlap, per-client Markov sources).
 """
 
 from repro.workload.probability import (
@@ -20,6 +22,13 @@ from repro.workload.scenario import ScenarioBatch, generate_scenarios, sample_re
 from repro.workload.markov_source import MarkovSource, generate_markov_source
 from repro.workload.zipf import zipf_probabilities, zipf_requests
 from repro.workload.trace import Trace, record_markov_trace
+from repro.workload.population import (
+    ClientWorkload,
+    Population,
+    derive_seed,
+    markov_population,
+    zipf_mixture_population,
+)
 
 __all__ = [
     "PROBABILITY_METHODS",
@@ -35,4 +44,9 @@ __all__ = [
     "zipf_requests",
     "Trace",
     "record_markov_trace",
+    "ClientWorkload",
+    "Population",
+    "derive_seed",
+    "markov_population",
+    "zipf_mixture_population",
 ]

@@ -1,0 +1,241 @@
+"""Population workloads: heterogeneous per-client request streams for fleets.
+
+The single-client engines replay one trace; a fleet needs *N* of them, each
+different yet jointly reproducible.  This module stamps out per-client
+workloads from a handful of population-level knobs:
+
+* **Zipf mixture** — every client draws i.i.d. requests from its own Zipf
+  popularity ranking, with a per-client exponent sampled from a range and a
+  shared-hot-set ``overlap`` knob: the top ``round(overlap * n)`` ranks of
+  every client's ranking are a common permutation prefix (identical hot
+  items across the fleet), the tail is a private shuffle.  ``overlap=1``
+  maximises cross-client sharing (one server-side hot set); ``overlap=0``
+  gives fully private rankings.
+* **Markov population** — every client walks its own §5.3-style Markov
+  source (private transition structure, shared item catalog).
+
+Every random decision derives from :func:`derive_seed` over the base seed
+plus *workload parameters only* (client id, role) — never from execution
+order — so populations are bit-identical across worker counts and a client's
+stream does not change when the fleet around it grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.workload.markov_source import generate_markov_source
+from repro.workload.trace import Trace
+from repro.workload.zipf import zipf_probabilities
+
+__all__ = [
+    "ClientWorkload",
+    "Population",
+    "derive_seed",
+    "markov_population",
+    "zipf_mixture_population",
+]
+
+
+def derive_seed(base_seed: int, **params) -> int:
+    """Deterministic 64-bit seed from ``base_seed`` plus keyword parameters.
+
+    SHA-256 over the sorted JSON payload — the same construction as
+    :meth:`repro.experiments.spec.ExperimentSpec.cell_seed` — so per-client
+    seeds depend only on workload identity, never on execution order.
+    """
+    payload = {"seed": int(base_seed), **{str(k): v for k, v in params.items()}}
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ClientWorkload:
+    """One client's replayable workload: trace, warm start, and access model.
+
+    Exactly one of ``probabilities`` (static next-access row, Zipf clients)
+    or ``transition`` (per-client Markov matrix) is set; :meth:`provider`
+    adapts either to the planner's probability-provider interface.
+    """
+
+    client_id: int
+    trace: Trace
+    initial_item: int
+    initial_viewing_time: float
+    start_time: float = 0.0
+    probabilities: np.ndarray | None = None
+    transition: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if (self.probabilities is None) == (self.transition is None):
+            raise ValueError("set exactly one of probabilities / transition")
+        if self.start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if self.initial_viewing_time < 0:
+            raise ValueError("initial_viewing_time must be non-negative")
+
+    def provider(self) -> Callable[[int], np.ndarray]:
+        """The client's next-access estimate, as the planner expects it."""
+        if self.transition is not None:
+            transition = self.transition
+            return lambda item: transition[int(item)]
+        probabilities = self.probabilities
+        return lambda item: probabilities
+
+
+@dataclass(frozen=True)
+class Population:
+    """A fleet workload: the shared item catalog plus one workload per client."""
+
+    sizes: np.ndarray  # shared catalog item sizes
+    clients: tuple[ClientWorkload, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clients:
+            raise ValueError("a population needs at least one client")
+
+    @property
+    def n_items(self) -> int:
+        return int(np.asarray(self.sizes).shape[0])
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(c.trace) for c in self.clients)
+
+
+def _catalog_sizes(n_items: int, size_range: tuple[float, float], seed: int) -> np.ndarray:
+    lo, hi = float(size_range[0]), float(size_range[1])
+    if not (0 < lo <= hi):
+        raise ValueError(f"size_range must satisfy 0 < lo <= hi, got {size_range}")
+    rng = np.random.default_rng(derive_seed(seed, role="catalog"))
+    return rng.uniform(lo, hi, int(n_items))
+
+
+def _check_common(n_clients: int, n_items: int, requests: int, stagger: float) -> None:
+    if n_clients < 1:
+        raise ValueError("n_clients must be positive")
+    if n_items < 2:
+        raise ValueError("need at least two catalog items")
+    if requests < 1:
+        raise ValueError("requests must be positive")
+    if stagger < 0:
+        raise ValueError("stagger must be non-negative")
+
+
+def zipf_mixture_population(
+    n_clients: int,
+    n_items: int,
+    requests: int,
+    *,
+    exponent_range: tuple[float, float] = (0.8, 1.2),
+    overlap: float = 1.0,
+    top_k: int = 20,
+    v_range: tuple[float, float] = (1.0, 100.0),
+    size_range: tuple[float, float] = (1.0, 30.0),
+    stagger: float = 0.0,
+    seed: int = 0,
+) -> Population:
+    """Zipf-mixture fleet: per-client exponents and hot-set ``overlap``.
+
+    Each client's *planner view* keeps only its ``top_k`` most popular items
+    (the true distribution truncated, residual mass left unassigned) so the
+    candidate sets the SKP solver faces stay comparable to the paper's
+    Markov out-degree of 10–20; the request stream itself samples the full
+    distribution.  Clients start staggered uniformly in ``[0, stagger]``.
+    """
+    _check_common(n_clients, n_items, requests, stagger)
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    if not (0 < exponent_range[0] <= exponent_range[1]):
+        raise ValueError(f"exponent_range must satisfy 0 < lo <= hi, got {exponent_range}")
+    top_k = int(top_k)
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+
+    sizes = _catalog_sizes(n_items, size_range, seed)
+    shared_perm = np.random.default_rng(derive_seed(seed, role="ranking")).permutation(n_items)
+    k_shared = int(round(float(overlap) * n_items))
+
+    clients = []
+    for cid in range(int(n_clients)):
+        rng = np.random.default_rng(derive_seed(seed, client=cid))
+        exponent = float(rng.uniform(*exponent_range))
+        # Ranking = shared hot prefix, then a private shuffle of the rest.
+        ranking = np.concatenate(
+            [shared_perm[:k_shared], rng.permutation(shared_perm[k_shared:])]
+        ).astype(np.intp)
+        base = zipf_probabilities(n_items, exponent)
+        probabilities = np.zeros(n_items, dtype=np.float64)
+        probabilities[ranking] = base
+        planner_view = np.zeros(n_items, dtype=np.float64)
+        planner_view[ranking[:top_k]] = base[:top_k]
+        items = rng.choice(n_items, size=requests + 1, p=probabilities)
+        viewing = rng.uniform(float(v_range[0]), float(v_range[1]), requests + 1)
+        start = float(rng.uniform(0.0, stagger)) if stagger > 0 else 0.0
+        clients.append(
+            ClientWorkload(
+                client_id=cid,
+                trace=Trace(items[1:], viewing[1:]),
+                initial_item=int(items[0]),
+                initial_viewing_time=float(viewing[0]),
+                start_time=start,
+                probabilities=planner_view,
+            )
+        )
+    return Population(sizes=sizes, clients=tuple(clients))
+
+
+def markov_population(
+    n_clients: int,
+    n_items: int,
+    requests: int,
+    *,
+    out_degree: tuple[int, int] = (10, 20),
+    v_range: tuple[float, float] = (1.0, 100.0),
+    size_range: tuple[float, float] = (1.0, 30.0),
+    stagger: float = 0.0,
+    seed: int = 0,
+) -> Population:
+    """Markov fleet: every client owns a private §5.3-style source.
+
+    Transition structure, viewing times and walks are per-client (derived
+    seeds); the item catalog — and therefore sizes/retrieval costs — is
+    shared, so clients contend for the same objects on the server.
+    """
+    _check_common(n_clients, n_items, requests, stagger)
+    sizes = _catalog_sizes(n_items, size_range, seed)
+
+    clients = []
+    for cid in range(int(n_clients)):
+        source = generate_markov_source(
+            int(n_items),
+            out_degree=(int(out_degree[0]), int(out_degree[1])),
+            v_range=(float(v_range[0]), float(v_range[1])),
+            seed=derive_seed(seed, client=cid, role="source"),
+        )
+        rng = np.random.default_rng(derive_seed(seed, client=cid, role="walk"))
+        initial = int(rng.integers(n_items))
+        items = np.fromiter(
+            source.walk(requests, rng, start=initial), dtype=np.intp, count=requests
+        )
+        start = float(rng.uniform(0.0, stagger)) if stagger > 0 else 0.0
+        clients.append(
+            ClientWorkload(
+                client_id=cid,
+                trace=Trace(items, source.viewing_times[items]),
+                initial_item=initial,
+                initial_viewing_time=float(source.viewing_times[initial]),
+                start_time=start,
+                transition=source.transition,
+            )
+        )
+    return Population(sizes=sizes, clients=tuple(clients))

@@ -1,7 +1,6 @@
 """Tests for the analysis validators and Monte-Carlo cross-checks."""
 
 import numpy as np
-import pytest
 
 from repro import PrefetchPlan, PrefetchProblem, expected_access_time_with_plan, solve_skp
 from repro.analysis import (

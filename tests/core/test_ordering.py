@@ -1,7 +1,6 @@
 """Tests for the canonical ordering (Theorem 1 / rule 5)."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 
 from repro import PrefetchPlan, PrefetchProblem, access_improvement, canonical_order, reorder_plan

@@ -14,7 +14,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro import (
-    PrefetchPlan,
     PrefetchProblem,
     access_improvement,
     plan_stretch,

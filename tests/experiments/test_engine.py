@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentSpec, ExperimentResult, preset, run, run_cell
@@ -90,6 +89,73 @@ class TestKinds:
         result = run(spec)
         assert 0.0 < result.cells[0].metrics["hit_rate"] <= 1.0
 
+    def test_fleet_zipf_mixture(self):
+        spec = ExperimentSpec(
+            name="engine-fleet",
+            kind="fleet",
+            workload={"n": 30, "top_k": 8, "cache_capacity": 5, "concurrency": 2},
+            grid={"policy": ("no+pr", "skp+pr"), "n_clients": (1, 3)},
+            iterations=60,
+            seed=13,
+        )
+        result = run(spec)
+        assert len(result.cells) == 4
+        for cell in result.cells:
+            assert 0.0 <= cell.metrics["hit_rate"] <= 1.0
+            assert 0.0 <= cell.metrics["prefetch_load_frac"] <= 1.0
+            assert 0.0 < cell.metrics["fairness"] <= 1.0
+            assert cell.metrics["mean_access_time"] >= 0.0
+        # CRN: every cell shares one seed (policy and even n_clients are
+        # draw-neutral — bigger fleets extend smaller ones client-by-client),
+        # so planning must not lose to no-prefetch on the same population.
+        assert len({c.seed for c in result.cells}) == 1
+        for n in (1, 3):
+            skp = result.cell(policy="skp+pr", n_clients=n)
+            none = result.cell(policy="no+pr", n_clients=n)
+            assert skp.seed == none.seed
+            assert (
+                skp.metrics["mean_access_time"]
+                <= none.metrics["mean_access_time"] + 1e-9
+            )
+
+    def test_fleet_markov_population(self):
+        spec = ExperimentSpec(
+            name="engine-fleet-markov",
+            kind="fleet",
+            workload={
+                "source": "markov-pop",
+                "n": 25,
+                "out_min": 3,
+                "out_max": 6,
+                "cache_capacity": 5,
+            },
+            grid={"policy": ("skp+pr",), "n_clients": (2,)},
+            iterations=80,
+            seed=17,
+        )
+        result = run(spec)
+        assert 0.0 < result.cells[0].metrics["hit_rate"] <= 1.0
+
+    def test_fleet_server_cache_metric(self):
+        spec = ExperimentSpec(
+            name="engine-fleet-cache",
+            kind="fleet",
+            workload={"n": 30, "overlap": 1.0, "miss_penalty": 8.0, "cache_capacity": 5},
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (3,),
+                "server_cache_size": (0, 15),
+            },
+            iterations=60,
+            seed=19,
+        )
+        result = run(spec)
+        bare = result.cell(server_cache_size=0)
+        cached = result.cell(server_cache_size=15)
+        assert bare.metrics["server_cache_hit_rate"] == 0.0
+        assert 0.0 < cached.metrics["server_cache_hit_rate"] <= 1.0
+        assert cached.metrics["mean_access_time"] < bare.metrics["mean_access_time"]
+
     def test_predictor_eval(self):
         spec = ExperimentSpec(
             name="engine-pe",
@@ -116,6 +182,13 @@ class TestParallelism:
     def test_figure5_small_preset_worker_invariance(self):
         spec = preset("figure5-small", iterations=20)
         assert run(spec, workers=1).table() == run(spec, workers=3).table()
+
+    def test_fleet_preset_worker_invariance(self):
+        # Fleet cells are bit-identical for any worker count: the population
+        # is derived from per-client seeds hashed out of workload parameters
+        # only, never from execution order.
+        spec = preset("fleet-small", iterations=40)
+        assert run(spec, workers=1).table() == run(spec, workers=4).table()
 
     def test_progress_callback_streams_every_cell(self):
         spec = po_spec(iterations=10)

@@ -25,6 +25,18 @@ def tiny_spec(**overrides) -> ExperimentSpec:
     return ExperimentSpec(**fields)
 
 
+def fleet_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        name="tiny-fleet",
+        kind="fleet",
+        grid={"policy": ("skp+pr",), "n_clients": (2,)},
+        iterations=10,
+        seed=1,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
 class TestValidation:
     def test_unknown_kind(self):
         with pytest.raises(SpecError, match="unknown experiment kind"):
@@ -57,6 +69,32 @@ class TestValidation:
     def test_unknown_workload_parameter(self):
         with pytest.raises(SpecError, match="workload parameter"):
             tiny_spec(workload={"wormholes": 3})
+
+    def test_fleet_requires_n_clients_axis(self):
+        with pytest.raises(SpecError, match="requires a 'n_clients'"):
+            fleet_spec(grid={"policy": ("skp+pr",)})
+
+    def test_fleet_rejects_bad_n_clients(self):
+        with pytest.raises(SpecError, match="n_clients"):
+            fleet_spec(grid={"policy": ("skp+pr",), "n_clients": (0,)})
+
+    def test_fleet_rejects_unknown_discipline(self):
+        with pytest.raises(SpecError, match="discipline"):
+            fleet_spec(
+                grid={
+                    "policy": ("skp+pr",),
+                    "n_clients": (2,),
+                    "discipline": ("lifo",),
+                }
+            )
+
+    def test_fleet_rejects_unknown_server_cache(self):
+        with pytest.raises(UnknownComponentError):
+            fleet_spec(workload={"server_cache": "hyperlru"})
+
+    def test_fleet_rejects_unknown_source(self):
+        with pytest.raises(SpecError, match="sources"):
+            fleet_spec(workload={"source": "uniform-pop"})
 
     def test_unknown_source(self):
         with pytest.raises(SpecError, match="sources"):
@@ -165,6 +203,42 @@ class TestSeeding:
         )
         cells = spec.cells()
         assert spec.cell_seed(cells[0]) == spec.cell_seed(cells[1])
+
+    def test_fleet_contention_axes_are_component_params(self):
+        # Concurrency/discipline/server cache shape service, not the draws —
+        # and per-client streams hash from (seed, client id) alone, so the
+        # n_clients scale axis shares draws too: sweeping any of these must
+        # keep common random numbers.
+        spec = fleet_spec(
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (1, 4),
+                "concurrency": (1, 8),
+                "discipline": ("fifo", "fair"),
+                "server_cache_size": (0, 10),
+            }
+        )
+        seeds = {spec.cell_seed(cell) for cell in spec.cells()}
+        assert len(seeds) == 1
+
+    def test_fleet_population_axes_change_seed(self):
+        spec = fleet_spec(
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (4,),
+                "overlap": (0.0, 1.0),
+            }
+        )
+        seeds = {spec.cell_seed(cell) for cell in spec.cells()}
+        assert len(seeds) == 2
+
+    def test_fleet_cell_param_reads_axis_then_default(self):
+        spec = fleet_spec(
+            grid={"policy": ("skp+pr",), "n_clients": (2,), "concurrency": (1,)}
+        )
+        cell = spec.cells()[0]
+        assert spec.cell_param(cell, "concurrency") == 1
+        assert spec.cell_param(cell, "discipline") == "fifo"
 
 
 class TestOverrides:

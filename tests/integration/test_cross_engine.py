@@ -17,9 +17,10 @@ import numpy as np
 import pytest
 
 from repro.core.planner import Prefetcher
-from repro.distsys import Client, ItemServer, Link, run_session
+from repro.distsys import Client, FleetConfig, ItemServer, Link, run_fleet, run_session
 from repro.simulation import PrefetchCacheConfig, run_prefetch_cache
 from repro.workload import generate_markov_source, record_markov_trace
+from repro.workload.population import ClientWorkload, Population
 
 
 @pytest.mark.parametrize(
@@ -72,3 +73,76 @@ def test_engines_agree_exactly(strategy, sub, window):
         "pending-wait": client.stats.pending_waits,
         "miss": client.stats.misses,
     } == lean.hit_counts
+
+
+@pytest.mark.parametrize(
+    "strategy,sub",
+    [("none", None), ("kp", None), ("skp", None), ("skp", "lfu"), ("skp", "ds")],
+)
+@pytest.mark.parametrize("window", ["nominal", "effective"])
+def test_degenerate_fleet_matches_single_client(strategy, sub, window):
+    """A 1-client fleet over an unbounded uplink IS the single-client engine.
+
+    Completion times in the fleet emerge from event-queue scheduling instead
+    of channel arithmetic, but the timeline folds the same floats in the
+    same order — so access times must agree *bit-exactly*, not just within
+    tolerance, and every stats counter must match.
+    """
+    seed = 1234
+    n_requests = 300
+    source = generate_markov_source(30, out_degree=(3, 6), seed=8)
+    initial = int(np.random.default_rng(seed).integers(source.n))
+    trace = record_markov_trace(source, n_requests, seed=seed)
+
+    client = Client(
+        ItemServer(source.retrieval_times),
+        Link(latency=0.0, bandwidth=1.0),
+        6,
+        Prefetcher(strategy=strategy, sub_arbitration=sub),
+        probability_provider=lambda item: source.row(item),
+        planning_window=window,
+    )
+    session = run_session(
+        client,
+        trace,
+        initial_item=initial,
+        initial_viewing_time=float(source.viewing_times[initial]),
+    )
+
+    population = Population(
+        sizes=source.retrieval_times,
+        clients=(
+            ClientWorkload(
+                client_id=0,
+                trace=trace,
+                initial_item=initial,
+                initial_viewing_time=float(source.viewing_times[initial]),
+                transition=source.transition,
+            ),
+        ),
+    )
+    fleet = run_fleet(
+        population,
+        FleetConfig(
+            cache_capacity=6,
+            strategy=strategy,
+            sub_arbitration=sub,
+            planning_window=window,
+            concurrency=None,  # unbounded uplink = a private link
+        ),
+    )
+
+    stats = fleet.client_stats[0]
+    np.testing.assert_array_equal(
+        np.asarray(stats.access_times), session.access_times
+    )
+    assert stats.cache_hits == client.stats.cache_hits
+    assert stats.pending_waits == client.stats.pending_waits
+    assert stats.misses == client.stats.misses
+    assert stats.prefetches_scheduled == client.stats.prefetches_scheduled
+    assert stats.prefetches_used == client.stats.prefetches_used
+    assert stats.network_prefetch_time == client.stats.network_prefetch_time
+    assert stats.network_demand_time == client.stats.network_demand_time
+    # The fleet drains in-flight prefetches after the last serve, so its
+    # makespan can only extend the session's duration, never shrink it.
+    assert fleet.makespan >= session.duration - 1e-9

@@ -126,11 +126,36 @@ class TestCLIValidation:
 
 
 class TestExperimentCLI:
+    def test_fleet_point(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--clients", "3",
+                "--requests", "40",
+                "--catalog", "30",
+                "--concurrency", "2",
+                "--server-cache-size", "10",
+                "--miss-penalty", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 clients x 40 requests" in out
+        assert "mean T" in out and "fairness" in out
+        assert "server cache hit rate" in out
+
+    def test_fleet_unknown_pipeline(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--policy", "warp+drive"])
+        assert excinfo.value.code == 2
+        assert "skp+pr" in capsys.readouterr().err  # lists alternatives
+
     def test_experiment_list(self, capsys):
         assert main(["experiment", "list"]) == 0
         out = capsys.readouterr().out
         assert "figure5-small" in out
         assert "figure7" in out
+        assert "fleet-zipf" in out
         for family in ("strategies", "pipelines", "predictors", "cache-policies", "workloads"):
             assert family in out
         assert "skp:corrected" in out

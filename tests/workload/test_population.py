@@ -1,0 +1,127 @@
+"""Tests for population workload generation (fleet inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.population import (
+    ClientWorkload,
+    Population,
+    derive_seed,
+    markov_population,
+    zipf_mixture_population,
+)
+from repro.workload.trace import Trace
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_param_sensitive(self):
+        assert derive_seed(3, client=1) == derive_seed(3, client=1)
+        assert derive_seed(3, client=1) != derive_seed(3, client=2)
+        assert derive_seed(3, client=1) != derive_seed(4, client=1)
+        assert derive_seed(3, client=1, role="walk") != derive_seed(3, client=1)
+
+
+class TestClientWorkload:
+    def trace(self):
+        return Trace(np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_requires_exactly_one_model(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(0, self.trace(), 0, 1.0)
+        with pytest.raises(ValueError):
+            ClientWorkload(
+                0, self.trace(), 0, 1.0,
+                probabilities=np.ones(2) / 2, transition=np.eye(2),
+            )
+
+    def test_provider_static_and_markov(self):
+        p = np.array([0.7, 0.3])
+        static = ClientWorkload(0, self.trace(), 0, 1.0, probabilities=p)
+        np.testing.assert_array_equal(static.provider()(1), p)
+        t = np.array([[0.0, 1.0], [1.0, 0.0]])
+        markov = ClientWorkload(0, self.trace(), 0, 1.0, transition=t)
+        np.testing.assert_array_equal(markov.provider()(0), t[0])
+
+
+class TestZipfMixture:
+    def test_shapes_and_ranges(self):
+        pop = zipf_mixture_population(5, 30, 50, top_k=8, stagger=10.0, seed=1)
+        assert pop.n_clients == 5 and pop.n_items == 30
+        assert pop.total_requests == 5 * 50
+        assert np.all(pop.sizes > 0)
+        for c in pop.clients:
+            assert len(c.trace) == 50
+            assert 0 <= c.initial_item < 30
+            assert 0.0 <= c.start_time <= 10.0
+            assert np.count_nonzero(c.probabilities) <= 8
+            assert 0.0 < c.probabilities.sum() <= 1.0 + 1e-12
+
+    def test_bit_identical_across_calls(self):
+        a = zipf_mixture_population(4, 20, 30, seed=7)
+        b = zipf_mixture_population(4, 20, 30, seed=7)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_array_equal(ca.trace.items, cb.trace.items)
+            np.testing.assert_array_equal(ca.probabilities, cb.probabilities)
+        np.testing.assert_array_equal(a.sizes, b.sizes)
+
+    def test_client_streams_stable_as_fleet_grows(self):
+        # Per-client seeds derive from (seed, client id) only, so client 0's
+        # stream must not change when more clients join the fleet.
+        small = zipf_mixture_population(2, 20, 30, seed=7)
+        large = zipf_mixture_population(6, 20, 30, seed=7)
+        np.testing.assert_array_equal(
+            small.clients[0].trace.items, large.clients[0].trace.items
+        )
+
+    def test_full_overlap_shares_the_hot_set(self):
+        pop = zipf_mixture_population(4, 40, 30, overlap=1.0, top_k=10, seed=3)
+        supports = [frozenset(np.flatnonzero(c.probabilities)) for c in pop.clients]
+        assert len(set(supports)) == 1  # identical rankings -> identical top-k
+
+    def test_zero_overlap_gives_private_rankings(self):
+        pop = zipf_mixture_population(6, 40, 30, overlap=0.0, top_k=10, seed=3)
+        supports = [frozenset(np.flatnonzero(c.probabilities)) for c in pop.clients]
+        assert len(set(supports)) > 1
+
+    def test_exponent_mixture_varies_per_client(self):
+        pop = zipf_mixture_population(8, 30, 40, exponent_range=(0.5, 1.5), seed=11)
+        top_probs = {float(c.probabilities.max()) for c in pop.clients}
+        assert len(top_probs) > 1  # different exponents -> different peaks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_mixture_population(0, 10, 10)
+        with pytest.raises(ValueError):
+            zipf_mixture_population(2, 10, 10, overlap=1.5)
+        with pytest.raises(ValueError):
+            zipf_mixture_population(2, 10, 10, top_k=0)
+        with pytest.raises(ValueError):
+            zipf_mixture_population(2, 10, 10, stagger=-1.0)
+        with pytest.raises(ValueError):
+            zipf_mixture_population(2, 10, 10, size_range=(0.0, 1.0))
+
+
+class TestMarkovPopulation:
+    def test_private_sources_shared_catalog(self):
+        pop = markov_population(3, 25, 40, out_degree=(3, 6), seed=2)
+        assert pop.n_clients == 3 and pop.n_items == 25
+        transitions = [c.transition for c in pop.clients]
+        assert not np.array_equal(transitions[0], transitions[1])
+        for c in pop.clients:
+            np.testing.assert_allclose(c.transition.sum(axis=1), 1.0)
+            assert len(c.trace) == 40
+            # Viewing times follow the client's own source states.
+            assert c.initial_viewing_time >= 0.0
+
+    def test_deterministic(self):
+        a = markov_population(3, 20, 30, out_degree=(3, 5), seed=4)
+        b = markov_population(3, 20, 30, out_degree=(3, 5), seed=4)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_array_equal(ca.trace.items, cb.trace.items)
+            np.testing.assert_array_equal(ca.transition, cb.transition)
+
+
+class TestPopulation:
+    def test_needs_clients(self):
+        with pytest.raises(ValueError):
+            Population(sizes=np.ones(3), clients=())
