@@ -1,5 +1,16 @@
 """Validation and estimation utilities built on the core model."""
 
+from repro.analysis.cacheperf import (
+    CheTierComparison,
+    CheValidationReport,
+    che_cache_hit_ratio,
+    che_characteristic_time,
+    che_edge_reference,
+    che_hit_ratios,
+    che_validation_report,
+    empirical_pdf,
+    tier_hit_ratios,
+)
 from repro.analysis.theory import (
     BoundReport,
     Theorem1Report,
@@ -19,4 +30,13 @@ __all__ = [
     "compare_variants",
     "MonteCarloEstimate",
     "estimate_expected_access_time",
+    "CheTierComparison",
+    "CheValidationReport",
+    "che_cache_hit_ratio",
+    "che_characteristic_time",
+    "che_edge_reference",
+    "che_hit_ratios",
+    "che_validation_report",
+    "empirical_pdf",
+    "tier_hit_ratios",
 ]

@@ -1,0 +1,251 @@
+"""Analytical LRU cache performance: the Che approximation, pure numpy.
+
+The edge tiers of :mod:`repro.distsys.topology` are shared LRU caches under
+(approximately) independent-reference-model demand, which is exactly the
+regime of Che, Tung & Wang's characteristic-time approximation: an LRU
+cache of capacity ``C`` behaves as if every item were evicted a fixed time
+``T_C`` after its last request, where ``T_C`` solves the fixed point
+
+    sum_i (1 - exp(-p_i * T_C)) = C
+
+and item ``i`` then hits with probability ``1 - exp(-p_i * T_C)``.  Icarus
+ships the same family of estimators (``icarus/tools/cacheperf.py``) on top
+of ``scipy.optimize.fsolve``; here the fixed point is solved with a
+monotone bisection so the package keeps its numpy-only dependency
+footprint.
+
+Beyond one cache, :func:`tier_hit_ratios` cascades the approximation down a
+hierarchy: tier ``k+1`` sees tier ``k``'s *miss stream*, whose popularity
+profile is ``p_i * (1 - h_i)`` renormalised — the standard leave-a-copy
+multi-layer IRM treatment (cf. Icarus' ``numeric_cache_hit_ratio_2_layers``).
+
+The validation path runs the event-driven simulator and compares per-tier
+simulated hit ratios against these predictions
+(:func:`che_validation_report`); the ``edge-che`` experiment preset and
+``tests/analysis/test_cacheperf.py`` pin the agreement.  The approximation
+assumes IRM demand at the cache, so it is sharpest when client caches are
+off (the edge sees the raw request stream); with client-side caching or
+speculation upstream of the tier it becomes a reference curve, not a
+prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "che_characteristic_time",
+    "che_hit_ratios",
+    "che_cache_hit_ratio",
+    "tier_hit_ratios",
+    "empirical_pdf",
+    "che_edge_reference",
+    "CheTierComparison",
+    "CheValidationReport",
+    "che_validation_report",
+]
+
+
+def _check_pdf(pdf) -> np.ndarray:
+    p = np.asarray(pdf, dtype=np.float64)
+    if p.ndim != 1 or p.shape[0] < 1:
+        raise ValueError("pdf must be a non-empty 1-D array")
+    if not np.all(np.isfinite(p)) or np.any(p < 0):
+        raise ValueError("pdf entries must be finite and non-negative")
+    total = float(p.sum())
+    if total <= 0:
+        raise ValueError("pdf must have positive mass")
+    return p / total
+
+
+def che_characteristic_time(pdf, cache_size: int, *, tol: float = 1e-12) -> float:
+    """Characteristic time ``T_C`` of an LRU cache under IRM demand.
+
+    Solves ``sum_i (1 - exp(-p_i * T)) = C`` by bisection on the strictly
+    increasing left-hand side (no scipy).  Returns ``inf`` when the cache
+    holds every item with positive probability (the fixed point diverges and
+    every such item always hits).
+    """
+    p = _check_pdf(pdf)
+    cache_size = int(cache_size)
+    if cache_size < 1:
+        raise ValueError("cache_size must be positive")
+    positive = p[p > 0]
+    if cache_size >= positive.shape[0]:
+        return float("inf")
+
+    def occupancy(t: float) -> float:
+        return float(np.sum(-np.expm1(-positive * t)))
+
+    lo, hi = 0.0, float(cache_size)
+    while occupancy(hi) < cache_size:
+        hi *= 2.0
+    # ~60 halvings reach relative precision far below any simulation noise.
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if occupancy(mid) < cache_size:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def che_hit_ratios(pdf, cache_size: int) -> np.ndarray:
+    """Per-item hit probability ``1 - exp(-p_i * T_C)`` under the Che
+    approximation (items with zero probability never hit)."""
+    p = _check_pdf(pdf)
+    t_c = che_characteristic_time(p, cache_size)
+    if np.isinf(t_c):
+        return np.where(p > 0, 1.0, 0.0)
+    return -np.expm1(-p * t_c)
+
+
+def che_cache_hit_ratio(pdf, cache_size: int) -> float:
+    """Aggregate hit ratio: the request-weighted mean of the per-item ratios."""
+    p = _check_pdf(pdf)
+    return min(1.0, float(np.dot(p, che_hit_ratios(p, cache_size))))
+
+
+def tier_hit_ratios(pdf, cache_sizes: Sequence[int]) -> list[float]:
+    """Aggregate hit ratio per tier of a cache hierarchy, top of the path first.
+
+    Tier ``k+1`` is driven by tier ``k``'s miss stream: per-item mass
+    ``p_i * (1 - h_i)`` renormalised.  A tier whose upstream demand has
+    vanished (everything already hit) reports 0.  ``cache_sizes`` of 0 are
+    pass-through tiers (hit ratio 0, demand forwarded unchanged).
+    """
+    p = _check_pdf(pdf)
+    ratios: list[float] = []
+    for size in cache_sizes:
+        if int(size) < 1 or float(p.sum()) <= 0:
+            ratios.append(0.0)
+            continue
+        per_item = che_hit_ratios(p, int(size))
+        ratios.append(min(1.0, float(np.dot(p, per_item))))
+        missed = p * (1.0 - per_item)
+        total = float(missed.sum())
+        p = missed / total if total > 0 else missed
+    return ratios
+
+
+def empirical_pdf(items, n_items: int) -> np.ndarray:
+    """Empirical request distribution of a stream of item ids.
+
+    The bridge from simulation to analysis: feed the requests a tier
+    actually received (e.g. the concatenated traces of the clients attached
+    to one edge proxy) and compare the simulated hit ratio against
+    :func:`che_cache_hit_ratio` of this pdf.
+    """
+    items = np.asarray(items, dtype=np.intp)
+    if items.size == 0:
+        raise ValueError("need at least one request")
+    if items.min() < 0 or items.max() >= int(n_items):
+        raise ValueError(f"item ids must lie in [0, {int(n_items) - 1}]")
+    counts = np.bincount(items, minlength=int(n_items)).astype(np.float64)
+    return counts / counts.sum()
+
+
+def che_edge_reference(population, result) -> float:
+    """Request-weighted Che prediction across a hierarchy run's edge tier.
+
+    The one definition behind the experiment engine's ``che_edge_hit_rate``
+    metric, the ``repro topology`` CLI reference line and the topology
+    benchmark: for each edge proxy, the Che hit ratio of the empirical pdf
+    of the raw client traces routed to it (``result.edge_of_client``),
+    weighted by per-edge request counts.  Returns 0 when there is nothing
+    to predict (a pass-through edge tier — the ``star`` topology or a
+    zero-size edge cache).  The proxy count and client grouping come from
+    the *built* hierarchy (``result.tiers`` / ``result.edge_of_client``);
+    the capacity is ``result.config.edge_cache_size``, so a custom
+    registered topology that sizes its edge caches differently per proxy
+    must compute its own reference from :func:`che_cache_hit_ratio`.  IRM
+    caveat as in the module docstring: exact in spirit only when the edge
+    sees the raw request stream.
+    """
+    edge_tier = result.tiers[0] if result.tiers else None
+    if edge_tier is None or not edge_tier.caching or result.config.edge_cache_size <= 0:
+        return 0.0
+    weighted = 0.0
+    total = 0
+    for edge in range(edge_tier.n_proxies):
+        traces = [
+            population.clients[i].trace.items
+            for i in range(population.n_clients)
+            if result.edge_of_client[i] == edge
+        ]
+        if not traces:
+            continue
+        items = np.concatenate(traces)
+        weighted += items.size * che_cache_hit_ratio(
+            empirical_pdf(items, population.n_items), result.config.edge_cache_size
+        )
+        total += items.size
+    return weighted / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Validation: analytical prediction vs simulated hit ratios
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheTierComparison:
+    """One tier's analytical prediction next to its simulated hit ratio."""
+
+    tier: str
+    cache_size: int
+    predicted: float
+    simulated: float
+
+    @property
+    def error(self) -> float:
+        """Signed error in hit-ratio points (predicted - simulated)."""
+        return self.predicted - self.simulated
+
+
+@dataclass(frozen=True)
+class CheValidationReport:
+    """Per-tier Che-vs-simulation comparison for one hierarchy run."""
+
+    tiers: tuple[CheTierComparison, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max((abs(t.error) for t in self.tiers), default=0.0)
+
+    def agrees(self, tolerance: float = 0.05) -> bool:
+        """True when every tier matches within ``tolerance`` (hit-ratio points)."""
+        return self.max_abs_error <= tolerance
+
+    def format_table(self) -> str:
+        lines = ["tier    size  che_hit  sim_hit  error"]
+        for t in self.tiers:
+            lines.append(
+                f"{t.tier:6s}  {t.cache_size:4d}  {t.predicted:7.4f}  "
+                f"{t.simulated:7.4f}  {t.error:+7.4f}"
+            )
+        return "\n".join(lines)
+
+
+def che_validation_report(
+    pdf,
+    tiers: Sequence[tuple[str, int, float]],
+) -> CheValidationReport:
+    """Compare cascaded Che predictions against simulated per-tier hit ratios.
+
+    ``tiers`` is ``(name, cache_size, simulated_hit_ratio)`` along the
+    request path, nearest tier first; ``pdf`` is the demand distribution
+    entering the first tier.
+    """
+    names = [str(name) for name, _, _ in tiers]
+    sizes = [int(size) for _, size, _ in tiers]
+    simulated = [float(h) for _, _, h in tiers]
+    predicted = tier_hit_ratios(pdf, sizes)
+    return CheValidationReport(
+        tiers=tuple(
+            CheTierComparison(tier=n, cache_size=c, predicted=p, simulated=s)
+            for n, c, p, s in zip(names, sizes, predicted, simulated)
+        )
+    )

@@ -7,9 +7,12 @@ Small, dependency-free front door for the library:
 * ``figure7``    — run one Figure 7 point (policy × cache size);
 * ``fleet``      — run one fleet point: N clients sharing a contended
   server uplink on a population workload;
+* ``topology``   — run one cache-hierarchy point: the fleet routed through
+  star/tree/two-tier proxy tiers with per-tier speculation, plus the Che
+  analytical reference for the edge hit ratio;
 * ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
-  file across worker processes (including the ``fleet-*`` presets),
-  ``list`` the preset/component catalogs, ``describe`` one preset;
+  file across worker processes (including the ``fleet-*`` and ``edge-*``
+  presets), ``list`` the preset/component catalogs, ``describe`` one preset;
 * ``version``    — print the package version.
 """
 
@@ -128,14 +131,15 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.distsys.fleet import FleetConfig, run_fleet
-    from repro.experiments import (
-        CACHE_POLICIES,
-        PIPELINES,
-        WORKLOADS,
-        build_server_cache,
-    )
+def _population_from_args(args: argparse.Namespace):
+    """Validate the shared fleet/topology population options and build one.
+
+    Both subcommands expose the same workload surface (--source, --clients,
+    --requests, --catalog, --overlap, --stagger, --seed) plus --policy and
+    --server-cache; keeping the checks and construction here stops the two
+    front doors from drifting apart.
+    """
+    from repro.experiments import CACHE_POLICIES, PIPELINES, WORKLOADS
 
     if args.policy not in PIPELINES:
         args.parser.error(
@@ -150,14 +154,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         args.parser.error("--source must be zipf-mix or markov-pop")
     common = dict(stagger=args.stagger, seed=args.seed)
     if args.source == "zipf-mix":
-        population = WORKLOADS.create(
+        return WORKLOADS.create(
             "zipf-mix", args.clients, args.catalog, args.requests,
             overlap=args.overlap, **common,
         )
-    else:
-        population = WORKLOADS.create(
-            "markov-pop", args.clients, args.catalog, args.requests, **common
-        )
+    return WORKLOADS.create(
+        "markov-pop", args.clients, args.catalog, args.requests, **common
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.experiments import PIPELINES, build_server_cache
+
+    population = _population_from_args(args)
     server_cache = build_server_cache(
         args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
     )
@@ -198,6 +208,104 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     if server_cache is not None:
         print(f"  server cache hit rate {res.server_cache_hit_rate:.3f}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.analysis.cacheperf import che_edge_reference
+    from repro.distsys.topology import CacheNetwork, TopologyConfig, topology_names
+    from repro.experiments import CACHE_POLICIES, PIPELINES, build_server_cache
+
+    if args.topology not in topology_names():
+        args.parser.error(
+            f"unknown topology {args.topology!r}; available: {', '.join(topology_names())}"
+        )
+    if args.edge_cache not in CACHE_POLICIES:
+        args.parser.error(
+            f"unknown cache policy {args.edge_cache!r}; "
+            f"available: {', '.join(CACHE_POLICIES.names())}"
+        )
+    population = _population_from_args(args)
+    pipeline = dict(PIPELINES.get(args.policy))
+    config = TopologyConfig(
+        topology=args.topology,
+        n_edges=args.edges,
+        cache_capacity=args.cache_capacity,
+        strategy=str(pipeline["strategy"]),
+        sub_arbitration=pipeline["sub_arbitration"],
+        placement=args.placement,
+        edge_cache=args.edge_cache,
+        edge_cache_size=args.edge_cache_size,
+        edge_prefetch_budget=args.edge_prefetch_budget,
+        mid_cache_size=args.mid_cache_size,
+        concurrency=None if args.concurrency <= 0 else args.concurrency,
+        discipline=args.discipline,
+        miss_penalty=args.miss_penalty,
+    )
+    server_cache = build_server_cache(
+        args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
+    )
+    network = CacheNetwork(
+        population, config, server_cache=server_cache, seed=args.seed
+    )
+    res = network.run()
+    agg = res.aggregate
+    # Report the hierarchy actually built, not the flags: star ignores
+    # --edges, and edge-side speculation is inert without a cache to fill
+    # (star / --edge-cache-size 0) or with a zero prefetch budget.
+    n_edges = res.tiers[0].n_proxies
+    client_side = args.placement in ("client", "both")
+    edge_side = (
+        args.placement in ("edge", "both")
+        and res.tiers[0].caching
+        and args.edge_prefetch_budget > 0
+    )
+    placement = {
+        (False, False): "none",
+        (True, False): "client",
+        (False, True): "edge",
+        (True, True): "both",
+    }[(client_side, edge_side)]
+    print(
+        f"topology: {args.topology}, {args.clients} clients x {args.requests} "
+        f"requests ({args.source}, catalog {args.catalog}, "
+        f"{n_edges} edge prox{'y' if n_edges == 1 else 'ies'}, "
+        f"placement {placement})"
+    )
+    print(
+        f"  mean T {agg.mean_access_time:.4f}  p50 {agg.p50_access_time:.4f}  "
+        f"p95 {agg.p95_access_time:.4f}  p99 {agg.p99_access_time:.4f}"
+    )
+    print(
+        f"  client hit rate {agg.hit_rate:.3f}  prefetch precision "
+        f"{agg.prefetch_precision:.3f}  fairness {agg.fairness:.3f}"
+    )
+    for tier in res.tiers:
+        if tier.requests == 0:
+            plural = "proxy" if tier.n_proxies == 1 else "proxies"
+            print(f"  {tier.tier}: pass-through ({tier.n_proxies} {plural})")
+            continue
+        print(
+            f"  {tier.tier}: {tier.requests} requests  hit rate {tier.hit_rate:.3f}  "
+            f"upstream fetches {tier.upstream_demand_fetches}  "
+            f"prefetches {tier.prefetches_issued} issued / "
+            f"{tier.prefetches_used} used"
+        )
+    busy = (
+        f"utilization {res.origin_utilization:.3f}"
+        if args.concurrency > 0
+        else f"offered load {res.offered_load:.3f}"
+    )
+    print(
+        f"  origin: {busy}  prefetch load {res.prefetch_load_frac:.3f}  "
+        f"transfers {res.transfers_granted}  makespan {res.makespan:.1f}  "
+        f"events {res.events}"
+    )
+    if server_cache is not None:
+        print(f"  origin cache hit rate {res.server_cache_hit_rate:.3f}")
+    che = che_edge_reference(population, res)
+    if che > 0.0:
+        print(f"  che edge reference (IRM, unfiltered demand): {che:.3f}")
     return 0
 
 
@@ -339,6 +447,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client start times uniform in [0, stagger]")
     fleet.add_argument("--seed", type=int, default=0)
     fleet.set_defaults(func=_cmd_fleet, parser=fleet)
+
+    topology = sub.add_parser(
+        "topology", help="run one cache-hierarchy point (clients → proxies → origin)"
+    )
+    topology.add_argument("--topology", default="tree",
+                          help="hierarchy shape: star | tree | two-tier")
+    topology.add_argument("--clients", type=_positive_int, default=8)
+    topology.add_argument("--edges", type=_positive_int, default=2,
+                          help="edge proxies (tree/two-tier)")
+    topology.add_argument("--requests", type=_positive_int, default=500,
+                          help="requests per client")
+    topology.add_argument("--catalog", type=_positive_int, default=100,
+                          help="catalog size (items)")
+    topology.add_argument("--source", default="zipf-mix",
+                          choices=["zipf-mix", "markov-pop"])
+    topology.add_argument("--policy", default="skp+pr",
+                          help="client planner pipeline name (see `experiment list`)")
+    topology.add_argument("--placement", default="both",
+                          choices=["none", "client", "edge", "both"],
+                          help="where speculation runs")
+    topology.add_argument("--overlap", type=_unit_interval, default=0.5,
+                          help="shared-hot-set fraction for zipf-mix")
+    topology.add_argument("--cache-capacity", type=_nonnegative_int, default=8,
+                          help="per-client cache slots")
+    topology.add_argument("--edge-cache", default="lru",
+                          help="edge-proxy cache policy name")
+    topology.add_argument("--edge-cache-size", type=_nonnegative_int, default=25,
+                          help="edge-proxy cache size (0 = pass-through)")
+    topology.add_argument("--edge-prefetch-budget", type=_nonnegative_int, default=4,
+                          help="max speculative fetches in flight per edge proxy")
+    topology.add_argument("--mid-cache-size", type=_nonnegative_int, default=0,
+                          help="mid-tier cache size (two-tier topology)")
+    topology.add_argument("--concurrency", type=_nonnegative_int, default=4,
+                          help="origin uplink slots (0 = unbounded)")
+    topology.add_argument("--discipline", default="fifo", choices=["fifo", "fair"])
+    topology.add_argument("--server-cache", default="lru",
+                          help="origin-side cache policy name")
+    topology.add_argument("--server-cache-size", type=_nonnegative_int, default=0,
+                          help="origin-side cache size (0 = off)")
+    topology.add_argument("--miss-penalty", type=_nonnegative_float, default=0.0,
+                          help="origin backing-store service penalty")
+    topology.add_argument("--stagger", type=_nonnegative_float, default=50.0,
+                          help="client start times uniform in [0, stagger]")
+    topology.add_argument("--seed", type=int, default=0)
+    topology.set_defaults(func=_cmd_topology, parser=topology)
 
     experiment = sub.add_parser(
         "experiment", help="run/list/describe spec-driven experiments"

@@ -95,13 +95,20 @@ class Prefetcher:
             return lfu_sub_key(freq)
         return ds_sub_key(freq, problem.retrieval_times)
 
-    def _candidate_plan(
+    def candidate_plan(
         self,
         problem: PrefetchProblem,
         cache: Sequence[int],
         pinned: Sequence[int] = (),
     ) -> PrefetchPlan:
-        """Maximise g* over non-cached items (step 1 of Figure 6)."""
+        """Maximise g* over non-blocked items (step 1 of Figure 6).
+
+        ``cache`` and ``pinned`` are jointly excluded from the candidate
+        set; the plan comes back in the *original* problem's item ids.
+        Also the planning core of proxy-side speculation
+        (:meth:`repro.distsys.topology.ProxyNode._speculate`), which blocks
+        cached, pending and zero-probability items.
+        """
         blocked = set(int(i) for i in cache) | set(int(i) for i in pinned)
         candidates = [i for i in range(problem.n) if i not in blocked]
         if not candidates or self.strategy == "none":
@@ -135,7 +142,7 @@ class Prefetcher:
         capacity = len(cache) if cache_capacity is None else int(cache_capacity)
         if capacity < len(cache):
             raise ValueError(f"cache_capacity {capacity} below current occupancy {len(cache)}")
-        candidate = self._candidate_plan(problem, cache, pinned)
+        candidate = self.candidate_plan(problem, cache, pinned)
         result = arbitrate_prefetch(
             problem,
             candidate,

@@ -9,7 +9,10 @@
 * :mod:`repro.distsys.client` — cache + planner + channel client;
 * :mod:`repro.distsys.session` — trace replay driver (one client);
 * :mod:`repro.distsys.fleet` — N clients, one contended uplink, population
-  workloads, fleet-level metrics.
+  workloads, fleet-level metrics;
+* :mod:`repro.distsys.topology` — multi-tier cache hierarchies: proxy nodes
+  with shared caches and per-tier speculation, star/tree/two-tier
+  topologies, miss propagation toward the origin.
 """
 
 from repro.distsys.events import EventQueue
@@ -18,6 +21,18 @@ from repro.distsys.server import ItemServer
 from repro.distsys.client import Client, ClientStats
 from repro.distsys.session import SessionResult, predictor_provider, run_session
 from repro.distsys.fleet import Fleet, FleetClient, FleetConfig, FleetResult, run_fleet
+from repro.distsys.topology import (
+    TOPOLOGIES,
+    CacheNetwork,
+    ProxyNode,
+    ProxyStats,
+    TierSummary,
+    TopologyConfig,
+    TopologyResult,
+    register_topology,
+    run_topology,
+    topology_names,
+)
 
 __all__ = [
     "EventQueue",
@@ -35,4 +50,14 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "run_fleet",
+    "TOPOLOGIES",
+    "CacheNetwork",
+    "ProxyNode",
+    "ProxyStats",
+    "TierSummary",
+    "TopologyConfig",
+    "TopologyResult",
+    "register_topology",
+    "run_topology",
+    "topology_names",
 ]

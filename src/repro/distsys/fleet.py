@@ -36,7 +36,15 @@ from repro.distsys.server import ItemServer
 from repro.simulation.metrics import AccessStats, FleetAggregate, aggregate_access_stats
 from repro.workload.population import ClientWorkload, Population
 
-__all__ = ["FleetConfig", "FleetClient", "Fleet", "FleetResult", "run_fleet"]
+__all__ = [
+    "FleetConfig",
+    "FleetClient",
+    "Fleet",
+    "FleetResult",
+    "UplinkAccounting",
+    "run_fleet",
+    "run_to_quiescence",
+]
 
 
 @dataclass(frozen=True)
@@ -267,6 +275,53 @@ class FleetClient:
 
 
 @dataclass(frozen=True)
+class UplinkAccounting:
+    """What one run of an event-driven population measured at its bottleneck."""
+
+    events: int
+    makespan: float
+    offered_load: float
+    utilization: float
+    prefetch_load_frac: float
+    server_cache_hit_rate: float
+    granted: int
+
+
+def run_to_quiescence(queue, clients, uplink, server) -> UplinkAccounting:
+    """Start every client, drain the queue, account the shared uplink.
+
+    The one implementation behind :meth:`Fleet.run` and
+    :meth:`repro.distsys.topology.CacheNetwork.run` — the star==fleet
+    bit-exactness contract depends on the two engines folding identical
+    accounting arithmetic.
+    """
+    for client in clients:
+        client.start()
+    events = queue.run()
+    unfinished = [c.client_id for c in clients if not c.done]
+    if unfinished:  # pragma: no cover - would indicate an engine bug
+        raise RuntimeError(f"clients {unfinished} never finished their traces")
+    makespan = max(queue.now, max(c.finished_at for c in clients))
+    total_service = uplink.total_service_time
+    offered = total_service / makespan if makespan > 0 else 0.0
+    slots = uplink.concurrency
+    cache = server.cache
+    return UplinkAccounting(
+        events=events,
+        makespan=makespan,
+        offered_load=offered,
+        utilization=offered / slots if slots else float("nan"),
+        prefetch_load_frac=(
+            uplink.service_time_by_kind["prefetch"] / total_service
+            if total_service
+            else 0.0
+        ),
+        server_cache_hit_rate=cache.stats.hit_rate if cache is not None else float("nan"),
+        granted=uplink.granted,
+    )
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Outcome of one fleet run: per-client stats plus fleet-level metrics.
 
@@ -340,32 +395,18 @@ class Fleet:
         ]
 
     def run(self) -> FleetResult:
-        for client in self.clients:
-            client.start()
-        events = self.queue.run()
-        unfinished = [c.client_id for c in self.clients if not c.done]
-        if unfinished:  # pragma: no cover - would indicate an engine bug
-            raise RuntimeError(f"clients {unfinished} never finished their traces")
-        makespan = max(
-            self.queue.now, max(c.finished_at for c in self.clients)
-        )
-        total_service = self.uplink.total_service_time
-        offered = total_service / makespan if makespan > 0 else 0.0
-        slots = self.uplink.concurrency
-        utilization = offered / slots if slots else float("nan")
-        prefetch_service = self.uplink.service_time_by_kind["prefetch"]
-        cache = self.server.cache
+        accounting = run_to_quiescence(self.queue, self.clients, self.uplink, self.server)
         return FleetResult(
             config=self.config,
             client_stats=tuple(c.stats for c in self.clients),
             aggregate=aggregate_access_stats([c.stats for c in self.clients]),
-            makespan=makespan,
-            events=events,
-            offered_load=offered,
-            server_utilization=utilization,
-            prefetch_load_frac=prefetch_service / total_service if total_service else 0.0,
-            server_cache_hit_rate=cache.stats.hit_rate if cache is not None else float("nan"),
-            transfers_granted=self.uplink.granted,
+            makespan=accounting.makespan,
+            events=accounting.events,
+            offered_load=accounting.offered_load,
+            server_utilization=accounting.utilization,
+            prefetch_load_frac=accounting.prefetch_load_frac,
+            server_cache_hit_rate=accounting.server_cache_hit_rate,
+            transfers_granted=accounting.granted,
         )
 
 

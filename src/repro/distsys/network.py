@@ -90,7 +90,7 @@ class Channel:
 class _Transfer:
     """One submitted transfer; ``completion`` is unknown until granted."""
 
-    client_id: int
+    client_id: object  # any hashable flow key (client int, proxy stream tuple…)
     item: int
     duration: float  # client-link transfer time (server penalty added at grant)
     kind: str  # "prefetch" | "demand"
@@ -117,6 +117,12 @@ class ServerUplink:
     * ``"fair"``  — round-robin over clients: the least-recently-granted
       client with a ready transfer goes first.
 
+    ``client_id`` is any hashable flow key: plain client ints in a flat
+    fleet, and proxy upstream-stream keys (``(proxy_name, stream)``) when
+    the uplink is an inter-tier link in a cache hierarchy
+    (:mod:`repro.distsys.topology`).  Each flow serializes its transfers in
+    submission order, whatever the key type.
+
     A granted transfer occupies a slot for its client-link transfer time
     plus whatever the server adds (:meth:`ItemServer.serve` — the shared
     server-cache miss penalty).  Completion times are delivered through the
@@ -138,11 +144,11 @@ class ServerUplink:
         self.server = server
         self.concurrency = None if concurrency is None else int(concurrency)
         self.discipline = discipline
-        self._queues: dict[int, deque[_Transfer]] = {}
-        self._in_flight: dict[int, _Transfer] = {}  # client -> granted transfer
+        self._queues: dict[object, deque[_Transfer]] = {}
+        self._in_flight: dict[object, _Transfer] = {}  # flow -> granted transfer
         self._seq = 0
         self._grant_counter = 0
-        self._last_grant: dict[int, int] = {}
+        self._last_grant: dict[object, int] = {}
         # -- stats ---------------------------------------------------------
         self.granted = 0
         self.total_service_time = 0.0
@@ -153,7 +159,7 @@ class ServerUplink:
     # ------------------------------------------------------------------
     def submit(
         self,
-        client_id: int,
+        client_id,
         item: int,
         duration: float,
         now: float,
@@ -173,7 +179,7 @@ class ServerUplink:
         if kind not in self.service_time_by_kind:
             raise ValueError(f"unknown transfer kind {kind!r}")
         transfer = _Transfer(
-            client_id=int(client_id),
+            client_id=client_id,
             item=int(item),
             duration=float(duration),
             kind=kind,
@@ -187,7 +193,7 @@ class ServerUplink:
         self._try_grant(float(now))
 
     # ------------------------------------------------------------------
-    def _ready_clients(self) -> list[int]:
+    def _ready_clients(self) -> list:
         # Linear scan per grant: dwarfed by per-request planning cost at the
         # supported fleet sizes (see benchmarks/bench_fleet.py), and a heap
         # would have to re-key on every grant under the "fair" discipline.
@@ -197,7 +203,7 @@ class ServerUplink:
             if q and cid not in self._in_flight
         ]
 
-    def _pick(self, ready: list[int]) -> int:
+    def _pick(self, ready: list):
         if self.discipline == "fifo":
             return min(ready, key=lambda cid: self._queues[cid][0].seq)
         # fair: least-recently-granted client first; brand-new clients (no
@@ -239,7 +245,7 @@ class ServerUplink:
         transfer.on_complete(transfer.completion)
 
     # ------------------------------------------------------------------
-    def backlog(self, client_id: int, now: float) -> float:
+    def backlog(self, client_id, now: float) -> float:
         """This client's queued work as seen at ``now``, ignoring contention.
 
         Folds the in-flight completion and queued durations left to right —
@@ -248,7 +254,6 @@ class ServerUplink:
         channel's live stretch.  Under contention it is an optimistic lower
         bound (grants may be delayed by other clients).
         """
-        client_id = int(client_id)
         t = float(now)
         in_flight = self._in_flight.get(client_id)
         if in_flight is not None:

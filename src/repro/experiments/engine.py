@@ -174,13 +174,8 @@ def _run_predictor_eval(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     }
 
 
-def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
-    from repro.distsys.fleet import FleetConfig, run_fleet
-    from repro.experiments.registry import build_server_cache
-
-    wl = spec.cell_workload(cell)
-    n_clients = int(cell["n_clients"])
-    requests = int(spec.iterations)
+def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
+    """The fleet/topology kinds' shared population construction."""
     common = dict(
         v_range=(float(wl["v_min"]), float(wl["v_max"])),
         size_range=(float(wl["size_min"]), float(wl["size_max"])),
@@ -188,7 +183,7 @@ def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
         seed=seed,
     )
     if wl["source"] == "zipf-mix":
-        population = WORKLOADS.create(
+        return WORKLOADS.create(
             "zipf-mix",
             n_clients,
             int(wl["n"]),
@@ -198,16 +193,23 @@ def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
             top_k=int(wl["top_k"]),
             **common,
         )
-    else:  # markov-pop
-        population = WORKLOADS.create(
-            "markov-pop",
-            n_clients,
-            int(wl["n"]),
-            requests,
-            out_degree=(int(wl["out_min"]), int(wl["out_max"])),
-            **common,
-        )
+    return WORKLOADS.create(  # markov-pop
+        "markov-pop",
+        n_clients,
+        int(wl["n"]),
+        requests,
+        out_degree=(int(wl["out_min"]), int(wl["out_max"])),
+        **common,
+    )
 
+
+def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.experiments.registry import build_server_cache
+
+    wl = spec.cell_workload(cell)
+    n_clients = int(cell["n_clients"])
+    population = _build_population(wl, n_clients, int(spec.iterations), seed)
     pipeline = dict(PIPELINES.get(str(cell["policy"])))
     concurrency = int(spec.cell_param(cell, "concurrency"))
     latency, bandwidth = float(wl["latency"]), float(wl["bandwidth"])
@@ -232,17 +234,88 @@ def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
         miss_penalty=float(wl["miss_penalty"]),
     )
     res = run_fleet(population, config, server_cache=server_cache)
-    hit_rate = res.server_cache_hit_rate
-    utilization = res.server_utilization
     return {
         "mean_access_time": res.aggregate.mean_access_time,
         "p95_access_time": res.aggregate.p95_access_time,
         "hit_rate": res.aggregate.hit_rate,
-        # Undefined cases (unbounded uplink / no server cache) report 0
-        # rather than NaN so metric tables stay comparable and CSV-clean.
-        "server_utilization": 0.0 if utilization != utilization else utilization,
+        "server_utilization": _nan_to_zero(res.server_utilization),
         "prefetch_load_frac": res.prefetch_load_frac,
-        "server_cache_hit_rate": 0.0 if hit_rate != hit_rate else hit_rate,
+        "server_cache_hit_rate": _nan_to_zero(res.server_cache_hit_rate),
+        "fairness": res.aggregate.fairness,
+    }
+
+
+def _nan_to_zero(value: float) -> float:
+    """Undefined metrics (no cache, unbounded uplink, pass-through tier)
+    report 0 rather than NaN so metric tables stay comparable and CSV-clean."""
+    return 0.0 if value != value else value
+
+
+def _run_topology(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.analysis.cacheperf import che_edge_reference
+    from repro.distsys.topology import CacheNetwork, TopologyConfig
+    from repro.experiments.registry import build_server_cache
+
+    wl = spec.cell_workload(cell)
+    n_clients = int(cell["n_clients"])
+    population = _build_population(wl, n_clients, int(spec.iterations), seed)
+    pipeline = dict(PIPELINES.get(str(cell["policy"])))
+
+    def param(name):
+        return spec.cell_param(cell, name)
+
+    concurrency = int(param("concurrency"))
+    edge_delivery = int(param("edge_delivery_concurrency"))
+    config = TopologyConfig(
+        topology=str(param("topology")),
+        n_edges=int(param("n_edges")),
+        cache_capacity=int(wl["cache_capacity"]),
+        strategy=str(pipeline["strategy"]),
+        sub_arbitration=pipeline["sub_arbitration"],
+        skp_variant=str(wl["skp_variant"]),
+        planning_window=str(wl["planning_window"]),
+        latency=float(wl["latency"]),
+        bandwidth=float(wl["bandwidth"]),
+        placement=str(param("placement")),
+        edge_cache=str(wl["edge_cache"]),
+        edge_cache_size=int(param("edge_cache_size")),
+        edge_predictor=str(wl["edge_predictor"]),
+        edge_strategy=str(wl["edge_strategy"]),
+        edge_prefetch_budget=int(wl["edge_prefetch_budget"]),
+        edge_prefetch_window=float(wl["edge_prefetch_window"]),
+        edge_delivery_concurrency=None if edge_delivery <= 0 else edge_delivery,
+        edge_uplink_streams=int(wl["edge_uplink_streams"]),
+        edge_latency=float(wl["edge_latency"]),
+        edge_bandwidth=float(wl["edge_bandwidth"]),
+        mid_cache=str(wl["mid_cache"]),
+        mid_cache_size=int(wl["mid_cache_size"]),
+        mid_uplink_streams=int(wl["mid_uplink_streams"]),
+        mid_latency=float(wl["mid_latency"]),
+        mid_bandwidth=float(wl["mid_bandwidth"]),
+        concurrency=None if concurrency <= 0 else concurrency,  # 0 = unbounded
+        discipline=str(param("discipline")),
+        miss_penalty=float(wl["miss_penalty"]),
+    )
+    server_cache = build_server_cache(
+        str(wl["server_cache"]),
+        int(wl["server_cache_size"]),
+        population.sizes,
+        latency=float(wl["latency"]),
+        bandwidth=float(wl["bandwidth"]),
+        seed=seed,
+    )
+    network = CacheNetwork(population, config, server_cache=server_cache, seed=seed)
+    res = network.run()
+    mid = next((t for t in res.tiers if t.tier == "mid"), None)
+    return {
+        "mean_access_time": res.aggregate.mean_access_time,
+        "p95_access_time": res.aggregate.p95_access_time,
+        "hit_rate": res.aggregate.hit_rate,
+        "edge_hit_rate": _nan_to_zero(res.edge_hit_rate),
+        "che_edge_hit_rate": che_edge_reference(population, res),
+        "mid_hit_rate": _nan_to_zero(mid.hit_rate) if mid is not None else 0.0,
+        "origin_utilization": _nan_to_zero(res.origin_utilization),
+        "prefetch_load_frac": res.prefetch_load_frac,
         "fairness": res.aggregate.fairness,
     }
 
@@ -253,6 +326,7 @@ _KIND_RUNNERS = {
     "cache-trace": _run_cache_trace,
     "predictor-eval": _run_predictor_eval,
     "fleet": _run_fleet,
+    "topology": _run_topology,
 }
 
 

@@ -271,6 +271,92 @@ def _fleet_overlap() -> ExperimentSpec:
     )
 
 
+@PRESETS.register("edge-tree")
+def _edge_tree() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="edge-tree",
+        kind="topology",
+        workload={
+            "overlap": 0.8,
+            "n_edges": 2,
+            "edge_cache_size": 25,
+            "mid_cache_size": 50,
+            "miss_penalty": 10.0,
+        },
+        grid={
+            "policy": ("no+pr", "skp+pr"),
+            "n_clients": (4, 16),
+            "topology": ("star", "tree", "two-tier"),
+        },
+        iterations=400,
+        seed=41,
+        description=(
+            "The same fleet through three hierarchies: pass-through star "
+            "(the PR 2 baseline), a 2-edge tree, and edge + mid two-tier — "
+            "shared draws across the topology axis, so differences are "
+            "hierarchy effects."
+        ),
+    )
+
+
+@PRESETS.register("edge-prefetch-placement")
+def _edge_prefetch_placement() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="edge-prefetch-placement",
+        kind="topology",
+        workload={
+            "overlap": 0.8,
+            "n_edges": 2,
+            "edge_cache_size": 25,
+            "miss_penalty": 10.0,
+        },
+        grid={
+            "policy": ("skp+pr",),
+            "n_clients": (8,),
+            "placement": ("none", "client", "edge", "both"),
+        },
+        iterations=500,
+        seed=43,
+        description=(
+            "Where does speculation pay off?  The same 8-client tree with "
+            "prefetching at the clients, at the shared edge proxies, at "
+            "both, or nowhere (CRN across the placement axis)."
+        ),
+    )
+
+
+@PRESETS.register("edge-che")
+def _edge_che() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="edge-che",
+        kind="topology",
+        workload={
+            "n": 100,
+            "overlap": 1.0,
+            "exponent_min": 0.8,
+            "exponent_max": 0.8,
+            "cache_capacity": 0,  # clients forward the raw IRM stream
+            "placement": "none",
+            "n_edges": 1,
+            "concurrency": 0,  # unbounded: hit ratios, not contention
+        },
+        grid={
+            "policy": ("no+pr",),
+            "n_clients": (8,),
+            "edge_cache_size": (10, 25, 50),
+        },
+        iterations=800,
+        seed=47,
+        metrics=("edge_hit_rate", "che_edge_hit_rate", "mean_access_time"),
+        description=(
+            "Analytical cross-check: the Che characteristic-time prediction "
+            "(repro.analysis.cacheperf) vs the simulated edge LRU hit ratio "
+            "on a shared Zipf(0.8) catalog, client caches off so the edge "
+            "sees the raw request stream."
+        ),
+    )
+
+
 @PRESETS.register("predictor-grid")
 def _predictor_grid() -> ExperimentSpec:
     return ExperimentSpec(

@@ -8,7 +8,7 @@ data.  Specs round-trip losslessly through JSON
 (:meth:`ExperimentSpec.spec_hash` goes into result provenance), and expand
 into a list of *cells* (one grid point each) that the engine executes.
 
-The five experiment kinds:
+The six experiment kinds:
 
 ``prefetch-only``
     The §4.4 Monte-Carlo simulation behind Figures 4/5: i.i.d. one-shot
@@ -33,6 +33,15 @@ The five experiment kinds:
     axis, population knobs (``overlap``, Zipf-mixture / Markov-population
     sources), and contention knobs (``concurrency``, ``discipline``,
     ``server_cache_size``).  ``iterations`` is requests *per client*.
+``topology``
+    The fleet routed through a cache hierarchy
+    (:mod:`repro.distsys.topology`): a ``topology`` choice (``star`` —
+    the fleet degenerate case — ``tree``, ``two-tier``), shared edge/mid
+    proxy caches, a speculation ``placement`` axis (client / edge / both /
+    none) and per-tier prefetch budgets, plus the analytical
+    ``che_edge_hit_rate`` reference from
+    :mod:`repro.analysis.cacheperf`.  ``iterations`` is requests *per
+    client*.
 
 Seeding contract (common random numbers): a cell's seed is derived from the
 spec seed plus the cell's *workload-affecting* parameters only.  Cells that
@@ -226,6 +235,114 @@ KIND_INFO: dict[str, KindInfo] = {
             "miss_penalty",
         ),
     ),
+    "topology": KindInfo(
+        workload_defaults={
+            # population (identical to the fleet kind)
+            "source": "zipf-mix",
+            "n": 100,
+            "exponent_min": 0.8,
+            "exponent_max": 1.2,
+            "overlap": 0.5,
+            "top_k": 20,
+            "out_min": 10,
+            "out_max": 20,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "size_min": 1.0,
+            "size_max": 30.0,
+            "stagger": 50.0,
+            # client tier
+            "cache_capacity": 8,
+            "planning_window": "nominal",
+            "skp_variant": "corrected",
+            "latency": 0.0,
+            "bandwidth": 1.0,
+            # hierarchy
+            "topology": "tree",
+            "n_edges": 2,
+            "placement": "both",
+            "edge_cache": "lru",
+            "edge_cache_size": 25,
+            "edge_predictor": "markov",
+            "edge_strategy": "skp",
+            "edge_prefetch_budget": 4,
+            "edge_prefetch_window": 30.0,
+            "edge_delivery_concurrency": 0,  # 0 = unbounded
+            "edge_uplink_streams": 4,
+            "edge_latency": 0.0,
+            "edge_bandwidth": 1.0,
+            "mid_cache": "lru",
+            "mid_cache_size": 0,
+            "mid_uplink_streams": 4,
+            "mid_latency": 0.0,
+            "mid_bandwidth": 1.0,
+            # origin
+            "concurrency": 4,
+            "discipline": "fifo",
+            "server_cache": "lru",
+            "server_cache_size": 0,
+            "miss_penalty": 0.0,
+        },
+        axes=(
+            "policy",
+            "n_clients",
+            "topology",
+            "n_edges",
+            "placement",
+            "edge_cache_size",
+            "overlap",
+            "concurrency",
+            "discipline",
+        ),
+        required_axes=("policy", "n_clients"),
+        component_registries={"policy": PIPELINES},
+        metrics=(
+            "mean_access_time",
+            "p95_access_time",
+            "hit_rate",
+            "edge_hit_rate",
+            "che_edge_hit_rate",
+            "mid_hit_rate",
+            "origin_utilization",
+            "prefetch_load_frac",
+            "fairness",
+        ),
+        sources=("zipf-mix", "markov-pop"),
+        # Hierarchy shape and every per-tier service knob select machinery,
+        # not draws: sweeping topology/placement/cache sizes keeps common
+        # random numbers, so differences are placement effects.
+        component_params=(
+            "n_clients",
+            "cache_capacity",
+            "planning_window",
+            "skp_variant",
+            "latency",
+            "bandwidth",
+            "topology",
+            "n_edges",
+            "placement",
+            "edge_cache",
+            "edge_cache_size",
+            "edge_predictor",
+            "edge_strategy",
+            "edge_prefetch_budget",
+            "edge_prefetch_window",
+            "edge_delivery_concurrency",
+            "edge_uplink_streams",
+            "edge_latency",
+            "edge_bandwidth",
+            "mid_cache",
+            "mid_cache_size",
+            "mid_uplink_streams",
+            "mid_latency",
+            "mid_bandwidth",
+            "concurrency",
+            "discipline",
+            "server_cache",
+            "server_cache_size",
+            "miss_penalty",
+        ),
+    ),
 }
 
 
@@ -322,7 +439,7 @@ class ExperimentSpec:
                         f"kind {self.kind!r} supports sources {list(info.sources)}, "
                         f"got {source!r}"
                     )
-        if self.kind == "fleet":
+        if self.kind in ("fleet", "topology"):
             wl = self.effective_workload()
             CACHE_POLICIES.get(str(wl["server_cache"]))  # typo fails at validation
             for value in self.grid.get("n_clients", ()):
@@ -331,6 +448,43 @@ class ExperimentSpec:
             for value in self.grid.get("discipline", (wl["discipline"],)):
                 if value not in ("fifo", "fair"):
                     raise SpecError(f"discipline must be 'fifo' or 'fair', got {value!r}")
+        if self.kind == "topology":
+            from repro.distsys.topology import topology_names
+
+            wl = self.effective_workload()
+            CACHE_POLICIES.get(str(wl["edge_cache"]))
+            CACHE_POLICIES.get(str(wl["mid_cache"]))
+            PREDICTORS.get(str(wl["edge_predictor"]))
+            for value in self.grid.get("topology", (wl["topology"],)):
+                if value not in topology_names():
+                    raise SpecError(
+                        f"unknown topology {value!r}; one of {list(topology_names())}"
+                    )
+            for value in self.grid.get("placement", (wl["placement"],)):
+                if value not in ("none", "client", "edge", "both"):
+                    raise SpecError(
+                        f"placement must be none/client/edge/both, got {value!r}"
+                    )
+            for value in self.grid.get("n_edges", (wl["n_edges"],)):
+                if not isinstance(value, int) or value < 1:
+                    raise SpecError(f"n_edges values must be positive ints, got {value!r}")
+            for value in self.grid.get("edge_cache_size", (wl["edge_cache_size"],)):
+                if not isinstance(value, int) or value < 0:
+                    raise SpecError(
+                        f"edge_cache_size values must be non-negative ints, got {value!r}"
+                    )
+            if wl["edge_strategy"] not in ("skp", "kp"):
+                raise SpecError(
+                    f"edge_strategy must be 'skp' or 'kp', got {wl['edge_strategy']!r}"
+                )
+            if int(wl["edge_prefetch_budget"]) < 0:
+                raise SpecError("edge_prefetch_budget must be non-negative")
+            if float(wl["edge_prefetch_window"]) < 0:
+                raise SpecError("edge_prefetch_window must be non-negative")
+            if int(wl["mid_cache_size"]) < 0:
+                raise SpecError("mid_cache_size must be non-negative")
+            if int(wl["edge_uplink_streams"]) < 1 or int(wl["mid_uplink_streams"]) < 1:
+                raise SpecError("uplink_streams must be positive")
         for value in self.grid.get("v_bin", ()):
             if (
                 not isinstance(value, tuple)

@@ -4,7 +4,7 @@ These helpers keep the rest of the library free of boilerplate.  Nothing in
 here is specific to the paper; it is plumbing that every subpackage shares.
 """
 
-from repro.util.rng import as_generator, spawn_generators
+from repro.util.rng import as_generator, derive_seed, spawn_generators
 from repro.util.listops import concat, exclude, last, without
 from repro.util.validation import (
     check_probability_vector,
@@ -14,6 +14,7 @@ from repro.util.validation import (
 
 __all__ = [
     "as_generator",
+    "derive_seed",
     "spawn_generators",
     "concat",
     "exclude",

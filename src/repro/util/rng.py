@@ -10,9 +10,12 @@ generator across components.
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = ["as_generator", "derive_seed", "spawn_generators"]
 
 
 def as_generator(seed: int | np.random.SeedSequence | np.random.Generator | None) -> np.random.Generator:
@@ -24,6 +27,20 @@ def as_generator(seed: int | np.random.SeedSequence | np.random.Generator | None
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, **params) -> int:
+    """Deterministic 64-bit seed from ``base_seed`` plus keyword parameters.
+
+    SHA-256 over the sorted JSON payload — the same construction as
+    :meth:`repro.experiments.spec.ExperimentSpec.cell_seed` — so derived
+    seeds depend only on the identity parameters (client id, proxy index,
+    tier, role …), never on execution order or worker count.  Per-client
+    workload streams and per-proxy cache seeds both route through here.
+    """
+    payload = {"seed": int(base_seed), **{str(k): v for k, v in params.items()}}
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def spawn_generators(seed: int | np.random.SeedSequence | None, count: int) -> list[np.random.Generator]:

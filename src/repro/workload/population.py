@@ -22,13 +22,12 @@ stream does not change when the fleet around it grows.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from collections.abc import Callable
 
 import numpy as np
 
+from repro.util.rng import derive_seed
 from repro.workload.markov_source import generate_markov_source
 from repro.workload.trace import Trace
 from repro.workload.zipf import zipf_probabilities
@@ -40,18 +39,6 @@ __all__ = [
     "markov_population",
     "zipf_mixture_population",
 ]
-
-
-def derive_seed(base_seed: int, **params) -> int:
-    """Deterministic 64-bit seed from ``base_seed`` plus keyword parameters.
-
-    SHA-256 over the sorted JSON payload — the same construction as
-    :meth:`repro.experiments.spec.ExperimentSpec.cell_seed` — so per-client
-    seeds depend only on workload identity, never on execution order.
-    """
-    payload = {"seed": int(base_seed), **{str(k): v for k, v in params.items()}}
-    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).digest()
-    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,123 @@
+"""Che-approximation analysis: fixed point, monotonicity, simulation agreement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cacheperf import (
+    che_cache_hit_ratio,
+    che_characteristic_time,
+    che_hit_ratios,
+    che_validation_report,
+    empirical_pdf,
+    tier_hit_ratios,
+)
+from repro.cache.policies import LRUCache
+from repro.workload.zipf import zipf_probabilities
+
+
+class TestFixedPoint:
+    def test_characteristic_time_satisfies_fixed_point(self):
+        p = zipf_probabilities(100, 0.8)
+        for cache_size in (5, 25, 60):
+            t_c = che_characteristic_time(p, cache_size)
+            occupancy = float(np.sum(-np.expm1(-p * t_c)))
+            assert occupancy == pytest.approx(cache_size, abs=1e-6)
+
+    def test_characteristic_time_increases_with_cache_size(self):
+        p = zipf_probabilities(50, 1.0)
+        times = [che_characteristic_time(p, c) for c in (5, 10, 20, 40)]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_cache_covering_support_diverges(self):
+        p = zipf_probabilities(20, 0.8)
+        assert che_characteristic_time(p, 20) == float("inf")
+        assert che_cache_hit_ratio(p, 20) == pytest.approx(1.0)
+        np.testing.assert_allclose(che_hit_ratios(p, 20), np.ones(20))
+
+    def test_invalid_inputs_rejected(self):
+        p = zipf_probabilities(10, 1.0)
+        with pytest.raises(ValueError):
+            che_characteristic_time(p, 0)
+        with pytest.raises(ValueError):
+            che_characteristic_time(np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            che_characteristic_time(np.array([0.5, -0.1]), 1)
+
+    def test_unnormalised_pdf_is_normalised(self):
+        p = zipf_probabilities(30, 0.8)
+        assert che_cache_hit_ratio(10 * p, 8) == pytest.approx(
+            che_cache_hit_ratio(p, 8)
+        )
+
+
+class TestHitRatios:
+    def test_hit_ratio_monotone_in_cache_size(self):
+        p = zipf_probabilities(100, 0.8)
+        ratios = [che_cache_hit_ratio(p, c) for c in (2, 5, 10, 25, 50, 99)]
+        assert ratios == sorted(ratios)
+        assert 0.0 < ratios[0] < ratios[-1] <= 1.0
+
+    def test_popular_items_hit_more(self):
+        p = zipf_probabilities(50, 1.0)
+        per_item = che_hit_ratios(p, 10)
+        assert np.all(np.diff(per_item) <= 1e-12)  # p is rank-ordered
+
+    def test_matches_trace_driven_lru_on_zipf(self):
+        """Acceptance: Che within tolerance of a simulated LRU on Zipf(0.8)."""
+        p = zipf_probabilities(100, 0.8)
+        rng = np.random.default_rng(17)
+        stream = rng.choice(100, size=60_000, p=p)
+        for cache_size in (10, 25, 50):
+            cache = LRUCache(cache_size)
+            for item in stream:
+                if not cache.access(int(item)):
+                    cache.insert(int(item))
+            assert che_cache_hit_ratio(p, cache_size) == pytest.approx(
+                cache.stats.hit_rate, abs=0.02
+            )
+
+
+class TestTierCascade:
+    def test_second_tier_sees_flattened_demand(self):
+        p = zipf_probabilities(100, 0.8)
+        first, second = tier_hit_ratios(p, [25, 25])
+        assert first == pytest.approx(che_cache_hit_ratio(p, 25))
+        assert 0.0 < second < first  # the miss stream is flatter
+
+    def test_pass_through_tier_reports_zero(self):
+        p = zipf_probabilities(50, 1.0)
+        ratios = tier_hit_ratios(p, [0, 10])
+        assert ratios[0] == 0.0
+        assert ratios[1] == pytest.approx(che_cache_hit_ratio(p, 10))
+
+
+class TestEmpiricalBridge:
+    def test_empirical_pdf(self):
+        pdf = empirical_pdf([0, 0, 1, 3], 5)
+        np.testing.assert_allclose(pdf, [0.5, 0.25, 0.0, 0.25, 0.0])
+        with pytest.raises(ValueError):
+            empirical_pdf([], 5)
+        with pytest.raises(ValueError):
+            empirical_pdf([5], 5)
+
+    def test_validation_report(self):
+        p = zipf_probabilities(100, 0.8)
+        predicted = che_cache_hit_ratio(p, 25)
+        report = che_validation_report(p, [("edge", 25, predicted - 0.01)])
+        assert report.max_abs_error == pytest.approx(0.01)
+        assert report.agrees(tolerance=0.05)
+        assert not report.agrees(tolerance=0.005)
+        assert "edge" in report.format_table()
+
+
+class TestEdgeChePreset:
+    def test_edge_che_preset_agrees_within_five_points(self):
+        """Acceptance criterion: per-tier Che prediction vs the simulated LRU
+        edge within 5 hit-ratio points on the ``edge-che`` preset."""
+        from repro.experiments import preset, run
+
+        result = run(preset("edge-che", iterations=400), workers=1)
+        for cell in result.cells:
+            gap = abs(cell.metrics["edge_hit_rate"] - cell.metrics["che_edge_hit_rate"])
+            assert gap <= 0.05, f"{cell.params}: |sim - che| = {gap:.4f}"

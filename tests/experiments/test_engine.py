@@ -156,6 +156,51 @@ class TestKinds:
         assert 0.0 < cached.metrics["server_cache_hit_rate"] <= 1.0
         assert cached.metrics["mean_access_time"] < bare.metrics["mean_access_time"]
 
+    def test_topology_placement_sweep(self):
+        spec = ExperimentSpec(
+            name="engine-topology",
+            kind="topology",
+            workload={
+                "n": 40,
+                "overlap": 0.8,
+                "edge_cache_size": 12,
+                "miss_penalty": 5.0,
+                "concurrency": 2,
+            },
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (3,),
+                "placement": ("none", "edge"),
+            },
+            iterations=50,
+            seed=23,
+        )
+        result = run(spec)
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert set(cell.metrics) == set(spec.info.metrics)
+            assert 0.0 <= cell.metrics["edge_hit_rate"] <= 1.0
+            assert 0.0 < cell.metrics["che_edge_hit_rate"] <= 1.0
+            assert cell.metrics["mid_hit_rate"] == 0.0  # tree has no mid tier
+        none_cell = result.cell(placement="none")
+        edge_cell = result.cell(placement="edge")
+        assert none_cell.metrics["prefetch_load_frac"] == 0.0
+        assert edge_cell.metrics["prefetch_load_frac"] > 0.0
+        assert none_cell.seed == edge_cell.seed  # CRN across placement
+
+    def test_topology_star_reports_no_edge_metrics(self):
+        star = run(ExperimentSpec(
+            name="engine-star-topo", kind="topology",
+            workload={"n": 30, "overlap": 1.0, "topology": "star"},
+            grid={"policy": ("skp+pr",), "n_clients": (3,)},
+            iterations=40, seed=29,
+        )).cells[0]
+        # Pass-through proxies have no cache: both the simulated and the
+        # analytical edge hit ratios degrade to the CSV-clean 0 sentinel.
+        assert star.metrics["edge_hit_rate"] == 0.0
+        assert star.metrics["che_edge_hit_rate"] == 0.0
+        assert 0.0 <= star.metrics["hit_rate"] <= 1.0
+
     def test_predictor_eval(self):
         spec = ExperimentSpec(
             name="engine-pe",
@@ -188,6 +233,12 @@ class TestParallelism:
         # is derived from per-client seeds hashed out of workload parameters
         # only, never from execution order.
         spec = preset("fleet-small", iterations=40)
+        assert run(spec, workers=1).table() == run(spec, workers=4).table()
+
+    def test_topology_preset_worker_invariance(self):
+        # Same contract for hierarchies: per-proxy cache seeds hash from
+        # (seed, tier, proxy index), so tables are worker-count-invariant.
+        spec = preset("edge-prefetch-placement", iterations=25)
         assert run(spec, workers=1).table() == run(spec, workers=4).table()
 
     def test_progress_callback_streams_every_cell(self):

@@ -241,6 +241,99 @@ class TestSeeding:
         assert spec.cell_param(cell, "discipline") == "fifo"
 
 
+def topology_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        name="tiny-topology",
+        kind="topology",
+        grid={"policy": ("skp+pr",), "n_clients": (2,)},
+        iterations=10,
+        seed=1,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestTopologyKind:
+    def test_valid_spec(self):
+        spec = topology_spec(
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (2,),
+                "topology": ("star", "tree", "two-tier"),
+                "placement": ("none", "both"),
+            }
+        )
+        assert len(spec.cells()) == 6
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SpecError, match="unknown topology"):
+            topology_spec(workload={"topology": "ring"})
+        with pytest.raises(SpecError, match="unknown topology"):
+            topology_spec(
+                grid={"policy": ("skp+pr",), "n_clients": (2,), "topology": ("ring",)}
+            )
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(SpecError, match="placement"):
+            topology_spec(workload={"placement": "everywhere"})
+
+    def test_rejects_bad_n_edges(self):
+        with pytest.raises(SpecError, match="n_edges"):
+            topology_spec(workload={"n_edges": 0})
+
+    def test_rejects_unknown_edge_cache_and_predictor(self):
+        with pytest.raises(UnknownComponentError):
+            topology_spec(workload={"edge_cache": "magic"})
+        with pytest.raises(UnknownComponentError):
+            topology_spec(workload={"edge_predictor": "oracle"})
+
+    def test_rejects_bad_service_knobs_at_validation(self):
+        # TopologyConfig would reject these too, but only mid-run inside a
+        # worker; the spec must fail at validation time instead.
+        with pytest.raises(SpecError, match="edge_strategy"):
+            topology_spec(workload={"edge_strategy": "pso"})
+        with pytest.raises(SpecError, match="edge_prefetch_budget"):
+            topology_spec(workload={"edge_prefetch_budget": -1})
+        with pytest.raises(SpecError, match="uplink_streams"):
+            topology_spec(workload={"edge_uplink_streams": 0})
+        with pytest.raises(SpecError, match="edge_prefetch_window"):
+            topology_spec(workload={"edge_prefetch_window": -5.0})
+        with pytest.raises(SpecError, match="mid_cache_size"):
+            topology_spec(workload={"mid_cache_size": -1})
+
+    def test_rejects_bad_edge_cache_size_grid_values(self):
+        with pytest.raises(SpecError, match="edge_cache_size"):
+            topology_spec(
+                grid={
+                    "policy": ("skp+pr",),
+                    "n_clients": (2,),
+                    "edge_cache_size": (5, -1),
+                }
+            )
+
+    def test_hierarchy_axes_are_component_params(self):
+        # Topology shape, speculation placement and every per-tier knob
+        # select machinery, not draws: the whole sweep shares one seed.
+        spec = topology_spec(
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (1, 4),
+                "topology": ("star", "tree"),
+                "placement": ("none", "client", "edge", "both"),
+                "edge_cache_size": (0, 25),
+                "n_edges": (1, 2),
+            }
+        )
+        seeds = {spec.cell_seed(cell) for cell in spec.cells()}
+        assert len(seeds) == 1
+
+    def test_population_axes_change_seed(self):
+        spec = topology_spec(
+            grid={"policy": ("skp+pr",), "n_clients": (2,), "overlap": (0.0, 1.0)}
+        )
+        seeds = {spec.cell_seed(cell) for cell in spec.cells()}
+        assert len(seeds) == 2
+
 class TestOverrides:
     def test_with_overrides(self):
         spec = tiny_spec()

@@ -16,11 +16,25 @@ breaks it.
 import numpy as np
 import pytest
 
+from repro.cache.policies import LRUCache
 from repro.core.planner import Prefetcher
-from repro.distsys import Client, FleetConfig, ItemServer, Link, run_fleet, run_session
+from repro.distsys import (
+    Client,
+    FleetConfig,
+    ItemServer,
+    Link,
+    TopologyConfig,
+    run_fleet,
+    run_session,
+    run_topology,
+)
 from repro.simulation import PrefetchCacheConfig, run_prefetch_cache
 from repro.workload import generate_markov_source, record_markov_trace
-from repro.workload.population import ClientWorkload, Population
+from repro.workload.population import (
+    ClientWorkload,
+    Population,
+    zipf_mixture_population,
+)
 
 
 @pytest.mark.parametrize(
@@ -146,3 +160,62 @@ def test_degenerate_fleet_matches_single_client(strategy, sub, window):
     # The fleet drains in-flight prefetches after the last serve, so its
     # makespan can only extend the session's duration, never shrink it.
     assert fleet.makespan >= session.duration - 1e-9
+
+
+@pytest.mark.parametrize("topology", ["star", "tree"])
+@pytest.mark.parametrize("discipline", ["fifo", "fair"])
+@pytest.mark.parametrize("window", ["nominal", "effective"])
+def test_passthrough_topology_matches_fleet(topology, discipline, window):
+    """A hierarchy of pass-through proxies IS the flat fleet.
+
+    ``star`` routes every client through one cache-less, predictor-less
+    proxy; ``tree`` with ``edge_cache_size=0`` through two.  Pass-through
+    proxies relay each submission verbatim (same flow id, same duration,
+    synchronously), so the origin uplink sees the identical submission
+    sequence and the whole timeline — access times, makespan, even the
+    event count — must match ``run_fleet`` *bit-exactly*, under contention
+    (2-slot uplink), a shared origin cache and a backing-store penalty.
+    """
+    population = zipf_mixture_population(
+        6, 40, 80, overlap=0.8, stagger=20.0, seed=5
+    )
+    shared = dict(
+        cache_capacity=6,
+        strategy="skp",
+        sub_arbitration="ds",
+        planning_window=window,
+        concurrency=2,
+        discipline=discipline,
+        miss_penalty=4.0,
+    )
+    fleet = run_fleet(
+        population, FleetConfig(**shared), server_cache=LRUCache(10)
+    )
+    hierarchy = run_topology(
+        population,
+        TopologyConfig(
+            topology=topology,
+            n_edges=2,
+            placement="client",  # client-side speculation only, like the fleet
+            edge_cache_size=0,  # pass-through proxies
+            **shared,
+        ),
+        server_cache=LRUCache(10),
+    )
+
+    assert hierarchy.makespan == fleet.makespan
+    assert hierarchy.events == fleet.events
+    assert hierarchy.transfers_granted == fleet.transfers_granted
+    assert hierarchy.offered_load == fleet.offered_load
+    assert hierarchy.server_cache_hit_rate == fleet.server_cache_hit_rate
+    for topo_stats, fleet_stats in zip(hierarchy.client_stats, fleet.client_stats):
+        np.testing.assert_array_equal(
+            np.asarray(topo_stats.access_times), np.asarray(fleet_stats.access_times)
+        )
+        assert topo_stats.cache_hits == fleet_stats.cache_hits
+        assert topo_stats.pending_waits == fleet_stats.pending_waits
+        assert topo_stats.misses == fleet_stats.misses
+        assert topo_stats.prefetches_scheduled == fleet_stats.prefetches_scheduled
+        assert topo_stats.prefetches_used == fleet_stats.prefetches_used
+        assert topo_stats.network_prefetch_time == fleet_stats.network_prefetch_time
+        assert topo_stats.network_demand_time == fleet_stats.network_demand_time

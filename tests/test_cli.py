@@ -150,6 +150,47 @@ class TestExperimentCLI:
         assert excinfo.value.code == 2
         assert "skp+pr" in capsys.readouterr().err  # lists alternatives
 
+    def test_topology_point(self, capsys):
+        code = main(
+            [
+                "topology",
+                "--clients", "4",
+                "--requests", "40",
+                "--catalog", "30",
+                "--edges", "2",
+                "--edge-cache-size", "10",
+                "--concurrency", "2",
+                "--miss-penalty", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology: tree, 4 clients x 40 requests" in out
+        assert "edge:" in out and "hit rate" in out
+        assert "origin:" in out
+        assert "che edge reference" in out
+
+    def test_topology_star_pass_through(self, capsys):
+        code = main(
+            ["topology", "--topology", "star", "--clients", "2", "--requests", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass-through" in out
+        assert "che edge reference" not in out  # no edge cache to predict
+
+    def test_topology_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["topology", "--topology", "ring"])
+        assert excinfo.value.code == 2
+        assert "two-tier" in capsys.readouterr().err  # lists alternatives
+
+    def test_topology_unknown_pipeline(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["topology", "--policy", "warp+drive"])
+        assert excinfo.value.code == 2
+        assert "skp+pr" in capsys.readouterr().err
+
     def test_experiment_list(self, capsys):
         assert main(["experiment", "list"]) == 0
         out = capsys.readouterr().out

@@ -9,6 +9,7 @@ from repro.util import (
     check_positive_vector,
     check_probability_vector,
     concat,
+    derive_seed,
     exclude,
     last,
     spawn_generators,
@@ -40,6 +41,22 @@ class TestRng:
     def test_spawn_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_generators(0, -1)
+
+    def test_derive_seed_depends_on_every_parameter(self):
+        # The shared hashing helper behind per-client workload streams and
+        # per-proxy cache seeds: identity parameters in, 64-bit seed out.
+        assert derive_seed(3, tier="edge", proxy=1) == derive_seed(3, tier="edge", proxy=1)
+        assert derive_seed(3, tier="edge", proxy=1) != derive_seed(3, tier="edge", proxy=2)
+        assert derive_seed(3, tier="edge", proxy=1) != derive_seed(3, tier="mid", proxy=1)
+        assert derive_seed(3, tier="edge", proxy=1) != derive_seed(4, tier="edge", proxy=1)
+
+    def test_derive_seed_is_keyword_order_insensitive(self):
+        assert derive_seed(1, a=1, b=2) == derive_seed(1, b=2, a=1)
+
+    def test_derive_seed_matches_historical_population_export(self):
+        from repro.workload.population import derive_seed as population_derive_seed
+
+        assert population_derive_seed is derive_seed
 
 
 class TestListOps:
