@@ -31,3 +31,18 @@ def emit(name: str, text: str) -> None:
     print()
     print(text)
     results_path(name).write_text(text + "\n")
+
+
+def emit_bench_json(benchmark: str, *, params: dict, rows: list[dict]) -> None:
+    """Persist one benchmark run as ``results/BENCH_<benchmark>.json``.
+
+    Every benchmark records its machine-readable artifact through here so
+    the perf trajectory (events/s, wall time per figure) is diffable across
+    PRs; see :func:`repro.util.perf.write_bench_json` for the schema.
+    """
+    from repro.util.perf import write_bench_json
+
+    path = write_bench_json(
+        results_path(f"BENCH_{benchmark}.json"), benchmark, params=params, rows=rows
+    )
+    print(f"wrote {path}")

@@ -23,7 +23,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _common import emit, results_path, scale
+from _common import emit, emit_bench_json, results_path, scale
 
 FLEET_SIZES = (1, 10, 100)
 
@@ -39,6 +39,11 @@ def main() -> int:
     parser.add_argument("--catalog", type=int, default=100)
     parser.add_argument("--concurrency", type=int, default=8)
     parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="fleet sizes to run (default: 1 10 100)")
+    parser.add_argument("--min-events-per-s", type=float, default=None,
+                        help="exit non-zero if any point falls below this floor "
+                             "(the CI perf smoke gate)")
     args = parser.parse_args()
 
     config = FleetConfig(cache_capacity=8, strategy="skp", concurrency=args.concurrency)
@@ -46,14 +51,16 @@ def main() -> int:
         "n_clients", "requests", "elapsed_s", "events_per_s", "requests_per_s",
         "mean_access_time", "p95_access_time", "server_utilization",
     ]
-    rows: list[list[str]] = []
+    sizes = tuple(args.sizes) if args.sizes else FLEET_SIZES
+    csv_rows: list[list[str]] = []
+    bench_rows: list[dict] = []
     lines = [
         f"fleet benchmark: catalog {args.catalog}, {args.requests} requests/client, "
         f"{args.concurrency}-slot uplink, skp+pr",
         "",
         "n_clients  requests  elapsed   events/s  requests/s  mean T   p95 T    util",
     ]
-    for n_clients in FLEET_SIZES:
+    for n_clients in sizes:
         population = zipf_mixture_population(
             n_clients, args.catalog, args.requests,
             overlap=0.5, stagger=50.0, seed=args.seed,
@@ -62,7 +69,18 @@ def main() -> int:
         result = run_fleet(population, config)
         elapsed = time.perf_counter() - started
         requests = population.total_requests
-        rows.append([
+        bench_rows.append({
+            "n_clients": n_clients,
+            "requests": requests,
+            "events": result.events,
+            "elapsed_s": round(elapsed, 3),
+            "events_per_s": round(result.events / elapsed, 1),
+            "requests_per_s": round(requests / elapsed, 1),
+            "mean_access_time": round(result.aggregate.mean_access_time, 4),
+            "p95_access_time": round(result.aggregate.p95_access_time, 4),
+            "server_utilization": round(result.server_utilization, 4),
+        })
+        csv_rows.append([
             str(n_clients), str(requests), f"{elapsed:.3f}",
             f"{result.events / elapsed:.1f}", f"{requests / elapsed:.1f}",
             f"{result.aggregate.mean_access_time:.4f}",
@@ -74,9 +92,46 @@ def main() -> int:
             f"  {requests / elapsed:10.0f}  {result.aggregate.mean_access_time:7.3f}"
             f"  {result.aggregate.p95_access_time:7.2f}  {result.server_utilization:.3f}"
         )
-    write_rows(results_path("bench_fleet.csv"), header, rows)
-    emit("bench_fleet.txt", "\n".join(lines))
-    print(f"\nwrote {results_path('bench_fleet.csv')}")
+    # A reduced run (the CI smoke gate, local gate repros, any overridden
+    # workload knob) must not clobber the canonical full-scale artifacts:
+    # it records under the _smoke name and skips the csv/txt tables.  An
+    # empty --sizes falls back to the full sweep above and stays canonical.
+    canonical = sizes == FLEET_SIZES and all(
+        getattr(args, name) == parser.get_default(name)
+        for name in ("requests", "catalog", "concurrency", "seed")
+    )
+    if canonical:
+        write_rows(results_path("bench_fleet.csv"), header, csv_rows)
+        emit("bench_fleet.txt", "\n".join(lines))
+    else:
+        print()
+        print("\n".join(lines))
+    emit_bench_json(
+        "fleet" if canonical else "fleet_smoke",
+        params={
+            "catalog": args.catalog,
+            "requests_per_client": args.requests,
+            "concurrency": args.concurrency,
+            "seed": args.seed,
+            "strategy": "skp",
+            "cache_capacity": 8,
+            "sizes": list(sizes),
+        },
+        rows=bench_rows,
+    )
+    if canonical:
+        print(f"\nwrote {results_path('bench_fleet.csv')}")
+    if args.min_events_per_s is not None:
+        slowest = min(row["events_per_s"] for row in bench_rows)
+        if slowest < args.min_events_per_s:
+            print(
+                f"PERF REGRESSION: slowest point ran {slowest:.0f} events/s "
+                f"< floor {args.min_events_per_s:.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perf floor ok: slowest point {slowest:.0f} events/s "
+              f">= {args.min_events_per_s:.0f}")
     return 0
 
 

@@ -27,7 +27,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _common import emit, results_path, scale
+from _common import emit, emit_bench_json, results_path, scale
 
 TOPOLOGIES = ("star", "tree", "two-tier")
 FLEET_SIZES = (4, 16, 64)
@@ -156,6 +156,16 @@ def main() -> int:
     write_rows(results_path("bench_topology.csv"), CSV_HEADER, rows)
     emit("bench_topology.txt", "\n".join(lines))
     results_path("bench_topology.json").write_text(json.dumps(record, indent=2) + "\n")
+    emit_bench_json(
+        "topology",
+        params={
+            **common,
+            "catalog": args.catalog,
+            "requests_per_client": args.requests,
+            "seed": args.seed,
+        },
+        rows=record["scaling"] + record["placement"],
+    )
     print(f"\nwrote {results_path('bench_topology.csv')}")
     return 0
 

@@ -1,0 +1,52 @@
+"""Benchmark-session hooks: machine-readable ``BENCH_*.json`` artifacts.
+
+The script-style benchmarks (``bench_fleet``, ``bench_topology``,
+``bench_experiment_engine``) write their artifacts directly; the
+pytest-benchmark suites (figures, ablations, solver) get theirs here — one
+``results/BENCH_<module>.json`` per benchmark module, with the timed
+kernel's mean/stddev and every ``extra_info`` reading, so the perf
+trajectory of *all* benchmarks is tracked in one schema
+(:func:`repro.util.perf.write_bench_json`).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if benchsession is None or not benchsession.benchmarks:
+        return
+    from repro.util.perf import write_bench_json
+
+    by_module: dict[str, list[dict]] = {}
+    for bench in benchsession.benchmarks:
+        module = Path(str(bench.fullname).split("::")[0]).stem
+        stats = getattr(bench, "stats", None)
+        row = {"test": str(bench.name)}
+        if stats is not None:
+            for field in ("mean", "stddev", "min", "max", "rounds"):
+                value = getattr(stats, field, None)
+                if value is not None:
+                    row[f"{field}_s" if field != "rounds" else field] = (
+                        round(float(value), 6) if field != "rounds" else int(value)
+                    )
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            row.update({str(k): v for k, v in extra.items()})
+        by_module.setdefault(module, []).append(row)
+
+    for module, rows in by_module.items():
+        name = module.removeprefix("bench_")
+        write_bench_json(
+            RESULTS_DIR / f"BENCH_{name}.json",
+            name,
+            params={"pytest_module": f"{module}.py"},
+            rows=rows,
+        )

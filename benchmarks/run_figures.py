@@ -70,12 +70,19 @@ def figure7() -> None:
 
 
 def main() -> None:
+    from _common import emit_bench_json
+    from repro.util.perf import Timer
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--figure", choices=["4", "5", "7", "all"], default="all")
     args = parser.parse_args()
     jobs = {"4": [figure4], "5": [figure5], "7": [figure7]}
+    rows = []
     for fn in jobs.get(args.figure, [figure4, figure5, figure7]):
-        fn()
+        with Timer() as timer:
+            fn()
+        rows.append({"figure": fn.__name__, "elapsed_s": round(timer.elapsed, 3)})
+    emit_bench_json("figures", params={"selection": args.figure}, rows=rows)
 
 
 if __name__ == "__main__":

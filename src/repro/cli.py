@@ -163,6 +163,23 @@ def _population_from_args(args: argparse.Namespace):
     )
 
 
+def _run_maybe_profiled(args: argparse.Namespace, fn, *fn_args, **fn_kwargs):
+    """Run the simulation, optionally under cProfile (``--profile``).
+
+    With ``--profile`` the sorted stats table goes to stderr after the run,
+    so the normal result report on stdout stays clean and parseable.
+    """
+    if not getattr(args, "profile", False):
+        return fn(*fn_args, **fn_kwargs)
+    from repro.util.perf import profile_call
+
+    result, stats = profile_call(
+        fn, *fn_args, sort=args.profile_sort, limit=args.profile_limit, **fn_kwargs
+    )
+    print(stats, file=sys.stderr)
+    return result
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.distsys.fleet import FleetConfig, run_fleet
     from repro.experiments import PIPELINES, build_server_cache
@@ -180,7 +197,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         discipline=args.discipline,
         miss_penalty=args.miss_penalty,
     )
-    res = run_fleet(population, config, server_cache=server_cache)
+    res = _run_maybe_profiled(
+        args, run_fleet, population, config, server_cache=server_cache
+    )
     agg = res.aggregate
     print(
         f"fleet: {args.clients} clients x {args.requests} requests "
@@ -248,7 +267,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     network = CacheNetwork(
         population, config, server_cache=server_cache, seed=args.seed
     )
-    res = network.run()
+    res = _run_maybe_profiled(args, network.run)
     agg = res.aggregate
     # Report the hierarchy actually built, not the flags: star ignores
     # --edges, and edge-side speculation is inert without a cache to fill
@@ -395,6 +414,16 @@ def _cmd_version(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_profile_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and dump sorted stats to stderr")
+    parser.add_argument("--profile-sort", default="cumulative",
+                        choices=["cumulative", "tottime", "calls"],
+                        help="pstats sort order for --profile")
+    parser.add_argument("--profile-limit", type=_positive_int, default=30,
+                        help="rows of profile output to print")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -446,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--stagger", type=_nonnegative_float, default=50.0,
                        help="client start times uniform in [0, stagger]")
     fleet.add_argument("--seed", type=int, default=0)
+    _add_profile_options(fleet)
     fleet.set_defaults(func=_cmd_fleet, parser=fleet)
 
     topology = sub.add_parser(
@@ -491,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--stagger", type=_nonnegative_float, default=50.0,
                           help="client start times uniform in [0, stagger]")
     topology.add_argument("--seed", type=int, default=0)
+    _add_profile_options(topology)
     topology.set_defaults(func=_cmd_topology, parser=topology)
 
     experiment = sub.add_parser(

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ordering import reorder_plan
 from repro.core.types import PrefetchPlan, PrefetchProblem
 
 __all__ = [
@@ -115,13 +114,22 @@ def arbitrate_prefetch(
     time.
     """
     items = tuple(candidates.items if isinstance(candidates, PrefetchPlan) else candidates)
+    item_set = set(int(i) for i in items)
+    # The result plan is built without re-validation, so enforce the plan
+    # invariants (unique, non-negative ids) on raw candidate sequences here.
+    if len(item_set) != len(items):
+        raise ValueError(f"prefetch candidates contain duplicate items: {items}")
+    if any(i < 0 for i in item_set):
+        raise ValueError(f"prefetch candidates contain negative item ids: {items}")
     cache_set = set(int(i) for i in cache)
-    if cache_set & set(items):
+    if cache_set & item_set:
         raise ValueError("prefetch candidates must not already be cached")
     if free_slots < 0:
         raise ValueError("free_slots must be non-negative")
 
-    profit = problem.profits()
+    # Plain-list profits: the identical P_i r_i floats, indexed without a
+    # NumPy array-scalar box per comparison in the sort and victim loops.
+    profit = problem.profits().tolist()
     ordered = sorted(items, key=lambda f: (-profit[f], f))
     remaining = set(cache_set)
     admitted: list[int] = []
@@ -137,16 +145,21 @@ def arbitrate_prefetch(
             continue
         if not remaining:
             break  # full cache with nothing evictable left
-        d = select_victim(remaining, lambda i: float(profit[i]), sub_key)
-        if float(profit[f]) < float(profit[d]):
+        d = select_victim(remaining, profit.__getitem__, sub_key)
+        if profit[f] < profit[d]:
             break  # Figure 6: first losing candidate ends the loop
         admitted.append(f)
         eject.append(d)
         pairs.append((f, d))
         remaining.discard(d)
 
+    # reorder_plan's rule-(5) arrangement, inlined over the known-unique
+    # admitted list so the plan skips re-validation.
+    p = problem.probabilities
+    r = problem.retrieval_times
+    admitted.sort(key=lambda i: (-p[i], r[i], i))
     return ArbitrationResult(
-        prefetch=reorder_plan(problem, admitted),
+        prefetch=PrefetchPlan.from_trusted(tuple(admitted)),
         eject=tuple(eject),
         pairs=tuple(pairs),
     )
@@ -167,8 +180,9 @@ def arbitrate_demand(
     """
     if free_slots > 0:
         return None
-    cache_list = [int(i) for i in cache if int(i) != int(item)]
+    item = int(item)
+    cache_list = [int(i) for i in cache if int(i) != item]
     if not cache_list:
         return None
-    profit = problem.profits()
-    return select_victim(cache_list, lambda i: float(profit[i]), sub_key)
+    profit = problem.profits().tolist()
+    return select_victim(cache_list, profit.__getitem__, sub_key)

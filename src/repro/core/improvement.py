@@ -158,7 +158,12 @@ def access_improvement_with_cache(
     st = plan_stretch(problem, items)
     retained = sorted(cached_set - set(ejected_list))
     anti_g = _profit_sum(problem, ejected_list) - _mass(problem, retained) * st
-    return access_improvement(problem, items) - anti_g
+    # Equation (3) inline, sharing the stretch value computed above instead
+    # of re-deriving it through access_improvement (same floats, same order).
+    gain = _profit_sum(problem, items)
+    if items and st > 0.0:
+        gain -= (1.0 - _mass(problem, items[:-1])) * st
+    return gain - anti_g
 
 
 def incremental_gain(

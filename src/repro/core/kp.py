@@ -95,7 +95,10 @@ def solve_kp(problem: PrefetchProblem, *, use_bound: bool = True) -> KPResult:
     dfs(0, float(v), 0.0)
     items = tuple(int(order[k]) for k in range(n) if best_mask[k])
     return KPResult(
-        plan=PrefetchPlan(items), value=float(best_value), nodes=nodes, bound_cutoffs=cutoffs
+        plan=PrefetchPlan.from_trusted(items),
+        value=float(best_value),
+        nodes=nodes,
+        bound_cutoffs=cutoffs,
     )
 
 

@@ -17,7 +17,7 @@ The planner implements the paper's full pipeline (Figure 6):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -38,14 +38,76 @@ _STRATEGIES = ("skp", "kp", "none")
 _SUB_ARBITRATIONS = (None, "lfu", "ds")
 
 
-@dataclass(frozen=True)
-class PlanOutcome:
-    """What the planner decided for one viewing period."""
+class _LazyImprovement:
+    """Deferred equation-(9) gain for a plan outcome.
 
-    prefetch: PrefetchPlan
-    eject: tuple[int, ...]
-    expected_improvement: float
-    candidate_plan: PrefetchPlan  # the pre-arbitration F^ (useful for analysis)
+    Module-level (picklable) and holding only the four inputs the
+    recomputation needs — not the whole arbitration result.
+    """
+
+    __slots__ = ("problem", "prefetch", "cache", "eject")
+
+    def __init__(
+        self,
+        problem: PrefetchProblem,
+        prefetch: PrefetchPlan,
+        cache: tuple[int, ...],
+        eject: tuple[int, ...],
+    ) -> None:
+        self.problem = problem
+        self.prefetch = prefetch
+        self.cache = cache
+        self.eject = eject
+
+    def __call__(self) -> float:
+        return access_improvement_with_cache(
+            self.problem, self.prefetch, self.cache, self.eject
+        )
+
+
+class PlanOutcome:
+    """What the planner decided for one viewing period.
+
+    ``expected_improvement`` (the equation-(9) gain estimate) is computed
+    lazily on first access: the simulators call :meth:`Prefetcher.plan` once
+    per request and never read the estimate, while analysis code that wants
+    it pays exactly the former eager cost.  The value is identical either
+    way — the same :func:`access_improvement_with_cache` call over the same
+    plan, cache and eviction list.
+    """
+
+    __slots__ = ("prefetch", "eject", "candidate_plan", "_gain", "_lazy_gain")
+
+    def __init__(
+        self,
+        prefetch: PrefetchPlan,
+        eject: tuple[int, ...],
+        expected_improvement: float | Callable[[], float],
+        candidate_plan: PrefetchPlan,
+    ) -> None:
+        self.prefetch = prefetch
+        self.eject = eject
+        self.candidate_plan = candidate_plan  # the pre-arbitration F^
+        if callable(expected_improvement):
+            self._gain: float | None = None
+            self._lazy_gain = expected_improvement
+        else:
+            self._gain = float(expected_improvement)
+            self._lazy_gain = None
+
+    @property
+    def expected_improvement(self) -> float:
+        gain = self._gain
+        if gain is None:
+            gain = self._gain = float(self._lazy_gain())
+            self._lazy_gain = None
+        return gain
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanOutcome(prefetch={self.prefetch.items}, eject={self.eject}, "
+            f"expected_improvement={self.expected_improvement:.6g})"
+        )
 
 
 @dataclass
@@ -100,6 +162,8 @@ class Prefetcher:
         problem: PrefetchProblem,
         cache: Sequence[int],
         pinned: Sequence[int] = (),
+        *,
+        support: Sequence[int] | None = None,
     ) -> PrefetchPlan:
         """Maximise g* over non-blocked items (step 1 of Figure 6).
 
@@ -108,17 +172,34 @@ class Prefetcher:
         Also the planning core of proxy-side speculation
         (:meth:`repro.distsys.topology.ProxyNode._speculate`), which blocks
         cached, pending and zero-probability items.
+
+        ``support``, when given, must be exactly
+        ``np.flatnonzero(problem.probabilities).tolist()`` — callers with
+        static providers (:class:`repro.distsys.planning.ClientPlanState`)
+        precompute it once per item instead of rescanning the row here.
         """
-        blocked = set(int(i) for i in cache) | set(int(i) for i in pinned)
-        candidates = [i for i in range(problem.n) if i not in blocked]
-        if not candidates or self.strategy == "none":
+        if self.strategy == "none":
+            return PrefetchPlan(())
+        # No int() round-trip: candidates below are Python ints from the
+        # support scan, and integer-like cache entries hash equal to them.
+        blocked = set(cache)
+        blocked.update(pinned)
+        # Zero-probability items never enter an optimal plan (both solvers
+        # drop them before searching), so restrict the subproblem to the
+        # provider row's support up front — planner rows are typically
+        # sparse (a Markov out-degree or a top-k Zipf view), which shrinks
+        # the canonical sort and the sliced arrays by 5x and more.
+        if support is None:
+            support = np.flatnonzero(problem.probabilities).tolist()
+        candidates = [i for i in support if i not in blocked]
+        if not candidates:
             return PrefetchPlan(())
         sub = problem.subproblem(candidates)
         if self.strategy == "skp":
             local = solve_skp(sub, variant=self.variant).plan
         else:
             local = solve_kp(sub).plan
-        return PrefetchPlan(tuple(candidates[k] for k in local.items))
+        return PrefetchPlan.from_trusted(tuple(candidates[k] for k in local.items))
 
     # ------------------------------------------------------------------
     def plan(
@@ -129,6 +210,7 @@ class Prefetcher:
         cache_capacity: int | None = None,
         frequencies: np.ndarray | None = None,
         pinned: Sequence[int] = (),
+        support: Sequence[int] | None = None,
     ) -> PlanOutcome:
         """Decide what to prefetch (and evict) for one viewing period.
 
@@ -138,23 +220,38 @@ class Prefetcher:
         the candidate set and the victim pool — the continuous simulator
         uses it for transfers still in flight from the previous period.
         """
-        cache = tuple(int(i) for i in cache)
+        cache = tuple(cache)
         capacity = len(cache) if cache_capacity is None else int(cache_capacity)
         if capacity < len(cache):
             raise ValueError(f"cache_capacity {capacity} below current occupancy {len(cache)}")
-        candidate = self.candidate_plan(problem, cache, pinned)
+        # Built before the empty-candidate shortcut so a misconfigured
+        # sub_arbitration/frequencies pair raises on every call, not only
+        # on the data-dependent calls whose candidate plan is non-empty.
+        sub_key = self._sub_key(problem, frequencies)
+        candidate = self.candidate_plan(problem, cache, pinned, support=support)
+        if not candidate.items:
+            # Nothing to arbitrate: the admitted plan is empty, no victim is
+            # ejected, and equation (9) evaluates to exactly 0.0 (zero
+            # profit, zero stretch) — skip the profit-vector round-trip.
+            return PlanOutcome(
+                prefetch=candidate,
+                eject=(),
+                expected_improvement=0.0,
+                candidate_plan=candidate,
+            )
         result = arbitrate_prefetch(
             problem,
             candidate,
             cache,
             free_slots=capacity - len(cache),
-            sub_key=self._sub_key(problem, frequencies),
+            sub_key=sub_key,
         )
-        gain = access_improvement_with_cache(problem, result.prefetch, cache, result.eject)
         return PlanOutcome(
             prefetch=result.prefetch,
             eject=result.eject,
-            expected_improvement=float(gain),
+            expected_improvement=_LazyImprovement(
+                problem, result.prefetch, cache, result.eject
+            ),
             candidate_plan=candidate,
         )
 
@@ -168,7 +265,7 @@ class Prefetcher:
         frequencies: np.ndarray | None = None,
     ) -> int | None:
         """Victim for a demand-fetched item (always admitted, §5.2)."""
-        cache = tuple(int(i) for i in cache)
+        cache = tuple(cache)
         capacity = len(cache) if cache_capacity is None else int(cache_capacity)
         return arbitrate_demand(
             problem,

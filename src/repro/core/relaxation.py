@@ -19,6 +19,7 @@ precomputed cumulative sums.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,19 +46,34 @@ class LinearRelaxation:
 class SuffixBounder:
     """Dantzig bounds for suffixes of a canonically-sorted item array.
 
-    Construction is O(n); each :meth:`bound` query is O(log n).  The arrays
-    are kept contiguous and the query path allocation-free, since the SKP
-    branch-and-bound calls :meth:`bound` at every node.
+    Construction is O(n); each :meth:`bound` query is O(log n).  The solvers
+    call :meth:`bound` at every branch-and-bound node, so the internals are
+    plain Python lists queried with :func:`bisect.bisect_right` — identical
+    arithmetic to the previous NumPy cumsum/searchsorted implementation
+    (running sums fold left-to-right exactly like ``np.cumsum``), but
+    without any per-query array-scalar boxing.
     """
 
     def __init__(self, p_sorted: np.ndarray, r_sorted: np.ndarray) -> None:
-        self.p = np.ascontiguousarray(p_sorted, dtype=np.float64)
-        self.r = np.ascontiguousarray(r_sorted, dtype=np.float64)
-        n = self.p.shape[0]
-        self.cum_r = np.zeros(n + 1, dtype=np.float64)
-        np.cumsum(self.r, out=self.cum_r[1:])
-        self.cum_profit = np.zeros(n + 1, dtype=np.float64)
-        np.cumsum(self.p * self.r, out=self.cum_profit[1:])
+        # Only the Python-list views live on: the query path never touches
+        # the source arrays again, so retaining them would double the
+        # per-solve allocation in the hottest construction path.
+        p_list = np.asarray(p_sorted, dtype=np.float64).tolist()
+        r_list = np.asarray(r_sorted, dtype=np.float64).tolist()
+        n = len(p_list)
+        cum_r = [0.0] * (n + 1)
+        cum_profit = [0.0] * (n + 1)
+        acc_r = 0.0
+        acc_g = 0.0
+        for i in range(n):
+            acc_r += r_list[i]
+            acc_g += p_list[i] * r_list[i]
+            cum_r[i + 1] = acc_r
+            cum_profit[i + 1] = acc_g
+        self.p_list = p_list
+        self.r_list = r_list
+        self.cum_r = cum_r
+        self.cum_profit = cum_profit
         self.n = n
 
     def bound(self, start: int, capacity: float) -> float:
@@ -70,15 +86,17 @@ class SuffixBounder:
             return 0.0
         if capacity <= 0.0:
             return 0.0
-        target = self.cum_r[start] + capacity
+        cum_r = self.cum_r
+        cum_profit = self.cum_profit
+        target = cum_r[start] + capacity
         # First index m with cum_r[m] > target; items start..m-2 fit wholly.
-        m = int(np.searchsorted(self.cum_r, target, side="right"))
+        m = bisect_right(cum_r, target)
         if m > self.n:
-            return float(self.cum_profit[self.n] - self.cum_profit[start])
+            return cum_profit[self.n] - cum_profit[start]
         brk = m - 1  # the paper's z~ relative to this suffix
-        whole = float(self.cum_profit[brk] - self.cum_profit[start])
-        room = target - float(self.cum_r[brk])
-        return whole + room * float(self.p[brk])
+        whole = cum_profit[brk] - cum_profit[start]
+        room = target - cum_r[brk]
+        return whole + room * self.p_list[brk]
 
 
 def linear_relaxation(problem: PrefetchProblem) -> LinearRelaxation:

@@ -34,9 +34,7 @@ Regardless of variant, the returned :class:`SKPResult.gain` is the *true*
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+from bisect import bisect_right
 
 from repro.core.improvement import access_improvement
 from repro.core.ordering import canonical_order
@@ -48,21 +46,73 @@ __all__ = ["SKPResult", "solve_skp"]
 _VARIANTS = ("corrected", "faithful")
 
 
-@dataclass(frozen=True)
+class _LazyGain:
+    """Deferred equation-(3) recomputation for a solved plan.
+
+    A module-level class (not a closure) so results stay picklable, holding
+    only the two fields the recomputation needs.
+    """
+
+    __slots__ = ("problem", "plan")
+
+    def __init__(self, problem: PrefetchProblem, plan: PrefetchPlan) -> None:
+        self.problem = problem
+        self.plan = plan
+
+    def __call__(self) -> float:
+        return access_improvement(self.problem, self.plan)
+
+
 class SKPResult:
     """Outcome of an SKP solve.
 
     ``gain`` is the access improvement ``g*`` of ``plan`` per equation (3);
     ``algorithm_gain`` is the solver's internal incumbent value, which for
     the faithful variant may exceed ``gain`` (see module docstring).
+
+    ``gain`` is evaluated lazily on first access: the planner's
+    per-request candidate solves only consume ``plan``, while solver tests
+    and analysis code reading ``gain`` get the identical equation-(3)
+    recomputation they always did.
     """
 
-    plan: PrefetchPlan
-    gain: float
-    algorithm_gain: float
-    nodes: int
-    bound_cutoffs: int
-    variant: str
+    __slots__ = ("plan", "algorithm_gain", "nodes", "bound_cutoffs", "variant", "_gain", "_lazy_gain")
+
+    def __init__(
+        self,
+        plan: PrefetchPlan,
+        gain,
+        algorithm_gain: float,
+        nodes: int,
+        bound_cutoffs: int,
+        variant: str,
+    ) -> None:
+        self.plan = plan
+        self.algorithm_gain = algorithm_gain
+        self.nodes = nodes
+        self.bound_cutoffs = bound_cutoffs
+        self.variant = variant
+        if callable(gain):
+            self._gain = None
+            self._lazy_gain = gain
+        else:
+            self._gain = float(gain)
+            self._lazy_gain = None
+
+    @property
+    def gain(self) -> float:
+        value = self._gain
+        if value is None:
+            value = self._gain = float(self._lazy_gain())
+            self._lazy_gain = None
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SKPResult(plan={self.plan.items}, gain={self.gain:.6g}, "
+            f"algorithm_gain={self.algorithm_gain:.6g}, nodes={self.nodes}, "
+            f"bound_cutoffs={self.bound_cutoffs}, variant={self.variant!r})"
+        )
 
 
 def solve_skp(
@@ -103,25 +153,39 @@ def solve_skp(
     order_full = canonical_order(problem)
     p_full = problem.probabilities[order_full]
     keep = p_full > 0.0
-    order = order_full[keep]
-    p = np.ascontiguousarray(p_full[keep])
-    r = np.ascontiguousarray(problem.retrieval_times[order])
+    order_arr = order_full[keep]
     v = float(problem.viewing_time)
-    n = int(p.shape[0])
+    n = int(order_arr.shape[0])
 
     if n == 0:
         return SKPResult(PrefetchPlan(()), 0.0, 0.0, 0, 0, variant)
 
-    bounder = SuffixBounder(p, r)
+    # The branch-and-bound touches scalars, not vectors: plain Python lists
+    # avoid a NumPy array-scalar box per access.  All folds below (the
+    # bounder's running cumsums, the inlined Dantzig query) perform the
+    # identical IEEE operations in the identical order as the previous
+    # NumPy version, so solver output is bit-exact — the golden-trace tests
+    # depend on it.  The prefix sums come from SuffixBounder (one shared
+    # construction); only the per-node *query* is inlined below.
+    order = order_arr.tolist()
+    bounder = SuffixBounder(p_full[keep], problem.retrieval_times[order_arr])
+    p = bounder.p_list
+    r = bounder.r_list
+    cum_r = bounder.cum_r
+    cum_profit = bounder.cum_profit
+
     # Suffix probability mass, suffix_mass[j] = sum(p[j:]); sentinel 0 at n.
-    suffix_mass = np.zeros(n + 1, dtype=np.float64)
-    suffix_mass[:n] = np.cumsum(p[::-1])[::-1]
+    suffix_mass = [0.0] * (n + 1)
+    acc_m = 0.0
+    for i in range(n - 1, -1, -1):
+        acc_m += p[i]
+        suffix_mass[i] = acc_m
     faithful = variant == "faithful"
 
     # --- state, mirroring Figure 3 -------------------------------------
-    x_best = np.zeros(n, dtype=bool)  # paper's x
+    x_best = [False] * n  # paper's x
     g_best = 0.0  # paper's g
-    x_hat = np.zeros(n, dtype=bool)  # paper's x^
+    x_hat = [False] * n  # paper's x^
     g_hat = 0.0  # paper's g^
     v_hat = v  # paper's v^ (residual capacity; < 0 once stretched)
     sel_mass = 0.0  # sum of P over selected items (corrected penalty)
@@ -130,19 +194,30 @@ def solve_skp(
     nodes = 0
     cutoffs = 0
 
-    BOUND, FORWARD, UPDATE, BACKTRACK = 0, 1, 2, 3
-    state = BOUND
+    # Figure 3's steps 2-5 as direct control flow (the former explicit
+    # state machine, minus the per-transition dispatch): the inner loop
+    # alternates bound and forward moves, falling through to the incumbent
+    # update; the outer loop backtracks.  Transition order is unchanged.
     while True:
-        if state == BOUND:  # step 2
+        while True:
+            # -- step 2: bound (inlined SuffixBounder.bound(j, max(v^,0)))
             if use_bound:
-                u = bounder.bound(j, v_hat if v_hat > 0.0 else 0.0)
+                if j >= n or v_hat <= 0.0:
+                    u = 0.0
+                else:
+                    target = cum_r[j] + v_hat
+                    m = bisect_right(cum_r, target)
+                    if m > n:
+                        u = cum_profit[n] - cum_profit[j]
+                    else:
+                        brk = m - 1
+                        u = (cum_profit[brk] - cum_profit[j]) + (
+                            target - cum_r[brk]
+                        ) * p[brk]
                 if g_best >= g_hat + u:
                     cutoffs += 1
-                    state = BACKTRACK
-                    continue
-            state = FORWARD
-
-        elif state == FORWARD:  # step 3
+                    break  # to step 5
+            # -- step 3: forward
             rebound = False
             while j < n and v_hat > 0.0:
                 nodes += 1
@@ -162,34 +237,32 @@ def solve_skp(
                     x_hat[j] = True
                     selected_stack.append(j)
                     j += 1
-            state = BOUND if rebound else UPDATE
-
-        elif state == UPDATE:  # step 4
+            if rebound:
+                continue  # back to step 2
+            # -- step 4: update the incumbent
             if g_hat > g_best:
                 g_best = g_hat
-                x_best[:] = x_hat
-            state = BACKTRACK
+                x_best = x_hat.copy()
+            break  # to step 5
 
-        else:  # BACKTRACK, step 5
-            if not selected_stack:
-                break  # step 6
-            k = selected_stack.pop()
-            x_hat[k] = False
-            v_hat += r[k]
-            sel_mass -= p[k]
-            penalty = (suffix_mass[k] if faithful else 1.0 - sel_mass) + stretch_penalty_bonus
-            overrun = r[k] - v_hat  # v_hat restored == residual at insertion
-            delta = p[k] * r[k] - (penalty * overrun if overrun > 0.0 else 0.0)
-            g_hat -= delta
-            j = k + 1
-            state = BOUND
+        # -- step 5: backtrack
+        if not selected_stack:
+            break  # step 6
+        k = selected_stack.pop()
+        x_hat[k] = False
+        v_hat += r[k]
+        sel_mass -= p[k]
+        penalty = (suffix_mass[k] if faithful else 1.0 - sel_mass) + stretch_penalty_bonus
+        overrun = r[k] - v_hat  # v_hat restored == residual at insertion
+        delta = p[k] * r[k] - (penalty * overrun if overrun > 0.0 else 0.0)
+        g_hat -= delta
+        j = k + 1
 
-    items = tuple(int(order[k]) for k in range(n) if x_best[k])
-    plan = PrefetchPlan(items)
-    true_gain = access_improvement(problem, plan)
+    items = tuple(order[k] for k in range(n) if x_best[k])
+    plan = PrefetchPlan.from_trusted(items)
     return SKPResult(
         plan=plan,
-        gain=float(true_gain),
+        gain=_LazyGain(problem, plan),
         algorithm_gain=float(g_best),
         nodes=nodes,
         bound_cutoffs=cutoffs,

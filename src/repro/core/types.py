@@ -112,13 +112,18 @@ class PrefetchProblem:
         Probabilities of removed items become residual mass: they can still
         be requested, so they still contribute to the stretch penalty, which
         is exactly how equation (9) treats cached items.
+
+        Slices of an already-validated problem satisfy every invariant (a
+        subset's probability mass cannot exceed the parent's), so the
+        restriction skips re-validation — the planner builds one of these
+        per request in the simulator hot loops.
         """
-        idx = np.asarray(list(items), dtype=np.intp)
-        return PrefetchProblem(
-            probabilities=self.probabilities[idx],
-            retrieval_times=self.retrieval_times[idx],
-            viewing_time=self.viewing_time,
-        )
+        idx = np.asarray(items, dtype=np.intp)
+        p = self.probabilities[idx]
+        r = self.retrieval_times[idx]
+        p.setflags(write=False)
+        r.setflags(write=False)
+        return PrefetchProblem.from_validated(p, r, self.viewing_time)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -146,6 +151,19 @@ class PrefetchPlan:
         if any(i < 0 for i in items):
             raise ValueError(f"prefetch plan contains negative item ids: {items}")
         object.__setattr__(self, "items", items)
+
+    @classmethod
+    def from_trusted(cls, items: tuple[int, ...]) -> "PrefetchPlan":
+        """Fast-path constructor for internally-produced item tuples.
+
+        Skips the duplicate/negativity checks and the int() round-trip; the
+        caller (solver or arbitration code) must guarantee a tuple of unique
+        non-negative Python ints.  The simulators build several plans per
+        simulated request, so the per-construction scan adds up.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "items", items)
+        return self
 
     def __len__(self) -> int:
         return len(self.items)

@@ -12,6 +12,10 @@ times *exactly* (see ``tests/integration/test_cross_engine.py``).
 Semantics match the lean engine: transfers are never aborted; a demand
 fetch waits for the whole backlog; eviction lists leave the cache at
 planning time; each admitted prefetch is paired with a victim or free slot.
+Cache admission and planning dispatch are shared with the other engines via
+:class:`repro.distsys.planning.ClientPlanState`.  Providers here may be
+*online* (a predictor whose rows change as it learns), so problems are
+re-validated per request and victim solves are never memoized.
 """
 
 from __future__ import annotations
@@ -21,9 +25,9 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.planner import Prefetcher
-from repro.core.types import PrefetchProblem
 from repro.distsys.events import EventQueue
 from repro.distsys.network import Channel, Link
+from repro.distsys.planning import ClientPlanState
 from repro.distsys.server import ItemServer
 from repro.simulation.metrics import AccessStats
 
@@ -37,6 +41,21 @@ ClientStats = AccessStats
 
 
 class Client:
+    __slots__ = (
+        "server",
+        "link",
+        "retrievals",
+        "capacity",
+        "prefetcher",
+        "provider",
+        "planning_window",
+        "queue",
+        "channel",
+        "state",
+        "stats",
+        "_transfer",
+    )
+
     def __init__(
         self,
         server: ItemServer,
@@ -61,71 +80,81 @@ class Client:
 
         self.queue = EventQueue()
         self.channel = Channel(link)
-        self.cache: set[int] = set()
-        self.origin: dict[int, str] = {}
-        self.pending: dict[int, float] = {}
-        self.frequencies = np.zeros(server.n_items, dtype=np.float64)
+        self.state = ClientPlanState(
+            prefetcher,
+            probability_provider,
+            self.retrievals,
+            self.capacity,
+            server.n_items,
+        )
         self.stats = ClientStats()
+        # Per-item transfer durations: identical floats to
+        # link.transfer_time(server.size(i)) — same latency + size/bandwidth
+        # arithmetic, vectorised once instead of recomputed per request.
+        self._transfer = self.retrievals.tolist()
+
+    # -- state views (tests and examples read these) --------------------
+    @property
+    def cache(self) -> set[int]:
+        return self.state.cache
+
+    @property
+    def origin(self) -> dict[int, str]:
+        return self.state.origin
+
+    @property
+    def pending(self) -> dict[int, float]:
+        return self.state.pending
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        return self.state.frequencies
 
     # ------------------------------------------------------------------
     def _promote(self, item: int) -> None:
-        if item in self.pending:
-            del self.pending[item]
-            self.cache.add(item)
-            self.origin[item] = "prefetch"
+        if item in self.state.pending:
+            self.state.promote(item)
 
     def seed(self, item: int, viewing_time: float) -> float:
         """Pre-serve ``item`` at time 0 (warm start), plan, and return the
         time at which the next request should arrive."""
-        self.frequencies[item] += 1.0
+        item = int(item)
+        self.state.frequencies[item] += 1.0
         if self.capacity > 0:
-            self.cache.add(int(item))
-            self.origin[int(item)] = "demand"
-        self.view(int(item), float(viewing_time), now=0.0)
+            self.state.cache_add(item, "demand")
+        self.view(item, float(viewing_time), now=0.0)
         return float(viewing_time)
 
     def request(self, item: int, now: float) -> float:
         """Serve a request arriving at ``now``; returns the access time."""
         item = int(item)
+        state = self.state
         self.queue.run(until=now)
 
-        if item in self.cache:
+        if item in state.cache:
             access = 0.0
             self.stats.cache_hits += 1
-            if self.origin.get(item) == "prefetch":
+            if state.origin.get(item) == "prefetch":
                 self.stats.prefetches_used += 1
-                self.origin[item] = "prefetch-used"
-        elif item in self.pending:
-            arrival = self.pending[item]
+                state.origin[item] = "prefetch-used"
+        elif item in state.pending:
+            arrival = state.pending[item]
             access = arrival - now
             self.stats.pending_waits += 1
             self.stats.prefetches_used += 1
             self.queue.run(until=arrival)  # delivers item (and earlier ones)
-            self.origin[item] = "prefetch-used"
+            state.origin[item] = "prefetch-used"
         else:
-            _, completion = self.channel.enqueue(now, self.server.size(item))
+            duration = self._transfer[item]
+            _, completion = self.channel.enqueue_duration(now, duration)
             access = completion - now
-            self.stats.network_demand_time += self.link.transfer_time(self.server.size(item))
+            self.stats.network_demand_time += duration
             self.stats.misses += 1
             self.queue.run(until=completion)  # backlog drained by then
-            if self.capacity > 0:
-                if len(self.cache) >= self.capacity:
-                    problem = PrefetchProblem(self.provider(item), self.retrievals, 0.0)
-                    victim = self.prefetcher.demand_victim(
-                        problem,
-                        item,
-                        sorted(self.cache),
-                        cache_capacity=self.capacity,
-                        frequencies=self.frequencies,
-                    )
-                    if victim is not None:
-                        self.cache.discard(victim)
-                        self.origin.pop(victim, None)
-                self.cache.add(item)
-                self.origin[item] = "demand"
+            state.admit_demand(item)
 
         self.stats.access_times.append(access)
-        self.frequencies[item] += 1.0
+        state.frequencies[item] += 1.0
         return access
 
     def view(self, item: int, viewing_time: float, now: float) -> None:
@@ -133,21 +162,13 @@ class Client:
         window = float(viewing_time)
         if self.planning_window == "effective":
             window = max(0.0, window - self.channel.backlog(now))
-        problem = PrefetchProblem(self.provider(int(item)), self.retrievals, window)
-        outcome = self.prefetcher.plan(
-            problem,
-            cache=sorted(self.cache),
-            cache_capacity=self.capacity - len(self.pending),
-            frequencies=self.frequencies,
-            pinned=sorted(self.pending),
-        )
-        for victim in outcome.eject:
-            self.cache.discard(victim)
-            self.origin.pop(victim, None)
+        state = self.state
+        outcome = state.plan_view(int(item), window)
         for f in outcome.prefetch:
-            _, completion = self.channel.enqueue(now, self.server.size(f))
-            self.pending[f] = completion
+            duration = self._transfer[f]
+            _, completion = self.channel.enqueue_duration(now, duration)
+            state.pending_add(f, completion)
             self.stats.prefetches_scheduled += 1
-            self.stats.network_prefetch_time += self.link.transfer_time(self.server.size(f))
+            self.stats.network_prefetch_time += duration
             self.queue.schedule(completion, lambda it=f: self._promote(it))
-        assert len(self.cache) + len(self.pending) <= max(self.capacity, 0)
+        assert len(state.cache) + len(state.pending) <= max(self.capacity, 0)

@@ -3,38 +3,40 @@
 The distributed-information-system substrate is small enough that a heap of
 ``(time, sequence, callback)`` triples suffices.  The sequence number makes
 ordering of simultaneous events deterministic (FIFO within a timestamp),
-which the reproducibility tests rely on.
+which the reproducibility tests rely on — and because it is unique, tuple
+comparison never reaches the (incomparable) callback element.
+
+Heap entries are plain tuples rather than ordered dataclass instances: a
+tuple push/pop avoids one object allocation and a Python-level ``__lt__``
+per comparison, which matters because every transfer grant, completion and
+request in the fleet/topology simulators passes through this heap (see
+``benchmarks/bench_fleet.py``).
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
-from dataclasses import dataclass, field
 
 __all__ = ["EventQueue"]
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
 
 
 class EventQueue:
     """Monotonic discrete-event scheduler."""
 
+    __slots__ = ("_heap", "_seq", "now")
+
     def __init__(self) -> None:
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self.now = 0.0
 
     def schedule(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute ``time`` (not before now)."""
+        time = float(time)
         if time < self.now - 1e-12:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
-        heapq.heappush(self._heap, _Event(float(time), self._seq, callback))
+        heapq.heappush(self._heap, (time, self._seq, callback))
         self._seq += 1
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
@@ -47,23 +49,36 @@ class EventQueue:
         """Run the earliest event; returns False when the queue is empty."""
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self.now = event.time
-        event.callback()
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.now = time
+        callback()
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain events (optionally bounded by time or count); returns count run."""
+        heap = self._heap
+        pop = heapq.heappop
         count = 0
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
+        if until is None and max_events is None:
+            # Unbounded drain: the fleet/topology hot path.  Inlining step()
+            # here keeps the per-event cost to one heappop and one call.
+            while heap:
+                time, _seq, callback = pop(heap)
+                self.now = time
+                callback()
+                count += 1
+            return count
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
             if max_events is not None and count >= max_events:
                 break
-            self.step()
+            time, _seq, callback = pop(heap)
+            self.now = time
+            callback()
             count += 1
         if until is not None and self.now < until and (
-            not self._heap or self._heap[0].time > until
+            not heap or heap[0][0] > until
         ):
             self.now = until
         return count

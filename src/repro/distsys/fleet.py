@@ -29,9 +29,9 @@ import numpy as np
 
 from repro.cache.base import Cache
 from repro.core.planner import Prefetcher
-from repro.core.types import PrefetchProblem
 from repro.distsys.events import EventQueue
 from repro.distsys.network import Link, ServerUplink
+from repro.distsys.planning import ClientPlanState
 from repro.distsys.server import ItemServer
 from repro.simulation.metrics import AccessStats, FleetAggregate, aggregate_access_stats
 from repro.workload.population import ClientWorkload, Population
@@ -78,7 +78,36 @@ class FleetClient:
     staggered) start time; every served request plans prefetches for its
     viewing period and schedules the next request; transfer completions
     arrive as uplink callbacks.
+
+    Fleet workloads come from a :class:`Population`, whose probability
+    providers are library-constructed and static — so the shared
+    :class:`~repro.distsys.planning.ClientPlanState` runs with trusted
+    (validate-once) problem construction and demand-victim memoization, and
+    the per-request trace/duration lookups read precomputed Python lists.
     """
+
+    __slots__ = (
+        "client_id",
+        "workload",
+        "server",
+        "link",
+        "uplink",
+        "queue",
+        "prefetcher",
+        "capacity",
+        "planning_window",
+        "retrievals",
+        "provider",
+        "state",
+        "stats",
+        "finished_at",
+        "_k",
+        "_waiting",
+        "_items",
+        "_viewings",
+        "_transfer",
+        "_n_requests",
+    )
 
     def __init__(
         self,
@@ -108,16 +137,44 @@ class FleetClient:
         self.retrievals = server.retrieval_times(link)
         self.provider = workload.provider()
 
-        self.cache: set[int] = set()
-        self.origin: dict[int, str] = {}
-        # Pending prefetches: completion time once granted a slot, else None.
-        self.pending: dict[int, float | None] = {}
-        self.frequencies = np.zeros(server.n_items, dtype=np.float64)
+        self.state = ClientPlanState(
+            prefetcher,
+            self.provider,
+            self.retrievals,
+            self.capacity,
+            server.n_items,
+            trusted_provider=True,
+            static_provider=True,
+        )
         self.stats = AccessStats()
         self.finished_at: float | None = None
 
         self._k = 0  # next trace index
         self._waiting: tuple[int, int, float] | None = None  # (index, item, t_req)
+        # Batch the per-request numpy scalar reads into plain lists up front:
+        # trace items, viewing times, and per-item transfer durations (the
+        # same latency + size/bandwidth floats link.transfer_time derives).
+        self._items = [int(i) for i in workload.trace.items]
+        self._viewings = workload.trace.viewing_times.tolist()
+        self._transfer = self.retrievals.tolist()
+        self._n_requests = len(self._items)
+
+    # -- state views (tests and the planner share these) ----------------
+    @property
+    def cache(self) -> set[int]:
+        return self.state.cache
+
+    @property
+    def origin(self) -> dict[int, str]:
+        return self.state.origin
+
+    @property
+    def pending(self) -> dict[int, float | None]:
+        return self.state.pending
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        return self.state.frequencies
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -131,16 +188,15 @@ class FleetClient:
         """Warm start: pre-serve the initial item, plan, queue request 0."""
         now = self.queue.now
         item = int(self.workload.initial_item)
-        self.frequencies[item] += 1.0
+        self.state.frequencies[item] += 1.0
         if self.capacity > 0:
-            self.cache.add(item)
-            self.origin[item] = "demand"
+            self.state.cache_add(item, "demand")
         viewing = float(self.workload.initial_viewing_time)
         self._view(item, viewing, now)
         self._schedule_request(now + viewing)
 
     def _schedule_request(self, at: float) -> None:
-        if self._k < len(self.workload.trace):
+        if self._k < self._n_requests:
             self.queue.schedule(at, self._request)
         else:
             self.finished_at = at
@@ -149,19 +205,20 @@ class FleetClient:
     def _request(self) -> None:
         now = self.queue.now
         k = self._k
-        item = int(self.workload.trace.items[k])
+        item = self._items[k]
+        state = self.state
         self._promote_ready(now)
 
-        if item in self.cache:
+        if item in state.cache:
             self.stats.cache_hits += 1
-            if self.origin.get(item) == "prefetch":
+            if state.origin.get(item) == "prefetch":
                 self.stats.prefetches_used += 1
-                self.origin[item] = "prefetch-used"
+                state.origin[item] = "prefetch-used"
             self._serve(k, item, now, now)
-        elif item in self.pending:
+        elif item in state.pending:
             self._waiting = (k, item, now)  # served by the transfer's arrival
         else:
-            duration = self.link.transfer_time(self.server.size(item))
+            duration = self._transfer[item]
             self.stats.network_demand_time += duration
             self.stats.misses += 1
             self.uplink.submit(
@@ -179,27 +236,14 @@ class FleetClient:
         # Per-client FIFO means the whole backlog drained before this demand
         # started (§2: prefetches are never aborted); promote any stragglers.
         self._promote_ready(completion)
-        if self.capacity > 0:
-            if len(self.cache) >= self.capacity:
-                problem = PrefetchProblem(self.provider(item), self.retrievals, 0.0)
-                victim = self.prefetcher.demand_victim(
-                    problem,
-                    item,
-                    sorted(self.cache),
-                    cache_capacity=self.capacity,
-                    frequencies=self.frequencies,
-                )
-                if victim is not None:
-                    self.cache.discard(victim)
-                    self.origin.pop(victim, None)
-            self.cache.add(item)
-            self.origin[item] = "demand"
+        self.state.admit_demand(item)
         self._serve(k, item, t_req, completion)
 
     # -- prefetch arrivals ---------------------------------------------
     def _granted(self, item: int, completion: float) -> None:
-        if item in self.pending:
-            self.pending[item] = completion
+        pending = self.state.pending
+        if item in pending:
+            pending[item] = completion  # membership unchanged: direct write
 
     def _promote_ready(self, now: float) -> None:
         """Promote granted prefetches that have landed by ``now``.
@@ -208,35 +252,32 @@ class FleetClient:
         at exactly the request instant counts as a cache hit even if its
         completion event is ordered after the request event.
         """
+        state = self.state
         done = [
             item
-            for item, arrival in self.pending.items()
+            for item, arrival in state.pending.items()
             if arrival is not None and arrival <= now
         ]
         for item in done:
-            self._promote(item)
-
-    def _promote(self, item: int) -> None:
-        del self.pending[item]
-        self.cache.add(item)
-        self.origin[item] = "prefetch"
+            state.promote(item)
 
     def _prefetch_done(self, item: int, completion: float) -> None:
-        if item in self.pending:
-            self._promote(item)
+        state = self.state
+        if item in state.pending:
+            state.promote(item)
         if self._waiting is not None and self._waiting[1] == item:
             k, _, t_req = self._waiting
             self._waiting = None
             self.stats.pending_waits += 1
             self.stats.prefetches_used += 1
-            self.origin[item] = "prefetch-used"
+            state.origin[item] = "prefetch-used"
             self._serve(k, item, t_req, completion)
 
     # -- serve + plan ----------------------------------------------------
     def _serve(self, k: int, item: int, t_req: float, t_serve: float) -> None:
         self.stats.access_times.append(t_serve - t_req)
-        self.frequencies[item] += 1.0
-        viewing = float(self.workload.trace.viewing_times[k])
+        self.state.frequencies[item] += 1.0
+        viewing = self._viewings[k]
         self._k = k + 1
         self._view(item, viewing, now=t_serve)
         self._schedule_request(t_serve + viewing)
@@ -246,20 +287,11 @@ class FleetClient:
         window = float(viewing_time)
         if self.planning_window == "effective":
             window = max(0.0, window - self.uplink.backlog(self.client_id, now))
-        problem = PrefetchProblem(self.provider(item), self.retrievals, window)
-        outcome = self.prefetcher.plan(
-            problem,
-            cache=sorted(self.cache),
-            cache_capacity=self.capacity - len(self.pending),
-            frequencies=self.frequencies,
-            pinned=sorted(self.pending),
-        )
-        for victim in outcome.eject:
-            self.cache.discard(victim)
-            self.origin.pop(victim, None)
+        state = self.state
+        outcome = state.plan_view(item, window)
         for f in outcome.prefetch:
-            duration = self.link.transfer_time(self.server.size(f))
-            self.pending[f] = None
+            duration = self._transfer[f]
+            state.pending_add(f, None)
             self.stats.prefetches_scheduled += 1
             self.stats.network_prefetch_time += duration
             self.uplink.submit(
@@ -271,7 +303,7 @@ class FleetClient:
                 kind="prefetch",
                 on_grant=self._granted,
             )
-        assert len(self.cache) + len(self.pending) <= max(self.capacity, 0)
+        assert len(state.cache) + len(state.pending) <= max(self.capacity, 0)
 
 
 @dataclass(frozen=True)

@@ -18,9 +18,10 @@ completions through the event queue instead of returning them.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -60,6 +61,8 @@ class Channel:
     starts at ``max(now, busy_until)`` and runs to completion.
     """
 
+    __slots__ = ("link", "busy_until", "total_busy_time")
+
     def __init__(self, link: Link) -> None:
         self.link = link
         self.busy_until = 0.0
@@ -67,8 +70,12 @@ class Channel:
 
     def enqueue(self, now: float, size: float) -> tuple[float, float]:
         """Schedule a transfer; returns ``(start, completion)`` times."""
+        return self.enqueue_duration(now, self.link.transfer_time(size))
+
+    def enqueue_duration(self, now: float, duration: float) -> tuple[float, float]:
+        """Schedule a transfer whose duration the caller already derived
+        (e.g. from a precomputed per-item retrieval table)."""
         start = max(float(now), self.busy_until)
-        duration = self.link.transfer_time(size)
         completion = start + duration
         self.busy_until = completion
         self.total_busy_time += duration
@@ -86,19 +93,46 @@ class Channel:
 # The fleet's shared server egress
 # ---------------------------------------------------------------------------
 
-@dataclass
 class _Transfer:
-    """One submitted transfer; ``completion`` is unknown until granted."""
+    """One submitted transfer; ``completion`` is unknown until granted.
 
-    client_id: object  # any hashable flow key (client int, proxy stream tuple…)
-    item: int
-    duration: float  # client-link transfer time (server penalty added at grant)
-    kind: str  # "prefetch" | "demand"
-    seq: int
-    submitted: float
-    on_complete: Callable[[float], None]
-    on_grant: Callable[[int, float], None] | None = None
-    completion: float | None = field(default=None)
+    A slotted plain class, not a dataclass: the fleet allocates one of these
+    per transfer, and ``__slots__`` halves the allocation cost next to a
+    ``__dict__``-bearing instance.
+    """
+
+    __slots__ = (
+        "client_id",
+        "item",
+        "duration",
+        "kind",
+        "seq",
+        "submitted",
+        "on_complete",
+        "on_grant",
+        "completion",
+    )
+
+    def __init__(
+        self,
+        client_id,  # any hashable flow key (client int, proxy stream tuple…)
+        item: int,
+        duration: float,  # client-link transfer time (server penalty added at grant)
+        kind: str,  # "prefetch" | "demand"
+        seq: int,
+        submitted: float,
+        on_complete: Callable[[float], None],
+        on_grant: Callable[[int, float], None] | None = None,
+    ) -> None:
+        self.client_id = client_id
+        self.item = item
+        self.duration = duration
+        self.kind = kind
+        self.seq = seq
+        self.submitted = submitted
+        self.on_complete = on_complete
+        self.on_grant = on_grant
+        self.completion: float | None = None
 
 
 class ServerUplink:
@@ -132,6 +166,24 @@ class ServerUplink:
 
     _DISCIPLINES = ("fifo", "fair")
 
+    __slots__ = (
+        "queue",
+        "server",
+        "concurrency",
+        "discipline",
+        "_queues",
+        "_in_flight",
+        "_seq",
+        "_grant_counter",
+        "_last_grant",
+        "_ready_heap",
+        "granted",
+        "total_service_time",
+        "service_time_by_kind",
+        "peak_in_flight",
+        "last_completion",
+    )
+
     def __init__(self, queue, server, *, concurrency: int | None = None,
                  discipline: str = "fifo") -> None:
         if discipline not in self._DISCIPLINES:
@@ -149,6 +201,10 @@ class ServerUplink:
         self._seq = 0
         self._grant_counter = 0
         self._last_grant: dict[object, int] = {}
+        # FIFO ready-heap: one (head seq, flow) entry per ready flow; see
+        # _pick.  The "fair" discipline re-keys on every grant and keeps the
+        # linear scan instead.
+        self._ready_heap: list[tuple[int, object]] = []
         # -- stats ---------------------------------------------------------
         self.granted = 0
         self.total_service_time = 0.0
@@ -189,38 +245,62 @@ class ServerUplink:
             on_grant=on_grant,
         )
         self._seq += 1
-        self._queues.setdefault(transfer.client_id, deque()).append(transfer)
+        cid = transfer.client_id
+        queue = self._queues.get(cid)
+        if queue is None:
+            queue = self._queues[cid] = deque()
+        queue.append(transfer)
+        if (
+            self.discipline == "fifo"
+            and len(queue) == 1
+            and cid not in self._in_flight
+        ):
+            # The flow just became ready with this transfer at its head.
+            heapq.heappush(self._ready_heap, (transfer.seq, cid))
         self._try_grant(float(now))
 
     # ------------------------------------------------------------------
-    def _ready_clients(self) -> list:
-        # Linear scan per grant: dwarfed by per-request planning cost at the
-        # supported fleet sizes (see benchmarks/bench_fleet.py), and a heap
-        # would have to re-key on every grant under the "fair" discipline.
-        return [
-            cid
-            for cid, q in self._queues.items()
-            if q and cid not in self._in_flight
-        ]
+    def _pick(self):
+        """The next flow to grant, or ``None`` when nothing is ready.
 
-    def _pick(self, ready: list):
+        FIFO keeps a ready-heap invariant — every flow that is non-empty and
+        not in flight has exactly one ``(head seq, flow)`` entry — so the
+        earliest-submitted head pops in O(log flows) instead of a linear
+        scan per grant (entries are pushed on submit-to-idle-flow and on
+        completion-with-backlog, and consumed here exactly when granted).
+        Seqs are unique, so the pop order equals the old ``min`` over ready
+        flows and the flow key itself is never compared.
+
+        The "fair" discipline ranks by last-grant recency, which re-keys
+        every flow on every grant — a heap would have to be rebuilt, so it
+        keeps the one-pass scan (keys unique via the seq tie-breaker).
+        """
         if self.discipline == "fifo":
-            return min(ready, key=lambda cid: self._queues[cid][0].seq)
+            heap = self._ready_heap
+            if not heap:
+                return None
+            return heapq.heappop(heap)[1]
         # fair: least-recently-granted client first; brand-new clients (no
         # grant yet) rank by submission order via the -1 sentinel + seq tie.
-        return min(
-            ready,
-            key=lambda cid: (self._last_grant.get(cid, -1), self._queues[cid][0].seq),
-        )
+        in_flight = self._in_flight
+        last_grant = self._last_grant
+        best = None
+        best_key = None
+        for cid, q in self._queues.items():
+            if q and cid not in in_flight:
+                key = (last_grant.get(cid, -1), q[0].seq)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = cid
+        return best
 
     def _try_grant(self, now: float) -> None:
         while True:
             if self.concurrency is not None and len(self._in_flight) >= self.concurrency:
                 return
-            ready = self._ready_clients()
-            if not ready:
+            cid = self._pick()
+            if cid is None:
                 return
-            cid = self._pick(ready)
             transfer = self._queues[cid].popleft()
             self._in_flight[cid] = transfer
             self._last_grant[cid] = self._grant_counter
@@ -238,9 +318,14 @@ class ServerUplink:
                 transfer.on_grant(transfer.item, completion)
 
     def _complete(self, transfer: _Transfer) -> None:
-        del self._in_flight[transfer.client_id]
-        if not self._queues.get(transfer.client_id):
-            self._queues.pop(transfer.client_id, None)
+        cid = transfer.client_id
+        del self._in_flight[cid]
+        queue = self._queues.get(cid)
+        if not queue:
+            self._queues.pop(cid, None)
+        elif self.discipline == "fifo":
+            # The flow is free again with a waiting head: back into the heap.
+            heapq.heappush(self._ready_heap, (queue[0].seq, cid))
         self._try_grant(self.queue.now)
         transfer.on_complete(transfer.completion)
 

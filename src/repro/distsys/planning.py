@@ -1,0 +1,232 @@
+"""Shared per-client planning state: cache, origin, pending, planner calls.
+
+Before this module, the demand-victim/cache-admission block and the
+viewing-period planning call were copy-pasted three times — in the lean §5.3
+simulator (:mod:`repro.simulation.prefetch_cache`), the event-driven client
+(:mod:`repro.distsys.client`) and the fleet client
+(:mod:`repro.distsys.fleet`, reused by :mod:`repro.distsys.topology`).  The
+three engines must stay *bit-exact* with each other (see
+``tests/integration/test_cross_engine.py``), so the shared arithmetic now
+lives here once.
+
+:class:`ClientPlanState` is also where the fast-kernel bookkeeping lives:
+
+* the cache and pending sets are mirrored into **incrementally maintained
+  sorted tuples** (invalidated on membership change, rebuilt lazily), so the
+  per-request ``sorted(cache)`` / ``sorted(pending)`` calls of the old hot
+  loops disappear;
+* planner problems are built through
+  :meth:`~repro.core.types.PrefetchProblem.from_validated` when the
+  probability provider is *trusted* (library-constructed workloads whose
+  rows were validated at generation time), skipping the per-request
+  re-validation of the same arrays;
+* demand-victim solves are **memoized** on ``(item, cache fingerprint)``
+  when the provider is static and no frequency-dependent sub-arbitration is
+  configured — the zero-window victim problem is a pure function of those
+  two inputs, and fleets revisit the same hot cache states constantly.
+
+Every path folds the identical floats in the identical order as the
+unshared originals; the golden-trace tests pin that down.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.planner import PlanOutcome, Prefetcher
+from repro.core.types import PrefetchProblem
+
+__all__ = ["ClientPlanState"]
+
+_MISS = object()  # memo sentinel (victims may legitimately be None)
+
+
+class ClientPlanState:
+    """Cache/pending/frequency bookkeeping plus planner dispatch for one client.
+
+    The engines keep direct references to :attr:`cache`, :attr:`origin` and
+    :attr:`pending` (tests inspect them), but all *membership* mutations must
+    go through the methods here so the sorted fingerprints stay coherent.
+    Updating a pending item's value (e.g. recording a grant's completion
+    time) is membership-neutral and may write ``state.pending[item]``
+    directly.
+    """
+
+    __slots__ = (
+        "prefetcher",
+        "provider",
+        "retrievals",
+        "capacity",
+        "cache",
+        "origin",
+        "pending",
+        "frequencies",
+        "_trusted",
+        "_cache_tuple",
+        "_pending_tuple",
+        "_victim_memo",
+        "_support_cache",
+    )
+
+    def __init__(
+        self,
+        prefetcher: Prefetcher,
+        provider: Callable[[int], np.ndarray],
+        retrievals: np.ndarray,
+        capacity: int,
+        n_items: int,
+        *,
+        trusted_provider: bool = False,
+        static_provider: bool = False,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        self.prefetcher = prefetcher
+        self.provider = provider
+        self.retrievals = np.ascontiguousarray(retrievals, dtype=np.float64)
+        self.capacity = int(capacity)
+        self.cache: set[int] = set()
+        self.origin: dict[int, str] = {}
+        self.pending: dict[int, float | None] = {}
+        self.frequencies = np.zeros(int(n_items), dtype=np.float64)
+        self._trusted = bool(trusted_provider)
+        self._cache_tuple: tuple[int, ...] | None = ()
+        self._pending_tuple: tuple[int, ...] | None = ()
+        # The victim memo is sound only when provider rows never change and
+        # the victim choice ignores the (ever-changing) access frequencies.
+        self._victim_memo: dict | None = (
+            {} if static_provider and prefetcher.sub_arbitration is None else None
+        )
+        # Per-item row support (flatnonzero), reusable only when rows never
+        # change; the planner rescans the row itself otherwise.
+        self._support_cache: dict[int, list[int]] | None = (
+            {} if static_provider else None
+        )
+
+    # -- fingerprints ---------------------------------------------------
+    def cache_key(self) -> tuple[int, ...]:
+        """Sorted cache content; rebuilt only after a membership change."""
+        key = self._cache_tuple
+        if key is None:
+            key = self._cache_tuple = tuple(sorted(self.cache))
+        return key
+
+    def pending_key(self) -> tuple[int, ...]:
+        key = self._pending_tuple
+        if key is None:
+            key = self._pending_tuple = tuple(sorted(self.pending))
+        return key
+
+    # -- membership mutations -------------------------------------------
+    def cache_add(self, item: int, origin: str) -> None:
+        self.cache.add(item)
+        self.origin[item] = origin
+        self._cache_tuple = None
+
+    def cache_discard(self, item: int) -> None:
+        self.cache.discard(item)
+        self.origin.pop(item, None)
+        self._cache_tuple = None
+
+    def pending_add(self, item: int, value: float | None) -> None:
+        self.pending[item] = value
+        self._pending_tuple = None
+
+    def pending_pop(self, item: int) -> float | None:
+        value = self.pending.pop(item)
+        self._pending_tuple = None
+        return value
+
+    def promote(self, item: int) -> None:
+        """Move a landed transfer from pending into the cache."""
+        del self.pending[item]
+        self._pending_tuple = None
+        self.cache.add(item)
+        self.origin[item] = "prefetch"
+        self._cache_tuple = None
+
+    # -- planner dispatch -----------------------------------------------
+    def problem(
+        self, item: int, window: float, row: np.ndarray | None = None
+    ) -> PrefetchProblem:
+        """The planning instance for ``item``'s viewing period.
+
+        ``row`` lets a caller that already fetched the provider row (e.g. to
+        compute its support) reuse it; the trusted/untrusted construction
+        dispatch lives only here.
+        """
+        if row is None:
+            row = self.provider(item)
+        if self._trusted:
+            return PrefetchProblem.from_validated(row, self.retrievals, window)
+        return PrefetchProblem(row, self.retrievals, window)
+
+    #: Victim-memo size bound: past this many distinct (item, cache-state)
+    #: pairs the memo is cleared and refills with the currently-hot states,
+    #: keeping a workload that never revisits states at constant memory.
+    _VICTIM_MEMO_LIMIT = 4096
+
+    def demand_victim(self, item: int) -> int | None:
+        """Victim for a demand-fetched item (§5.2's always-admitted case)."""
+        memo = self._victim_memo
+        if memo is not None:
+            key = (item, self.cache_key())
+            victim = memo.get(key, _MISS)
+            if victim is not _MISS:
+                return victim
+        victim = self.prefetcher.demand_victim(
+            self.problem(item, 0.0),
+            item,
+            self.cache_key(),
+            cache_capacity=self.capacity,
+            frequencies=self.frequencies,
+        )
+        if memo is not None:
+            if len(memo) >= self._VICTIM_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = victim
+        return victim
+
+    def admit_demand(self, item: int) -> None:
+        """Admit a demand-fetched item, evicting a victim from a full cache.
+
+        The §5.2 block the three engines used to duplicate: with zero
+        capacity nothing is stored; a full cache asks the planner for a
+        victim *before* insertion (eviction lists leave the cache at
+        planning time); the item is then recorded with demand origin.
+        """
+        if self.capacity <= 0:
+            return
+        if len(self.cache) >= self.capacity:
+            victim = self.demand_victim(item)
+            if victim is not None:
+                self.cache_discard(victim)
+        self.cache_add(item, "demand")
+
+    def plan_view(self, item: int, window: float) -> PlanOutcome:
+        """Plan one viewing period and apply the eviction list.
+
+        Returns the outcome; scheduling the admitted prefetches (channel
+        arithmetic vs. uplink submission) stays engine-specific, but every
+        engine must register them via :meth:`pending_add`.
+        """
+        row = self.provider(item)
+        problem = self.problem(item, window, row)
+        support = None
+        if self._support_cache is not None:
+            support = self._support_cache.get(item)
+            if support is None:
+                support = self._support_cache[item] = np.flatnonzero(row).tolist()
+        outcome = self.prefetcher.plan(
+            problem,
+            cache=self.cache_key(),
+            cache_capacity=self.capacity - len(self.pending),
+            frequencies=self.frequencies,
+            pinned=self.pending_key(),
+            support=support,
+        )
+        for victim in outcome.eject:
+            self.cache_discard(victim)
+        return outcome

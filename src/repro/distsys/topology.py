@@ -153,7 +153,7 @@ class _FreeService:
         return 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ChildRequest:
     """One child transfer moving through a proxy.
 
@@ -174,7 +174,7 @@ class _ChildRequest:
     ready: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingFetch:
     """An upstream fetch in flight: its trigger kind plus parked waiters.
 
@@ -422,8 +422,11 @@ class ProxyNode:
         blocked.update(self.cache.items)
         if len(blocked) >= p.shape[0]:
             return
-        problem = PrefetchProblem(p, self.retrievals_up, self.prefetch_window)
-        plan = self.planner.candidate_plan(problem, cache=sorted(blocked))
+        # Predictor rows are library-normalised (and clamped above), so the
+        # per-call re-validation is skipped; candidate_plan re-sets its
+        # blocked argument, making the former sorted() call pure overhead.
+        problem = PrefetchProblem.from_validated(p, self.retrievals_up, self.prefetch_window)
+        plan = self.planner.candidate_plan(problem, cache=blocked)
         for target in plan.items[:budget]:
             self.stats.prefetches_issued += 1
             self._in_flight_prefetches += 1

@@ -36,7 +36,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.spec import ExperimentSpec
 
-__all__ = ["run", "run_cell", "default_workers"]
+__all__ = ["run", "run_cell", "run_cell_chunk", "default_workers"]
 
 #: Callback invoked after each finished cell: ``progress(done, total, cell_result)``.
 ProgressCallback = Callable[[int, int, CellResult], None]
@@ -344,6 +344,19 @@ def run_cell(spec: ExperimentSpec, cell: Mapping) -> CellResult:
     )
 
 
+def run_cell_chunk(
+    spec: ExperimentSpec, chunk: list[tuple[int, Mapping]]
+) -> list[tuple[int, CellResult]]:
+    """Execute a batch of ``(index, cell)`` pairs in one worker round-trip.
+
+    Submitting chunks instead of single cells amortises the pickle/IPC cost
+    of shipping the (read-only, shared) spec to the pool: one submission per
+    chunk instead of one per cell.  Results are independent of the chunking
+    because every cell's randomness derives from the spec alone.
+    """
+    return [(index, run_cell(spec, cell)) for index, cell in chunk]
+
+
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
@@ -373,6 +386,9 @@ def run(
     effective = min(requested, len(cells))
     results: list[CellResult | None] = [None] * len(cells)
 
+    # Serial fast path: with one worker (or one cell) no pool is ever
+    # created — no executor spin-up, no pickling, no IPC.  The pool is
+    # reserved for genuinely parallel runs.
     executed_parallel = False
     if effective > 1:
         executed_parallel = _run_pool(spec, cells, effective, results, progress)
@@ -411,21 +427,28 @@ def _run_pool(
     except (OSError, PermissionError, ImportError) as exc:
         _warn_pool_unavailable(exc, results)
         return False
+    # Submit contiguous chunks, not single cells: ~4 chunks per worker keeps
+    # the pool load-balanced while cutting submissions (and spec pickles)
+    # from one per cell to one per chunk.
+    n_chunks = min(len(cells), workers * 4)
+    chunk_size = -(-len(cells) // n_chunks)  # ceil division
+    chunks = [
+        [(index, cells[index]) for index in range(lo, min(lo + chunk_size, len(cells)))]
+        for lo in range(0, len(cells), chunk_size)
+    ]
     try:
         with pool:
-            futures = {
-                pool.submit(run_cell, spec, cell): index
-                for index, cell in enumerate(cells)
-            }
+            futures = {pool.submit(run_cell_chunk, spec, chunk) for chunk in chunks}
             done_count = 0
-            pending = set(futures)
+            pending = futures
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    results[futures[future]] = future.result()
-                    done_count += 1
-                    if progress is not None:
-                        progress(done_count, len(cells), results[futures[future]])
+                    for index, cell_result in future.result():
+                        results[index] = cell_result
+                        done_count += 1
+                        if progress is not None:
+                            progress(done_count, len(cells), cell_result)
         return True
     except BrokenProcessPool as exc:
         # Worker processes died before/while running (e.g. sandboxes that

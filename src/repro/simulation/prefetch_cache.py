@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.planner import Prefetcher
-from repro.core.types import PrefetchProblem
+from repro.distsys.planning import ClientPlanState
 from repro.util.rng import as_generator
 from repro.workload.markov_source import MarkovSource
 
@@ -101,18 +101,25 @@ def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> Pre
     n = source.n
     capacity = int(config.cache_size)
     r = source.retrieval_times
+    r_list = r.tolist()
     cdf = np.cumsum(source.transition, axis=1)
+    viewing_list = source.viewing_times.tolist()
 
     prefetcher = Prefetcher(
         strategy=config.strategy,
         variant=config.skp_variant,
         sub_arbitration=config.sub_arbitration,
     )
-
-    cache: set[int] = set()
-    origin: dict[int, str] = {}  # item -> "prefetch" | "demand"
-    pending: dict[int, float] = {}  # item -> absolute arrival time
-    freq = np.zeros(n, dtype=np.float64)
+    # The Markov rows are generated (and normalised) by the source, so the
+    # shared planning state runs trusted + static: validate-once problems and
+    # memoized zero-window demand-victim solves.
+    ps = ClientPlanState(
+        prefetcher, source.row, r, capacity, n,
+        trusted_provider=True, static_provider=True,
+    )
+    cache = ps.cache
+    origin = ps.origin
+    pending = ps.pending
 
     t = 0.0
     net_free = 0.0
@@ -129,45 +136,34 @@ def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> Pre
         """Move completed transfers into the cache."""
         done = [item for item, arrival in pending.items() if arrival <= now]
         for item in done:
-            del pending[item]
-            cache.add(item)
-            origin[item] = "prefetch"
+            ps.promote(item)
 
     def plan_and_schedule(current: int, window: float) -> None:
         nonlocal net_free, prefetches_scheduled, network_prefetch_time
-        problem = PrefetchProblem(source.row(current), r, window)
-        outcome = prefetcher.plan(
-            problem,
-            cache=sorted(cache),
-            cache_capacity=capacity - len(pending),
-            frequencies=freq,
-            pinned=sorted(pending),
-        )
-        for victim in outcome.eject:
-            cache.discard(victim)
-            origin.pop(victim, None)
+        outcome = ps.plan_view(current, window)
         start = max(t, net_free)
         for item in outcome.prefetch:
-            start += float(r[item])
-            pending[item] = start
+            duration = r_list[item]
+            start += duration
+            ps.pending_add(item, start)
             prefetches_scheduled += 1
-            network_prefetch_time += float(r[item])
+            network_prefetch_time += duration
         if outcome.prefetch:
             net_free = start
         assert len(cache) + len(pending) <= capacity
 
     # Initial state: treat its item as just served at t=0, then view and plan.
-    freq[state] += 1.0
-    cache_window = float(source.viewing_times[state])
+    ps.frequencies[state] += 1.0
+    cache_window = viewing_list[state]
     if capacity > 0:
-        cache.add(state)
-        origin[state] = "demand"
+        ps.cache_add(state, "demand")
     plan_and_schedule(state, cache_window)
     t += cache_window
 
     u = rng.random(config.n_requests)
+    u_list = u.tolist()
     for k in range(config.n_requests):
-        nxt = int(np.searchsorted(cdf[state], u[k], side="right"))
+        nxt = int(np.searchsorted(cdf[state], u_list[k], side="right"))
         if nxt >= n:
             nxt = n - 1
         x = nxt
@@ -189,35 +185,25 @@ def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> Pre
         else:
             # Demand fetch: every scheduled transfer completes first (§2).
             start = max(net_free, t_req)
-            completion = start + float(r[x])
+            completion = start + r_list[x]
             access = completion - t_req
             net_free = completion
-            network_demand_time += float(r[x])
+            network_demand_time += r_list[x]
             hit_counts["miss"] += 1
             promote(net_free)  # everything pending finished by now
-            if capacity > 0:
-                if len(cache) >= capacity:
-                    problem = PrefetchProblem(source.row(x), r, 0.0)
-                    victim = prefetcher.demand_victim(
-                        problem, x, sorted(cache), cache_capacity=capacity, frequencies=freq
-                    )
-                    if victim is not None:
-                        cache.discard(victim)
-                        origin.pop(victim, None)
-                cache.add(x)
-                origin[x] = "demand"
+            ps.admit_demand(x)
 
         access_times[k] = access
         t_serve = t_req + access
         t = t_serve
-        freq[x] += 1.0
+        ps.frequencies[x] += 1.0
 
-        window = float(source.viewing_times[x])
+        window = viewing_list[x]
         if config.planning_window == "effective":
             window = max(0.0, window - max(0.0, net_free - t_serve))
         plan_and_schedule(x, window)
 
-        t += float(source.viewing_times[x])
+        t += viewing_list[x]
         state = x
 
     return PrefetchCacheResult(

@@ -6,6 +6,7 @@ here is specific to the paper; it is plumbing that every subpackage shares.
 
 from repro.util.rng import as_generator, derive_seed, spawn_generators
 from repro.util.listops import concat, exclude, last, without
+from repro.util.perf import Timer, profile_call, write_bench_json
 from repro.util.validation import (
     check_probability_vector,
     check_positive_vector,
@@ -20,6 +21,9 @@ __all__ = [
     "exclude",
     "last",
     "without",
+    "Timer",
+    "profile_call",
+    "write_bench_json",
     "check_probability_vector",
     "check_positive_vector",
     "check_nonnegative_scalar",

@@ -1,0 +1,118 @@
+"""Performance instrumentation: timers, a cProfile harness, and
+machine-readable benchmark artifacts.
+
+The fast-kernel work (tuple event heap, pure-Python SKP hot loop, shared
+planning state) was driven entirely by profiles, and keeping the recipe in
+the library stops every future optimisation PR from reinventing it:
+
+* :class:`Timer` — a ``perf_counter`` context manager for wall-clock spans;
+* :func:`profile_call` — run any callable under :mod:`cProfile` and get the
+  result back together with the formatted stats table (the CLI's
+  ``--profile`` flag and ``docs/performance.md``'s recipe both use it);
+* :func:`write_bench_json` — persist one benchmark run as a ``BENCH_*.json``
+  artifact with a stable schema (benchmark name, package version, free-form
+  parameters, one dict per measured row), so the events/s trajectory across
+  PRs is machine-diffable instead of buried in formatted ``.txt`` tables.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Timer", "profile_call", "write_bench_json"]
+
+#: Schema version of the BENCH_*.json artifacts; bump on breaking changes.
+BENCH_SCHEMA = 1
+
+
+class Timer:
+    """Wall-clock span: ``with Timer() as t: ...; t.elapsed``.
+
+    Re-entrant use starts a fresh span; ``elapsed`` reads the live span
+    until the context exits, then freezes.
+    """
+
+    __slots__ = ("_started", "_elapsed")
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._elapsed = None
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._elapsed = time.perf_counter() - self._started
+
+    @property
+    def elapsed(self) -> float:
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._started is None:
+            raise RuntimeError("Timer never started")
+        return time.perf_counter() - self._started
+
+
+def profile_call(
+    fn,
+    *args,
+    sort: str = "cumulative",
+    limit: int = 30,
+    **kwargs,
+) -> tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, stats_text)`` where ``stats_text`` is the pstats
+    table sorted by ``sort`` (``"cumulative"``, ``"tottime"``, …) truncated
+    to ``limit`` rows — the exact recipe used to find the simulator's hot
+    spots (see ``docs/performance.md``).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(sort).print_stats(limit)
+    return result, stream.getvalue()
+
+
+def write_bench_json(
+    path: str | Path,
+    benchmark: str,
+    *,
+    params: dict | None = None,
+    rows: list[dict] | None = None,
+) -> Path:
+    """Write one benchmark run as a machine-readable JSON artifact.
+
+    ``params`` holds the run configuration (catalog size, request counts…);
+    ``rows`` one dict per measured point (fleet size, topology, …) with
+    whatever metrics the benchmark produces — throughput rows should use
+    the keys ``elapsed_s`` / ``events_per_s`` / ``requests_per_s`` so the
+    CI perf smoke and cross-PR comparisons can read any benchmark the same
+    way.
+    """
+    import repro
+
+    path = Path(path)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "benchmark": str(benchmark),
+        "version": repro.__version__,
+        "created_unix": time.time(),
+        "params": dict(params or {}),
+        "rows": [dict(row) for row in rows or []],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -28,6 +28,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.util.rng import derive_seed
+from repro.util.validation import PROBABILITY_TOLERANCE, check_probability_vector
 from repro.workload.markov_source import generate_markov_source
 from repro.workload.trace import Trace
 from repro.workload.zipf import zipf_probabilities
@@ -65,6 +66,30 @@ class ClientWorkload:
             raise ValueError("start_time must be non-negative")
         if self.initial_viewing_time < 0:
             raise ValueError("initial_viewing_time must be non-negative")
+        # Validate the access model once here: the fleet's planning state
+        # treats workload providers as trusted (no per-request re-checks),
+        # so a malformed hand-built row must fail at construction, not run
+        # to completion producing garbage metrics.  The coerced float64
+        # arrays are stored back — the trusted path consumes them verbatim,
+        # so list/array-like inputs must not survive un-coerced.
+        if self.probabilities is not None:
+            row = check_probability_vector(self.probabilities).copy()
+            row.setflags(write=False)
+            object.__setattr__(self, "probabilities", row)
+        else:
+            rows = np.asarray(self.transition, dtype=np.float64)
+            if rows.ndim != 2 or rows.shape[0] != rows.shape[1]:
+                raise ValueError(
+                    f"transition must be a square matrix, got shape {rows.shape}"
+                )
+            if not np.all(np.isfinite(rows)) or np.any(rows < 0):
+                raise ValueError("transition contains negative or non-finite entries")
+            if np.any(rows.sum(axis=1) > 1.0 + PROBABILITY_TOLERANCE):
+                raise ValueError("transition rows must each sum to at most 1")
+            if rows is self.transition:  # asarray aliased the caller's array
+                rows = rows.copy()
+            rows.setflags(write=False)
+            object.__setattr__(self, "transition", rows)
 
     def provider(self) -> Callable[[int], np.ndarray]:
         """The client's next-access estimate, as the planner expects it."""

@@ -48,6 +48,15 @@ class TestPrArbitration:
         assert set(res.prefetch.items) == {0}
         assert res.eject == (3,)
 
+    def test_rejects_duplicate_and_negative_candidates(self):
+        # The admitted plan is built without re-validation, so the raw
+        # candidate sequence must satisfy the plan invariants up front.
+        prob = problem([0.4, 0.3, 0.2, 0.1], [10.0] * 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            arbitrate_prefetch(prob, [0, 0], cache=[2], free_slots=2)
+        with pytest.raises(ValueError, match="negative"):
+            arbitrate_prefetch(prob, [-1], cache=[2], free_slots=1)
+
     def test_tie_goes_to_the_prefetch(self):
         # Figure 6 breaks on strict '<', so equality admits the candidate.
         prob = problem([0.3, 0.3], [10.0, 10.0])

@@ -255,6 +255,29 @@ class TestParallelism:
         assert direct.metrics == engine.metrics
         assert direct.seed == engine.seed
 
+    def test_run_cell_chunk_matches_single_cells(self):
+        from repro.experiments.engine import run_cell_chunk
+
+        spec = po_spec(iterations=20)
+        cells = spec.cells()
+        chunk = run_cell_chunk(spec, list(enumerate(cells)))
+        assert [index for index, _ in chunk] == list(range(len(cells)))
+        for (_, chunked), cell in zip(chunk, cells):
+            assert chunked.metrics == run_cell(spec, cell).metrics
+
+    def test_serial_fast_path_never_creates_a_pool(self, monkeypatch):
+        # workers=1 must bypass ProcessPoolExecutor entirely — that is the
+        # engine's serial fast path (no spin-up, no pickling).
+        import repro.experiments.engine as engine_mod
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("workers=1 must not create a process pool")
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", forbidden)
+        spec = po_spec(iterations=10)
+        result = run(spec, workers=1)
+        assert result.provenance["workers"] == 1
+
 
 class TestArtifacts:
     def make_result(self) -> ExperimentResult:

@@ -162,6 +162,169 @@ def test_degenerate_fleet_matches_single_client(strategy, sub, window):
     assert fleet.makespan >= session.duration - 1e-9
 
 
+# ---------------------------------------------------------------------------
+# Golden-trace regression: the fast simulation kernel must be bit-exact.
+#
+# These fingerprints were recorded from the engines *before* the fast-kernel
+# rewrite (tuple event heap, pure-Python SKP hot loop, validated-once problem
+# construction, shared planning state).  Every optimisation since must fold
+# the identical floats in the identical order: event counts, makespans and
+# metric tables are compared with ``==``, not a tolerance.  If one of these
+# fails, the kernel changed simulation *semantics*, not just speed.
+# ---------------------------------------------------------------------------
+
+GOLDEN_TRACES = {
+    "fleet_zipf": {
+        "events": 960,
+        "makespan": 5107.584846736372,
+        "mean_access_time": 11.499762010335825,
+        "p95_access_time": 41.84788944410366,
+        "hit_rate": 0.5458333333333333,
+        "transfers_granted": 474,
+        "offered_load": 1.6181604371761131,
+        "prefetches_scheduled": 261,
+        "prefetches_used": 38,
+        "access_time_sum": 5519.885764961196,
+    },
+    "fleet_markov_fair_ds": {
+        "events": 1013,
+        "makespan": 4671.8281441228555,
+        "mean_access_time": 19.283866731826553,
+        "p95_access_time": 55.41202098077682,
+        "hit_rate": 0.3875,
+        "transfers_granted": 769,
+        "offered_load": 2.835944277771909,
+        "prefetches_scheduled": 637,
+        "prefetches_used": 91,
+        "access_time_sum": 4628.128015638373,
+    },
+    "topology_tree": {
+        "events": 1268,
+        "makespan": 4943.926909259423,
+        "mean_access_time": 13.788325313523297,
+        "p95_access_time": 57.89362897592416,
+        "hit_rate": 0.5416666666666666,
+        "transfers_granted": 290,
+        "offered_load": 0.982967416273246,
+        "prefetches_scheduled": 273,
+        "prefetches_used": 51,
+        "access_time_sum": 6618.396150491182,
+        "edge_hits": 80,
+        "edge_misses": 137,
+        "edge_prefetches_issued": 136,
+        "edge_prefetches_used": 25,
+    },
+    "topology_two_tier": {
+        "events": 1213,
+        "makespan": 4367.91206248045,
+        "mean_access_time": 13.98239373590619,
+        "p95_access_time": 55.820598730954316,
+        "hit_rate": 0.4777777777777778,
+        "transfers_granted": 120,
+        "offered_load": 0.40146272726995885,
+        "prefetches_scheduled": 240,
+        "prefetches_used": 35,
+        "access_time_sum": 5033.6617449262285,
+        "edge_hits": 64,
+        "mid_hits": 66,
+        "edge_prefetches_issued": 130,
+    },
+}
+
+
+def _fingerprint(res) -> dict:
+    """The exact quantities pinned by GOLDEN_TRACES, from any fleet-like result."""
+    pooled = np.concatenate(
+        [np.asarray(s.access_times, dtype=np.float64) for s in res.client_stats]
+    )
+    return {
+        "events": res.events,
+        "makespan": res.makespan,
+        "mean_access_time": res.aggregate.mean_access_time,
+        "p95_access_time": res.aggregate.p95_access_time,
+        "hit_rate": res.aggregate.hit_rate,
+        "transfers_granted": res.transfers_granted,
+        "offered_load": res.offered_load,
+        "prefetches_scheduled": sum(s.prefetches_scheduled for s in res.client_stats),
+        "prefetches_used": sum(s.prefetches_used for s in res.client_stats),
+        "access_time_sum": float(np.sum(pooled)),
+    }
+
+
+def test_golden_fleet_zipf_bit_exact():
+    population = zipf_mixture_population(6, 40, 80, overlap=0.5, stagger=20.0, seed=7)
+    res = run_fleet(
+        population,
+        FleetConfig(cache_capacity=6, strategy="skp", concurrency=2, miss_penalty=2.0),
+        server_cache=LRUCache(10),
+    )
+    assert _fingerprint(res) == GOLDEN_TRACES["fleet_zipf"]
+
+
+def test_golden_fleet_markov_fair_ds_bit_exact():
+    from repro.workload.population import markov_population
+
+    population = markov_population(4, 30, 60, seed=11)
+    res = run_fleet(
+        population,
+        FleetConfig(
+            cache_capacity=6,
+            strategy="skp",
+            sub_arbitration="ds",
+            concurrency=3,
+            discipline="fair",
+        ),
+    )
+    assert _fingerprint(res) == GOLDEN_TRACES["fleet_markov_fair_ds"]
+
+
+def test_golden_topology_tree_bit_exact():
+    population = zipf_mixture_population(8, 40, 60, overlap=0.6, stagger=20.0, seed=9)
+    res = run_topology(
+        population,
+        TopologyConfig(
+            topology="tree",
+            n_edges=2,
+            edge_cache_size=12,
+            placement="both",
+            concurrency=2,
+            cache_capacity=6,
+        ),
+        seed=3,
+    )
+    expected = GOLDEN_TRACES["topology_tree"]
+    fp = _fingerprint(res)
+    fp["edge_hits"] = res.tiers[0].hits
+    fp["edge_misses"] = res.tiers[0].misses
+    fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    fp["edge_prefetches_used"] = res.tiers[0].prefetches_used
+    assert fp == expected
+
+
+def test_golden_topology_two_tier_bit_exact():
+    population = zipf_mixture_population(6, 40, 60, overlap=0.6, stagger=20.0, seed=13)
+    res = run_topology(
+        population,
+        TopologyConfig(
+            topology="two-tier",
+            n_edges=2,
+            edge_cache_size=10,
+            mid_cache_size=20,
+            placement="both",
+            concurrency=2,
+            cache_capacity=6,
+            miss_penalty=1.5,
+        ),
+        seed=5,
+    )
+    expected = GOLDEN_TRACES["topology_two_tier"]
+    fp = _fingerprint(res)
+    fp["edge_hits"] = res.tiers[0].hits
+    fp["mid_hits"] = res.tier("mid").hits
+    fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    assert fp == expected
+
+
 @pytest.mark.parametrize("topology", ["star", "tree"])
 @pytest.mark.parametrize("discipline", ["fifo", "fair"])
 @pytest.mark.parametrize("window", ["nominal", "effective"])

@@ -1,0 +1,66 @@
+"""Tests for the performance instrumentation (`repro.util.perf`)."""
+
+import json
+
+from repro.util.perf import Timer, profile_call, write_bench_json
+
+
+class TestTimer:
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            sum(range(1000))
+        first = t.elapsed
+        assert first > 0.0
+        assert t.elapsed == first  # frozen once the context exits
+
+    def test_live_reading_inside_context(self):
+        with Timer() as t:
+            assert t.elapsed >= 0.0
+
+    def test_unstarted_timer_raises(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            Timer().elapsed
+
+
+class TestProfileCall:
+    def test_returns_result_and_stats(self):
+        def work(n):
+            return sum(range(n))
+
+        result, stats = profile_call(work, 1000, sort="tottime", limit=5)
+        assert result == sum(range(1000))
+        assert "function calls" in stats
+
+    def test_propagates_exceptions(self):
+        import pytest
+
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            profile_call(boom)
+
+
+class TestWriteBenchJson:
+    def test_schema_roundtrip(self, tmp_path):
+        import repro
+
+        path = write_bench_json(
+            tmp_path / "BENCH_x.json",
+            "x",
+            params={"catalog": 100},
+            rows=[{"n_clients": 10, "events_per_s": 22000.0}],
+        )
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "x"
+        assert payload["version"] == repro.__version__
+        assert payload["params"] == {"catalog": 100}
+        assert payload["rows"][0]["events_per_s"] == 22000.0
+        assert payload["schema"] == 1
+
+    def test_defaults_empty(self, tmp_path):
+        payload = json.loads(write_bench_json(tmp_path / "b.json", "b").read_text())
+        assert payload["params"] == {}
+        assert payload["rows"] == []

@@ -42,6 +42,28 @@ class TestClientWorkload:
         markov = ClientWorkload(0, self.trace(), 0, 1.0, transition=t)
         np.testing.assert_array_equal(markov.provider()(0), t[0])
 
+    def test_rejects_invalid_probability_row(self):
+        # The fleet's planning state trusts workload providers (no
+        # per-request re-validation), so malformed rows must fail here.
+        with pytest.raises(ValueError):
+            ClientWorkload(
+                0, self.trace(), 0, 1.0, probabilities=np.array([1.0, 1.0])
+            )
+        with pytest.raises(ValueError):
+            ClientWorkload(
+                0, self.trace(), 0, 1.0, probabilities=np.array([0.5, -0.1])
+            )
+
+    def test_rejects_invalid_transition(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(
+                0, self.trace(), 0, 1.0, transition=np.array([[0.9, 0.9], [0.5, 0.5]])
+            )
+        with pytest.raises(ValueError):
+            ClientWorkload(
+                0, self.trace(), 0, 1.0, transition=np.ones((2, 3)) / 3
+            )
+
 
 class TestZipfMixture:
     def test_shapes_and_ranges(self):
