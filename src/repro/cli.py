@@ -6,10 +6,11 @@ Small, dependency-free front door for the library:
 * ``simulate``   — run the §4.4 prefetch-only experiment and print a summary;
 * ``figure7``    — run one Figure 7 point (policy × cache size);
 * ``fleet``      — run one fleet point: N clients sharing a contended
-  server uplink on a population workload;
+  server uplink on a population workload, optionally non-stationary
+  (``--drift``) and planned from a learned model (``--model-source``);
 * ``topology``   — run one cache-hierarchy point: the fleet routed through
   star/tree/two-tier proxy tiers with per-tier speculation, plus the Che
-  analytical reference for the edge hit ratio;
+  analytical reference for the edge hit ratio (same drift/model knobs);
 * ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
   file across worker processes (including the ``fleet-*`` and ``edge-*``
   presets), ``list`` the preset/component catalogs, ``describe`` one preset;
@@ -139,7 +140,8 @@ def _population_from_args(args: argparse.Namespace):
     --server-cache; keeping the checks and construction here stops the two
     front doors from drifting apart.
     """
-    from repro.experiments import CACHE_POLICIES, PIPELINES, WORKLOADS
+    from repro.experiments import CACHE_POLICIES, PIPELINES, PREDICTORS, WORKLOADS
+    from repro.workload.dynamics import MARKOV_DYNAMICS_KINDS, DynamicsConfig
 
     if args.policy not in PIPELINES:
         args.parser.error(
@@ -152,15 +154,27 @@ def _population_from_args(args: argparse.Namespace):
         )
     if args.source not in ("zipf-mix", "markov-pop"):
         args.parser.error("--source must be zipf-mix or markov-pop")
-    common = dict(stagger=args.stagger, seed=args.seed)
+    if args.online_predictor not in PREDICTORS:
+        args.parser.error(
+            f"unknown predictor {args.online_predictor!r}; "
+            f"available: {', '.join(PREDICTORS.names())}"
+        )
+    if args.source == "markov-pop" and args.drift not in MARKOV_DYNAMICS_KINDS:
+        args.parser.error(
+            f"markov-pop supports --drift {'/'.join(MARKOV_DYNAMICS_KINDS)}"
+        )
+    dynamics = DynamicsConfig(kind=args.drift, n_regimes=args.drift_regimes)
+    common = dict(stagger=args.stagger, seed=args.seed, dynamics=dynamics)
     if args.source == "zipf-mix":
-        return WORKLOADS.create(
-            "zipf-mix", args.clients, args.catalog, args.requests,
+        dyn = WORKLOADS.create(
+            "zipf-mix:dynamic", args.clients, args.catalog, args.requests,
             overlap=args.overlap, **common,
         )
-    return WORKLOADS.create(
-        "markov-pop", args.clients, args.catalog, args.requests, **common
-    )
+    else:
+        dyn = WORKLOADS.create(
+            "markov-pop:dynamic", args.clients, args.catalog, args.requests, **common
+        )
+    return dyn.population
 
 
 def _run_maybe_profiled(args: argparse.Namespace, fn, *fn_args, **fn_kwargs):
@@ -196,6 +210,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         concurrency=None if args.concurrency <= 0 else args.concurrency,
         discipline=args.discipline,
         miss_penalty=args.miss_penalty,
+        model_source=args.model_source,
+        online_predictor=args.online_predictor,
     )
     res = _run_maybe_profiled(
         args, run_fleet, population, config, server_cache=server_cache
@@ -260,6 +276,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         concurrency=None if args.concurrency <= 0 else args.concurrency,
         discipline=args.discipline,
         miss_penalty=args.miss_penalty,
+        model_source=args.model_source,
+        online_predictor=args.online_predictor,
     )
     server_cache = build_server_cache(
         args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
@@ -414,6 +432,20 @@ def _cmd_version(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workload_model_options(parser: argparse.ArgumentParser) -> None:
+    """Shared fleet/topology knobs: workload dynamics and the planning model."""
+    parser.add_argument("--drift", default="none",
+                        choices=["none", "regime", "zipf-drift", "flash", "diurnal"],
+                        help="non-stationary workload schedule (default: stationary)")
+    parser.add_argument("--drift-regimes", type=_positive_int, default=3,
+                        help="popularity regimes for --drift regime")
+    parser.add_argument("--model-source", default="oracle",
+                        choices=["oracle", "online"],
+                        help="plan from the t=0 oracle row or a learned online model")
+    parser.add_argument("--online-predictor", default="frequency:ewma",
+                        help="predictor name for --model-source online")
+
+
 def _add_profile_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and dump sorted stats to stderr")
@@ -475,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--stagger", type=_nonnegative_float, default=50.0,
                        help="client start times uniform in [0, stagger]")
     fleet.add_argument("--seed", type=int, default=0)
+    _add_workload_model_options(fleet)
     _add_profile_options(fleet)
     fleet.set_defaults(func=_cmd_fleet, parser=fleet)
 
@@ -521,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--stagger", type=_nonnegative_float, default=50.0,
                           help="client start times uniform in [0, stagger]")
     topology.add_argument("--seed", type=int, default=0)
+    _add_workload_model_options(topology)
     _add_profile_options(topology)
     topology.set_defaults(func=_cmd_topology, parser=topology)
 

@@ -119,7 +119,7 @@ class Client:
         """Pre-serve ``item`` at time 0 (warm start), plan, and return the
         time at which the next request should arrive."""
         item = int(item)
-        self.state.frequencies[item] += 1.0
+        self.state.observe(item)
         if self.capacity > 0:
             self.state.cache_add(item, "demand")
         self.view(item, float(viewing_time), now=0.0)
@@ -154,7 +154,7 @@ class Client:
             state.admit_demand(item)
 
         self.stats.access_times.append(access)
-        state.frequencies[item] += 1.0
+        state.observe(item)
         return access
 
     def view(self, item: int, viewing_time: float, now: float) -> None:

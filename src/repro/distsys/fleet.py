@@ -42,6 +42,7 @@ __all__ = [
     "Fleet",
     "FleetResult",
     "UplinkAccounting",
+    "build_client_model",
     "run_fleet",
     "run_to_quiescence",
 ]
@@ -62,12 +63,23 @@ class FleetConfig:
     latency: float = 0.0
     bandwidth: float = 1.0
     miss_penalty: float = 0.0  # server-cache miss service penalty
+    #: Where planning rows come from: "oracle" hands every client its
+    #: workload's (t=0) probability provider — the paper's presupposed
+    #: model; "online" gives each client a private adaptive predictor
+    #: (``online_predictor`` names a :data:`repro.experiments.registry
+    #: .PREDICTORS` entry) that learns from the served request stream.
+    model_source: str = "oracle"
+    online_predictor: str = "markov:ewma"
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
         if self.planning_window not in ("nominal", "effective"):
             raise ValueError(f"unknown planning_window {self.planning_window!r}")
+        if self.model_source not in ("oracle", "online"):
+            raise ValueError(
+                f"model_source must be 'oracle' or 'online', got {self.model_source!r}"
+            )
 
 
 class FleetClient:
@@ -84,6 +96,9 @@ class FleetClient:
     :class:`~repro.distsys.planning.ClientPlanState` runs with trusted
     (validate-once) problem construction and demand-victim memoization, and
     the per-request trace/duration lookups read precomputed Python lists.
+    With an online ``model`` (``model_source="online"``) the rows are
+    learned from the served stream instead: still trusted (predictors emit
+    normalised rows), but the static-provider fast paths switch off.
     """
 
     __slots__ = (
@@ -120,6 +135,7 @@ class FleetClient:
         *,
         cache_capacity: int,
         planning_window: str = "nominal",
+        model=None,
     ) -> None:
         if planning_window not in ("nominal", "effective"):
             raise ValueError(f"unknown planning_window {planning_window!r}")
@@ -135,7 +151,14 @@ class FleetClient:
         self.capacity = int(cache_capacity)
         self.planning_window = planning_window
         self.retrievals = server.retrieval_times(link)
-        self.provider = workload.provider()
+        # ``model`` switches the client from the oracle row to an online
+        # predictor (any AccessPredictor): rows are library-normalised
+        # (trusted) but change with every observation, so the static-provider
+        # fast paths (victim memo, support cache) must stay off.
+        if model is not None:
+            self.provider = model.conditional_row
+        else:
+            self.provider = workload.provider()
 
         self.state = ClientPlanState(
             prefetcher,
@@ -144,7 +167,8 @@ class FleetClient:
             self.capacity,
             server.n_items,
             trusted_provider=True,
-            static_provider=True,
+            static_provider=model is None,
+            model=model,
         )
         self.stats = AccessStats()
         self.finished_at: float | None = None
@@ -188,7 +212,7 @@ class FleetClient:
         """Warm start: pre-serve the initial item, plan, queue request 0."""
         now = self.queue.now
         item = int(self.workload.initial_item)
-        self.state.frequencies[item] += 1.0
+        self.state.observe(item)
         if self.capacity > 0:
             self.state.cache_add(item, "demand")
         viewing = float(self.workload.initial_viewing_time)
@@ -214,7 +238,7 @@ class FleetClient:
             if state.origin.get(item) == "prefetch":
                 self.stats.prefetches_used += 1
                 state.origin[item] = "prefetch-used"
-            self._serve(k, item, now, now)
+            self._serve(k, item, now, now, AccessStats.KIND_HIT)
         elif item in state.pending:
             self._waiting = (k, item, now)  # served by the transfer's arrival
         else:
@@ -237,7 +261,7 @@ class FleetClient:
         # started (§2: prefetches are never aborted); promote any stragglers.
         self._promote_ready(completion)
         self.state.admit_demand(item)
-        self._serve(k, item, t_req, completion)
+        self._serve(k, item, t_req, completion, AccessStats.KIND_MISS)
 
     # -- prefetch arrivals ---------------------------------------------
     def _granted(self, item: int, completion: float) -> None:
@@ -271,12 +295,14 @@ class FleetClient:
             self.stats.pending_waits += 1
             self.stats.prefetches_used += 1
             state.origin[item] = "prefetch-used"
-            self._serve(k, item, t_req, completion)
+            self._serve(k, item, t_req, completion, AccessStats.KIND_WAIT)
 
     # -- serve + plan ----------------------------------------------------
-    def _serve(self, k: int, item: int, t_req: float, t_serve: float) -> None:
+    def _serve(self, k: int, item: int, t_req: float, t_serve: float, kind: int) -> None:
         self.stats.access_times.append(t_serve - t_req)
-        self.state.frequencies[item] += 1.0
+        self.stats.request_times.append(t_req)
+        self.stats.serve_kinds.append(kind)
+        self.state.observe(item)
         viewing = self._viewings[k]
         self._k = k + 1
         self._view(item, viewing, now=t_serve)
@@ -384,6 +410,20 @@ class FleetResult:
         return self.aggregate.mean_access_time
 
 
+def build_client_model(config, n_items: int):
+    """One fresh per-client online predictor, or None for the oracle path.
+
+    Resolved by name in :data:`repro.experiments.registry.PREDICTORS`
+    (lazy import — same layering concession :mod:`repro.distsys.topology`
+    makes for its edge predictors).
+    """
+    if getattr(config, "model_source", "oracle") != "online":
+        return None
+    from repro.experiments.registry import PREDICTORS
+
+    return PREDICTORS.create(str(config.online_predictor), int(n_items))
+
+
 class Fleet:
     """Wire a :class:`Population` to one shared server and run it to quiescence."""
 
@@ -422,6 +462,7 @@ class Fleet:
                 prefetcher,
                 cache_capacity=config.cache_capacity,
                 planning_window=config.planning_window,
+                model=build_client_model(config, self.server.n_items),
             )
             for workload in population.clients
         ]

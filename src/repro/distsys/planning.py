@@ -63,6 +63,7 @@ class ClientPlanState:
         "origin",
         "pending",
         "frequencies",
+        "model",
         "_trusted",
         "_cache_tuple",
         "_pending_tuple",
@@ -80,11 +81,22 @@ class ClientPlanState:
         *,
         trusted_provider: bool = False,
         static_provider: bool = False,
+        model=None,
     ) -> None:
         if capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
+        if model is not None and static_provider:
+            raise ValueError(
+                "an online model's rows change per observation; "
+                "static_provider must be False"
+            )
         self.prefetcher = prefetcher
         self.provider = provider
+        #: Optional online access model (:class:`repro.prediction.base
+        #: .AccessPredictor`).  When set, :meth:`observe` feeds it the
+        #: served-request stream — the ``model_source="online"`` path where
+        #: planning rows are *learned* instead of handed down by the oracle.
+        self.model = model
         self.retrievals = np.ascontiguousarray(retrievals, dtype=np.float64)
         self.capacity = int(capacity)
         self.cache: set[int] = set()
@@ -146,6 +158,19 @@ class ClientPlanState:
         self.cache.add(item)
         self.origin[item] = "prefetch"
         self._cache_tuple = None
+
+    # -- observation -----------------------------------------------------
+    def observe(self, item: int) -> None:
+        """Record one served access: LFU/DS frequencies plus the online model.
+
+        The engines call this exactly where they used to bump
+        ``frequencies`` directly, so the oracle path folds the identical
+        float in the identical place and the online model sees the served
+        stream in request order.
+        """
+        self.frequencies[item] += 1.0
+        if self.model is not None:
+            self.model.update(item)
 
     # -- planner dispatch -----------------------------------------------
     def problem(

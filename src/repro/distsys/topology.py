@@ -50,7 +50,7 @@ from repro.cache.base import Cache
 from repro.core.planner import Prefetcher
 from repro.core.types import PrefetchProblem
 from repro.distsys.events import EventQueue
-from repro.distsys.fleet import FleetClient, run_to_quiescence
+from repro.distsys.fleet import FleetClient, build_client_model, run_to_quiescence
 from repro.distsys.network import Link, ServerUplink
 from repro.distsys.server import ItemServer
 from repro.prediction.base import AccessPredictor
@@ -118,8 +118,15 @@ class TopologyConfig:
     concurrency: int | None = 4  # origin uplink slots; None = unbounded
     discipline: str = "fifo"  # "fifo" | "fair"
     miss_penalty: float = 0.0  # origin backing-store service penalty
+    # -- client planning model (FleetConfig semantics) ------------------
+    model_source: str = "oracle"  # "oracle" | "online"
+    online_predictor: str = "markov:ewma"
 
     def __post_init__(self) -> None:
+        if self.model_source not in ("oracle", "online"):
+            raise ValueError(
+                f"model_source must be 'oracle' or 'online', got {self.model_source!r}"
+            )
         if self.topology not in TOPOLOGIES:
             raise ValueError(
                 f"unknown topology {self.topology!r}; one of {topology_names()}"
@@ -688,6 +695,7 @@ class CacheNetwork:
                 prefetcher,
                 cache_capacity=config.cache_capacity,
                 planning_window=config.planning_window,
+                model=build_client_model(config, self.server.n_items),
             )
             for i, workload in enumerate(population.clients)
         ]

@@ -174,17 +174,49 @@ def _run_predictor_eval(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     }
 
 
-def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
-    """The fleet/topology kinds' shared population construction."""
+def _dynamics_config(wl: Mapping):
+    """The cell's :class:`~repro.workload.dynamics.DynamicsConfig`.
+
+    ``wl`` comes from :meth:`ExperimentSpec.cell_workload`, which fills
+    every drift knob from the kind defaults — indexing (not ``.get``)
+    keeps spec.py's ``_DRIFT_WORKLOAD_DEFAULTS`` the single source of
+    truth for default values.
+    """
+    from repro.workload.dynamics import DynamicsConfig
+
+    return DynamicsConfig(
+        kind=str(wl["drift"]),
+        n_regimes=int(wl["drift_regimes"]),
+        switch_every=int(wl["drift_switch_every"]),
+        drift_to=float(wl["drift_to"]),
+        flash_start=float(wl["flash_start"]),
+        flash_duration=float(wl["flash_duration"]),
+        flash_items=int(wl["flash_items"]),
+        flash_boost=float(wl["flash_boost"]),
+        diurnal_amplitude=float(wl["diurnal_amplitude"]),
+        diurnal_period=float(wl["diurnal_period"]),
+    )
+
+
+def _build_dynamic_population(wl: Mapping, n_clients: int, requests: int, seed: int):
+    """Dynamics-aware population construction shared by fleet/topology/drift.
+
+    Returns a :class:`~repro.workload.dynamics.DynamicPopulation` (the
+    population plus its moving ground truth).  With ``drift == "none"`` the
+    builders delegate verbatim to the static population constructors, so
+    the zero-drift populations — and hence the fleet/topology tables — are
+    bit-identical to the pre-dynamics ones.
+    """
     common = dict(
         v_range=(float(wl["v_min"]), float(wl["v_max"])),
         size_range=(float(wl["size_min"]), float(wl["size_max"])),
         stagger=float(wl["stagger"]),
         seed=seed,
+        dynamics=_dynamics_config(wl),
     )
     if wl["source"] == "zipf-mix":
         return WORKLOADS.create(
-            "zipf-mix",
+            "zipf-mix:dynamic",
             n_clients,
             int(wl["n"]),
             requests,
@@ -194,7 +226,7 @@ def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
             **common,
         )
     return WORKLOADS.create(  # markov-pop
-        "markov-pop",
+        "markov-pop:dynamic",
         n_clients,
         int(wl["n"]),
         requests,
@@ -203,26 +235,28 @@ def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
     )
 
 
-def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
-    from repro.distsys.fleet import FleetConfig, run_fleet
+def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
+    """The fleet/topology kinds' population (dynamic ground truth dropped)."""
+    return _build_dynamic_population(wl, n_clients, requests, seed).population
+
+
+def _fleet_service(spec: ExperimentSpec, cell: Mapping, wl: Mapping, sizes, seed: int):
+    """FleetConfig + shared server cache for one fleet-like cell.
+
+    The single construction the ``fleet`` and ``drift`` kinds share — a
+    knob added here reaches both, so the drift kind can never silently
+    simulate a different fleet than the fleet kind at equal parameters.
+    All service knobs read through :meth:`ExperimentSpec.cell_param`
+    (cell axis value if swept, workload default otherwise).
+    """
+    from repro.distsys.fleet import FleetConfig
     from repro.experiments.registry import build_server_cache
 
-    wl = spec.cell_workload(cell)
-    n_clients = int(cell["n_clients"])
-    population = _build_population(wl, n_clients, int(spec.iterations), seed)
     pipeline = dict(PIPELINES.get(str(cell["policy"])))
     concurrency = int(spec.cell_param(cell, "concurrency"))
     latency, bandwidth = float(wl["latency"]), float(wl["bandwidth"])
-    server_cache = build_server_cache(
-        str(wl["server_cache"]),
-        int(spec.cell_param(cell, "server_cache_size")),
-        population.sizes,
-        latency=latency,
-        bandwidth=bandwidth,
-        seed=seed,
-    )
     config = FleetConfig(
-        cache_capacity=int(wl["cache_capacity"]),
+        cache_capacity=int(spec.cell_param(cell, "cache_capacity")),
         strategy=str(pipeline["strategy"]),
         sub_arbitration=pipeline["sub_arbitration"],
         skp_variant=str(wl["skp_variant"]),
@@ -232,7 +266,27 @@ def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
         latency=latency,
         bandwidth=bandwidth,
         miss_penalty=float(wl["miss_penalty"]),
+        model_source=str(spec.cell_param(cell, "model_source")),
+        online_predictor=str(spec.cell_param(cell, "online_predictor")),
     )
+    server_cache = build_server_cache(
+        str(wl["server_cache"]),
+        int(spec.cell_param(cell, "server_cache_size")),
+        sizes,
+        latency=latency,
+        bandwidth=bandwidth,
+        seed=seed,
+    )
+    return config, server_cache
+
+
+def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    from repro.distsys.fleet import run_fleet
+
+    wl = spec.cell_workload(cell)
+    n_clients = int(cell["n_clients"])
+    population = _build_population(wl, n_clients, int(spec.iterations), seed)
+    config, server_cache = _fleet_service(spec, cell, wl, population.sizes, seed)
     res = run_fleet(population, config, server_cache=server_cache)
     return {
         "mean_access_time": res.aggregate.mean_access_time,
@@ -295,6 +349,8 @@ def _run_topology(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
         concurrency=None if concurrency <= 0 else concurrency,  # 0 = unbounded
         discipline=str(param("discipline")),
         miss_penalty=float(wl["miss_penalty"]),
+        model_source=str(param("model_source")),
+        online_predictor=str(param("online_predictor")),
     )
     server_cache = build_server_cache(
         str(wl["server_cache"]),
@@ -320,6 +376,128 @@ def _run_topology(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# The drift kind: one simulation, reported window-by-window
+# ---------------------------------------------------------------------------
+
+#: Cross-window memo for the drift kind: the simulation is a pure function
+#: of (spec, cell minus window, seed), so the window axis re-reads one run
+#: instead of re-running it.  Bounded; worker processes each hold their own.
+_DRIFT_MEMO: dict = {}
+_DRIFT_MEMO_LIMIT = 32
+
+
+def _model_quality_replay(dynpop, model_source: str, online_predictor: str):
+    """Prequentially score the planning model against the moving truth.
+
+    Replays every client's served stream (initial item, then the trace — the
+    exact order :meth:`ClientPlanState.observe` sees) through a fresh copy
+    of the model the simulation planned with, scoring each request *before*
+    the model observes it: KL(truth ‖ model row) and the probability the
+    model assigned to the item that actually arrived.  Returns per-request
+    arrays pooled over clients, shape ``(n_clients, requests)``.
+    """
+    from repro.simulation.metrics import kl_divergence
+
+    population, info = dynpop.population, dynpop.info
+    requests = info.requests
+    kl = np.empty((population.n_clients, requests))
+    prob = np.empty((population.n_clients, requests))
+    for cid, client in enumerate(population.clients):
+        if model_source == "online":
+            model = PREDICTORS.create(online_predictor, population.n_items)
+            model.update(int(client.initial_item))
+            row_of = model.conditional_row
+        else:
+            static = client.provider()
+            row_of = static
+            model = None
+        prev = int(client.initial_item)
+        items = [int(i) for i in client.trace.items]
+        for k, item in enumerate(items):
+            est = np.asarray(row_of(prev), dtype=np.float64)
+            truth = info.true_row(cid, k, prev_item=prev)
+            kl[cid, k] = kl_divergence(truth, est)
+            prob[cid, k] = est[item]
+            if model is not None:
+                model.update(item)
+            prev = item
+    return kl, prob
+
+
+def _drift_simulation(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    """Run (or recall) the drift cell's simulation and window its output."""
+    from repro.distsys.fleet import Fleet
+    from repro.simulation.metrics import windowed_access_series
+
+    key = (
+        spec.spec_hash(),
+        seed,
+        tuple(sorted((k, v) for k, v in cell.items() if k != "window")),
+    )
+    cached = _DRIFT_MEMO.get(key)
+    if cached is not None:
+        return cached
+
+    wl = spec.cell_workload(cell)
+    n_clients = int(spec.cell_param(cell, "n_clients"))
+    model_source = str(spec.cell_param(cell, "model_source"))
+    online_predictor = str(spec.cell_param(cell, "online_predictor"))
+    n_windows = int(spec.cell_param(cell, "n_windows"))
+    dynpop = _build_dynamic_population(wl, n_clients, int(spec.iterations), seed)
+    config, server_cache = _fleet_service(spec, cell, wl, dynpop.population.sizes, seed)
+    fleet = Fleet(dynpop.population, config, server_cache=server_cache)
+    res = fleet.run()
+    drift_events = sum(
+        getattr(c.state.model, "drift_events", 0) for c in fleet.clients
+    )
+    series = windowed_access_series(res.client_stats, n_windows, by="index")
+    kl, prob = _model_quality_replay(dynpop, model_source, online_predictor)
+    edges = np.linspace(0, int(spec.iterations), n_windows + 1)
+    k_idx = np.arange(int(spec.iterations))
+    w_of = np.minimum(
+        np.searchsorted(edges, k_idx, side="right") - 1, n_windows - 1
+    )
+    model_kl = np.array([
+        float(kl[:, w_of == w].mean()) if np.any(w_of == w) else float("nan")
+        for w in range(n_windows)
+    ])
+    model_prob = np.array([
+        float(prob[:, w_of == w].mean()) if np.any(w_of == w) else float("nan")
+        for w in range(n_windows)
+    ])
+    summary = {
+        "series": series,
+        "model_kl": model_kl,
+        "model_prob": model_prob,
+        "overall_hit_rate": res.aggregate.hit_rate,
+        "overall_mean_access_time": res.aggregate.mean_access_time,
+        "drift_events": float(drift_events),
+    }
+    if len(_DRIFT_MEMO) >= _DRIFT_MEMO_LIMIT:
+        _DRIFT_MEMO.clear()
+    _DRIFT_MEMO[key] = summary
+    return summary
+
+
+def _run_drift(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    sim = _drift_simulation(spec, cell, seed)
+    series = sim["series"]
+    w = int(cell["window"])
+    return {
+        "window_start": float(series.edges[w]),
+        "window_end": float(series.edges[w + 1]),
+        "requests": float(series.requests[w]),
+        "hit_rate": _nan_to_zero(float(series.hit_rate[w])),
+        "mean_access_time": _nan_to_zero(float(series.mean_access_time[w])),
+        "model_kl": _nan_to_zero(float(sim["model_kl"][w])),
+        "model_prob": _nan_to_zero(float(sim["model_prob"][w])),
+        "overall_hit_rate": sim["overall_hit_rate"],
+        "overall_mean_access_time": sim["overall_mean_access_time"],
+        "drift_events": sim["drift_events"],
+    }
+
+
 _KIND_RUNNERS = {
     "prefetch-only": _run_prefetch_only,
     "prefetch-cache": _run_prefetch_cache,
@@ -327,6 +505,7 @@ _KIND_RUNNERS = {
     "predictor-eval": _run_predictor_eval,
     "fleet": _run_fleet,
     "topology": _run_topology,
+    "drift": _run_drift,
 }
 
 

@@ -226,10 +226,14 @@ def _register_builtin_pipelines() -> None:
 def _register_builtin_predictors() -> None:
     from repro.prediction import (
         DependencyGraphPredictor,
+        DriftAdaptivePredictor,
         EnsemblePredictor,
+        EWMAFrequencyPredictor,
+        EWMAMarkovPredictor,
         FrequencyPredictor,
         MarkovPredictor,
         PPMPredictor,
+        SlidingWindowFrequencyPredictor,
     )
 
     PREDICTORS.register("frequency", FrequencyPredictor)
@@ -244,6 +248,21 @@ def _register_builtin_predictors() -> None:
             [MarkovPredictor(n), PPMPredictor(n), FrequencyPredictor(n)],
             adaptive=True,
         ),
+    )
+    # Online-adaptive family (repro.prediction.adaptive): forgetting
+    # popularity/transition estimates plus Page–Hinkley drift-reset
+    # wrappers — the model_source="online" candidates.
+    PREDICTORS.register("frequency:ewma", EWMAFrequencyPredictor)
+    PREDICTORS.register(
+        "frequency:window", lambda n: SlidingWindowFrequencyPredictor(n, window=200)
+    )
+    PREDICTORS.register("markov:ewma", EWMAMarkovPredictor)
+    PREDICTORS.register(
+        "adaptive", lambda n: DriftAdaptivePredictor(EWMAMarkovPredictor(n))
+    )
+    PREDICTORS.register(
+        "adaptive:frequency",
+        lambda n: DriftAdaptivePredictor(EWMAFrequencyPredictor(n)),
     )
 
 
@@ -335,6 +354,16 @@ def _register_builtin_workloads() -> None:
 
     WORKLOADS.register("zipf-mix", zipf_mixture_population)
     WORKLOADS.register("markov-pop", markov_population)
+
+    from repro.workload.dynamics import (
+        dynamic_markov_population,
+        dynamic_zipf_population,
+    )
+
+    # Non-stationary builders; factories return a DynamicPopulation
+    # (population + ground-truth DynamicsInfo for the drift metrics).
+    WORKLOADS.register("zipf-mix:dynamic", dynamic_zipf_population)
+    WORKLOADS.register("markov-pop:dynamic", dynamic_markov_population)
 
 
 _register_builtin_strategies()

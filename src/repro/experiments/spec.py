@@ -42,6 +42,22 @@ The six experiment kinds:
     ``che_edge_hit_rate`` reference from
     :mod:`repro.analysis.cacheperf`.  ``iterations`` is requests *per
     client*.
+``drift``
+    Non-stationary fleet with windowed time-series output
+    (:mod:`repro.workload.dynamics`): the same population/contention knobs
+    as ``fleet`` plus a dynamics schedule (``drift`` = regime switching /
+    Zipf-exponent drift / flash crowd / diurnal modulation), a
+    ``model_source`` axis (``oracle`` plans from the t=0 truth, ``online``
+    from a per-client adaptive predictor), and a ``window`` axis: each cell
+    reports one request-index window's hit rate, mean access time and
+    model quality (KL / assigned probability vs the generator's moving
+    truth), so the result table IS the drift time series.  The simulation
+    runs once per (non-window) parameter combination and is memoized
+    across the window axis.
+
+The ``fleet`` and ``topology`` kinds accept the same ``drift_*`` workload
+parameters and a ``model_source`` knob/axis, reporting whole-run scalars
+(the ``drift`` kind is the windowed view of the same machinery).
 
 Seeding contract (common random numbers): a cell's seed is derived from the
 spec seed plus the cell's *workload-affecting* parameters only.  Cells that
@@ -76,6 +92,28 @@ class SpecError(ValueError):
 #: Grid axes that select a component rather than shape the workload; they are
 #: excluded from cell-seed derivation so all components see the same draws.
 COMPONENT_AXES = ("policy", "predictor", "cache_size")
+
+#: Dynamics knobs shared by the fleet / topology / drift kinds.  They shape
+#: the request draws, so (unlike contention knobs) they are *workload*
+#: parameters: changing any of them changes the cell seed.
+_DRIFT_WORKLOAD_DEFAULTS = {
+    "drift": "none",
+    "drift_regimes": 3,
+    "drift_switch_every": 0,
+    "drift_to": 1.5,
+    "flash_start": 0.5,
+    "flash_duration": 0.25,
+    "flash_items": 5,
+    "flash_boost": 0.6,
+    "diurnal_amplitude": 0.5,
+    "diurnal_period": 500.0,
+}
+
+#: Planning-model knobs: which machinery plans, not what is drawn — CRN-safe.
+_MODEL_COMPONENT_DEFAULTS = {
+    "model_source": "oracle",
+    "online_predictor": "markov:ewma",
+}
 
 
 @dataclass(frozen=True)
@@ -195,6 +233,8 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache": "lru",
             "server_cache_size": 0,
             "miss_penalty": 0.0,
+            **_DRIFT_WORKLOAD_DEFAULTS,
+            **_MODEL_COMPONENT_DEFAULTS,
         },
         axes=(
             "policy",
@@ -203,6 +243,7 @@ KIND_INFO: dict[str, KindInfo] = {
             "concurrency",
             "discipline",
             "server_cache_size",
+            "model_source",
         ),
         required_axes=("policy", "n_clients"),
         component_registries={"policy": PIPELINES},
@@ -221,6 +262,8 @@ KIND_INFO: dict[str, KindInfo] = {
         # qualifies because per-client streams are hashed from (seed,
         # client id) alone — a 100-client fleet extends a 1-client fleet
         # client-by-client, so the scale axis compares identical draws.
+        # model_source/online_predictor select the planning model, never
+        # the draws, so oracle and online face identical request streams.
         component_params=(
             "n_clients",
             "cache_capacity",
@@ -233,6 +276,8 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache",
             "server_cache_size",
             "miss_penalty",
+            "model_source",
+            "online_predictor",
         ),
     ),
     "topology": KindInfo(
@@ -282,6 +327,8 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache": "lru",
             "server_cache_size": 0,
             "miss_penalty": 0.0,
+            **_DRIFT_WORKLOAD_DEFAULTS,
+            **_MODEL_COMPONENT_DEFAULTS,
         },
         axes=(
             "policy",
@@ -293,6 +340,7 @@ KIND_INFO: dict[str, KindInfo] = {
             "overlap",
             "concurrency",
             "discipline",
+            "model_source",
         ),
         required_axes=("policy", "n_clients"),
         component_registries={"policy": PIPELINES},
@@ -341,6 +389,78 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache",
             "server_cache_size",
             "miss_penalty",
+            "model_source",
+            "online_predictor",
+        ),
+    ),
+    "drift": KindInfo(
+        workload_defaults={
+            # population (identical to the fleet kind)
+            "source": "zipf-mix",
+            "n": 100,
+            "exponent_min": 0.8,
+            "exponent_max": 1.2,
+            "overlap": 0.5,
+            "top_k": 20,
+            "out_min": 10,
+            "out_max": 20,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "size_min": 1.0,
+            "size_max": 30.0,
+            "stagger": 50.0,
+            "n_clients": 8,
+            # service (FleetConfig semantics)
+            "cache_capacity": 8,
+            "planning_window": "nominal",
+            "skp_variant": "corrected",
+            "latency": 0.0,
+            "bandwidth": 1.0,
+            "concurrency": 4,
+            "discipline": "fifo",
+            "server_cache": "lru",
+            "server_cache_size": 0,
+            "miss_penalty": 0.0,
+            # dynamics + model + windowing
+            **dict(_DRIFT_WORKLOAD_DEFAULTS, drift="regime"),
+            **dict(_MODEL_COMPONENT_DEFAULTS, online_predictor="frequency:ewma"),
+            "n_windows": 8,
+        },
+        axes=("policy", "model_source", "window", "n_clients", "online_predictor"),
+        required_axes=("policy", "model_source", "window"),
+        component_registries={"policy": PIPELINES},
+        metrics=(
+            "window_start",
+            "window_end",
+            "requests",
+            "hit_rate",
+            "mean_access_time",
+            "model_kl",
+            "model_prob",
+            "overall_hit_rate",
+            "overall_mean_access_time",
+            "drift_events",
+        ),
+        sources=("zipf-mix", "markov-pop"),
+        # The window axis selects which slice of one simulation is
+        # *reported*; the engine memoizes the run across it.  model_source
+        # and the predictor choose planning machinery.  All are CRN-safe.
+        component_params=(
+            "n_clients",
+            "cache_capacity",
+            "planning_window",
+            "skp_variant",
+            "latency",
+            "bandwidth",
+            "concurrency",
+            "discipline",
+            "server_cache",
+            "server_cache_size",
+            "miss_penalty",
+            "model_source",
+            "online_predictor",
+            "window",
+            "n_windows",
         ),
     ),
 }
@@ -439,7 +559,9 @@ class ExperimentSpec:
                         f"kind {self.kind!r} supports sources {list(info.sources)}, "
                         f"got {source!r}"
                     )
-        if self.kind in ("fleet", "topology"):
+        if self.kind in ("fleet", "topology", "drift"):
+            from repro.workload.dynamics import DYNAMICS_KINDS, MARKOV_DYNAMICS_KINDS
+
             wl = self.effective_workload()
             CACHE_POLICIES.get(str(wl["server_cache"]))  # typo fails at validation
             for value in self.grid.get("n_clients", ()):
@@ -448,6 +570,33 @@ class ExperimentSpec:
             for value in self.grid.get("discipline", (wl["discipline"],)):
                 if value not in ("fifo", "fair"):
                     raise SpecError(f"discipline must be 'fifo' or 'fair', got {value!r}")
+            if wl["drift"] not in DYNAMICS_KINDS:
+                raise SpecError(
+                    f"unknown drift kind {wl['drift']!r}; one of {list(DYNAMICS_KINDS)}"
+                )
+            sources = self.grid.get("source", (wl["source"],))
+            if "markov-pop" in sources and wl["drift"] not in MARKOV_DYNAMICS_KINDS:
+                raise SpecError(
+                    f"markov-pop supports drift kinds {list(MARKOV_DYNAMICS_KINDS)}, "
+                    f"got {wl['drift']!r}"
+                )
+            for value in self.grid.get("model_source", (wl["model_source"],)):
+                if value not in ("oracle", "online"):
+                    raise SpecError(
+                        f"model_source must be 'oracle' or 'online', got {value!r}"
+                    )
+            for value in self.grid.get("online_predictor", (wl["online_predictor"],)):
+                PREDICTORS.get(str(value))
+        if self.kind == "drift":
+            wl = self.effective_workload()
+            n_windows = int(wl["n_windows"])
+            if n_windows < 1:
+                raise SpecError("n_windows must be positive")
+            for value in self.grid.get("window", ()):
+                if not isinstance(value, int) or not 0 <= value < n_windows:
+                    raise SpecError(
+                        f"window values must be ints in [0, {n_windows}), got {value!r}"
+                    )
         if self.kind == "topology":
             from repro.distsys.topology import topology_names
 

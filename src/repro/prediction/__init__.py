@@ -5,6 +5,8 @@
 * :mod:`repro.prediction.ppm` — order-k PPM blender (Vitter & Krishnan);
 * :mod:`repro.prediction.graph` — dependency graph (Padmanabhan & Mogul);
 * :mod:`repro.prediction.frequency` — zeroth-order popularity baseline;
+* :mod:`repro.prediction.adaptive` — forgetting variants (EWMA / sliding
+  window) and Page–Hinkley drift-reset wrapping for non-stationary streams;
 * :mod:`repro.prediction.evaluation` — prequential scoring harness.
 """
 
@@ -14,6 +16,12 @@ from repro.prediction.ppm import PPMPredictor
 from repro.prediction.graph import DependencyGraphPredictor
 from repro.prediction.frequency import FrequencyPredictor
 from repro.prediction.ensemble import EnsemblePredictor
+from repro.prediction.adaptive import (
+    DriftAdaptivePredictor,
+    EWMAFrequencyPredictor,
+    EWMAMarkovPredictor,
+    SlidingWindowFrequencyPredictor,
+)
 from repro.prediction.evaluation import PredictorScore, evaluate_predictor
 
 __all__ = [
@@ -23,6 +31,10 @@ __all__ = [
     "DependencyGraphPredictor",
     "FrequencyPredictor",
     "EnsemblePredictor",
+    "EWMAFrequencyPredictor",
+    "EWMAMarkovPredictor",
+    "SlidingWindowFrequencyPredictor",
+    "DriftAdaptivePredictor",
     "PredictorScore",
     "evaluate_predictor",
 ]

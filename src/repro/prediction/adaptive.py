@@ -1,0 +1,233 @@
+"""Online-adaptive access models for non-stationary request streams.
+
+The static predictors in this package converge on the long-run empirical
+distribution — exactly the wrong thing when demand drifts, because every
+stale observation keeps a vote forever.  This module supplies the
+forgetting machinery the drift experiments plan with:
+
+* :class:`EWMAFrequencyPredictor` — exponentially-decayed popularity counts
+  (each observation multiplies the old counts by ``decay``), so the
+  effective memory is ``1 / (1 - decay)`` recent accesses;
+* :class:`SlidingWindowFrequencyPredictor` — popularity over exactly the
+  last ``window`` accesses (hard forget);
+* :class:`EWMAMarkovPredictor` — first-order transition counts with
+  *per-row* exponential decay: observing ``i → j`` first decays row ``i``,
+  then credits the transition.  Rows are forgotten when revisited, which
+  keeps the update O(out-degree) instead of O(n²) per request;
+* :class:`DriftAdaptivePredictor` — a wrapper adding a Page–Hinkley drift
+  detector on the inner model's prequential loss (1 − assigned
+  probability).  When the mean loss rises persistently above its running
+  minimum the wrapped model is *reset* and relearns the new regime — the
+  PPE/GrASP-style "derive the model from the observed stream, notice when
+  it stops fitting" loop.
+
+All of these honour the planner's provider interface through
+:meth:`~repro.prediction.base.AccessPredictor.conditional_row`, so any of
+them can replace the oracle row in the distsys engines
+(``model_source="online"`` on fleet/topology configs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+
+__all__ = [
+    "EWMAFrequencyPredictor",
+    "SlidingWindowFrequencyPredictor",
+    "EWMAMarkovPredictor",
+    "DriftAdaptivePredictor",
+]
+
+
+class EWMAFrequencyPredictor(AccessPredictor):
+    """Popularity estimate with exponential forgetting.
+
+    ``decay`` close to 1 approaches the static
+    :class:`~repro.prediction.frequency.FrequencyPredictor`; smaller values
+    track shifts faster at the cost of noisier estimates.
+    """
+
+    def __init__(self, n_items: int, decay: float = 0.98) -> None:
+        super().__init__(n_items)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = float(decay)
+        self.counts = np.zeros(n_items, dtype=np.float64)
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        if self.decay < 1.0:
+            self.counts *= self.decay
+        self.counts[item] += 1.0
+
+    def predict(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0.0:
+            return np.zeros(self.n_items)
+        return self.counts / total
+
+    def reset(self) -> None:
+        self.counts[:] = 0.0
+
+
+class SlidingWindowFrequencyPredictor(AccessPredictor):
+    """Popularity over exactly the last ``window`` accesses."""
+
+    def __init__(self, n_items: int, window: int = 200) -> None:
+        super().__init__(n_items)
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self.counts = np.zeros(n_items, dtype=np.float64)
+        self._recent: deque[int] = deque()
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        self._recent.append(item)
+        self.counts[item] += 1.0
+        if len(self._recent) > self.window:
+            self.counts[self._recent.popleft()] -= 1.0
+
+    def predict(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0.0:
+            return np.zeros(self.n_items)
+        return self.counts / total
+
+    def reset(self) -> None:
+        self.counts[:] = 0.0
+        self._recent.clear()
+
+
+class EWMAMarkovPredictor(AccessPredictor):
+    """First-order Markov estimate with per-row exponential forgetting.
+
+    Observing a transition ``i → j`` first multiplies row ``i`` by
+    ``decay``, then adds one count to ``(i, j)`` — so a row's memory decays
+    per *visit to i*, not per global step.  Rows of states the stream no
+    longer reaches keep their last estimate (they stop mattering exactly
+    when they stop being planned from), which is what keeps the update
+    O(row) instead of O(n²).
+    """
+
+    def __init__(self, n_items: int, decay: float = 0.9) -> None:
+        super().__init__(n_items)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = float(decay)
+        self.counts = np.zeros((n_items, n_items), dtype=np.float64)
+        self.current: int | None = None
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        if self.current is not None:
+            row = self.counts[self.current]
+            if self.decay < 1.0:
+                row *= self.decay
+            row[item] += 1.0
+        self.current = item
+
+    def conditional_row(self, item: int) -> np.ndarray:
+        row = self.counts[self._check_item(item)]
+        total = row.sum()
+        if total == 0.0:
+            return np.zeros(self.n_items)
+        return row / total
+
+    def predict(self) -> np.ndarray:
+        if self.current is None:
+            return np.zeros(self.n_items)
+        return self.conditional_row(self.current)
+
+    def reset(self) -> None:
+        self.counts[:] = 0.0
+        self.current = None
+
+
+class DriftAdaptivePredictor(AccessPredictor):
+    """Page–Hinkley drift detection wrapped around any access predictor.
+
+    Before each observation is fed to the inner model, its prequential loss
+    (1 − probability the inner model assigned to the item that actually
+    arrived) updates a Page–Hinkley statistic: the cumulative deviation of
+    the loss from its running mean, minus ``delta`` slack per step.  When
+    the statistic exceeds its running minimum by ``threshold``, a drift is
+    declared, the inner model is :meth:`reset`, and the test restarts —
+    after a ``warmup`` grace period during which the fresh model's
+    (necessarily poor) early losses are not scored.
+
+    ``drift_events`` counts declared drifts; the drift experiments surface
+    it as a per-cell metric.
+    """
+
+    def __init__(
+        self,
+        inner: AccessPredictor,
+        *,
+        threshold: float = 8.0,
+        delta: float = 0.005,
+        warmup: int = 30,
+    ) -> None:
+        super().__init__(inner.n_items)
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        # Drift adaptation is reset-based: an inner model that never
+        # overrode AccessPredictor.reset would raise NotImplementedError at
+        # the first alarm, deep inside a simulation — fail at build time.
+        if type(inner).reset is AccessPredictor.reset:
+            raise ValueError(
+                f"{type(inner).__name__} does not implement reset(); "
+                "DriftAdaptivePredictor needs a resettable inner model"
+            )
+        self.inner = inner
+        self.threshold = float(threshold)
+        self.delta = float(delta)
+        self.warmup = int(warmup)
+        self.drift_events = 0
+        self._observed = 0
+        self._scored = 0
+        self._loss_sum = 0.0
+        self._ph = 0.0
+        self._ph_min = 0.0
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        self._observed += 1
+        if self._observed > self.warmup:
+            loss = 1.0 - float(self.inner.predict()[item])
+            self._scored += 1
+            self._loss_sum += loss
+            mean = self._loss_sum / self._scored
+            self._ph += loss - mean - self.delta
+            self._ph_min = min(self._ph_min, self._ph)
+            if self._ph - self._ph_min > self.threshold:
+                self.drift_events += 1
+                self.inner.reset()
+                self._restart()
+        self.inner.update(item)
+
+    def _restart(self) -> None:
+        self._observed = 0
+        self._scored = 0
+        self._loss_sum = 0.0
+        self._ph = 0.0
+        self._ph_min = 0.0
+
+    def predict(self) -> np.ndarray:
+        return self.inner.predict()
+
+    def conditional_row(self, item: int) -> np.ndarray:
+        return self.inner.conditional_row(item)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.drift_events = 0
+        self._restart()

@@ -39,6 +39,23 @@ class AccessPredictor:
         for item in items:
             self.update(int(item))
 
+    def conditional_row(self, item: int) -> np.ndarray:
+        """Next-access vector given the client just accessed ``item``.
+
+        The planner's probability-provider interface asks for the row of a
+        specific item (the one whose viewing period is being planned), which
+        may differ from the last item this predictor observed — e.g. a
+        demand-victim solve runs *before* the served item is recorded.
+        Context-free predictors ignore the argument; contextual ones
+        (Markov-family) override this to return the estimated row of
+        ``item`` itself.
+        """
+        return self.predict()
+
+    def reset(self) -> None:
+        """Forget all learned state (drift adaptation hook)."""
+        raise NotImplementedError
+
     def _check_item(self, item: int) -> int:
         item = int(item)
         if not 0 <= item < self.n_items:

@@ -28,6 +28,9 @@ class FrequencyPredictor(AccessPredictor):
             return np.zeros(self.n_items)
         return self.counts / total
 
+    def reset(self) -> None:
+        self.counts[:] = 0.0
+
     @property
     def frequencies(self) -> np.ndarray:
         """Raw counts — the ``freq_i`` used by DS/LFU sub-arbitration."""

@@ -34,7 +34,11 @@ class MarkovPredictor(AccessPredictor):
     def predict(self) -> np.ndarray:
         if self.current is None:
             return np.zeros(self.n_items)
-        row = self.counts[self.current]
+        return self.conditional_row(self.current)
+
+    def conditional_row(self, item: int) -> np.ndarray:
+        """Estimated next-access row given the client just accessed ``item``."""
+        row = self.counts[self._check_item(item)]
         total = row.sum()
         if self.smoothing > 0.0:
             smoothed = row + self.smoothing
@@ -42,6 +46,10 @@ class MarkovPredictor(AccessPredictor):
         if total == 0.0:
             return np.zeros(self.n_items)
         return row / total
+
+    def reset(self) -> None:
+        self.counts[:] = 0.0
+        self.current = None
 
     def transition_estimate(self) -> np.ndarray:
         """Full estimated transition matrix (rows of unvisited states are 0)."""

@@ -18,9 +18,12 @@ __all__ = [
     "AccessStats",
     "BinnedSeries",
     "FleetAggregate",
+    "WindowedSeries",
     "aggregate_access_stats",
     "bin_mean",
+    "kl_divergence",
     "summarise",
+    "windowed_access_series",
 ]
 
 
@@ -32,7 +35,16 @@ class AccessStats:
     served (``cache_hits`` / ``pending_waits`` / ``misses``), what the
     prefetcher did, how much network time each traffic class consumed, and
     the per-request access times themselves.
+
+    ``request_times`` / ``serve_kinds`` are optional per-request recordings
+    (aligned with ``access_times``, in serve order) that the fleet engines
+    fill for the windowed drift metrics; the lean single-client engines
+    leave them empty.  ``serve_kinds`` entries are the ``KIND_*`` codes.
     """
+
+    KIND_HIT = 0
+    KIND_WAIT = 1
+    KIND_MISS = 2
 
     cache_hits: int = 0
     pending_waits: int = 0
@@ -42,6 +54,8 @@ class AccessStats:
     network_prefetch_time: float = 0.0
     network_demand_time: float = 0.0
     access_times: list[float] = field(default_factory=list)
+    request_times: list[float] = field(default_factory=list)
+    serve_kinds: list[int] = field(default_factory=list)
 
     @property
     def requests(self) -> int:
@@ -161,6 +175,118 @@ def bin_mean(x: np.ndarray, y: np.ndarray, edges: np.ndarray) -> BinnedSeries:
         means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
     centers = (edges[:-1] + edges[1:]) / 2.0
     return BinnedSeries(centers=centers, means=means, counts=counts)
+
+
+@dataclass(frozen=True)
+class WindowedSeries:
+    """Per-window access metrics of a (possibly drifting) run.
+
+    Windows partition either the per-client *request-index* axis (the space
+    drift schedules are written in, so window boundaries align with regime
+    shifts) or the pooled *request-time* axis.  ``hit_rate`` counts
+    instant cache hits (``AccessStats.KIND_HIT``), matching the aggregate
+    ``hit_rate`` definition; empty windows yield NaN.
+    """
+
+    edges: np.ndarray  # (n_windows + 1,) window boundaries
+    requests: np.ndarray  # (n_windows,) pooled request count per window
+    hit_rate: np.ndarray  # (n_windows,)
+    mean_access_time: np.ndarray  # (n_windows,)
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.requests.shape[0])
+
+    def as_rows(self) -> list[tuple[float, float, int, float, float]]:
+        return [
+            (float(self.edges[w]), float(self.edges[w + 1]), int(self.requests[w]),
+             float(self.hit_rate[w]), float(self.mean_access_time[w]))
+            for w in range(self.n_windows)
+        ]
+
+
+def windowed_access_series(
+    stats: Sequence[AccessStats],
+    n_windows: int,
+    *,
+    by: str = "index",
+) -> WindowedSeries:
+    """Pool per-client stats into per-window hit rate and mean access time.
+
+    ``by="index"`` bins each client's k-th request into the window covering
+    request index ``k`` (requires equal-length traces only in the sense
+    that windows span ``[0, max trace length)``); ``by="time"`` bins the
+    pooled requests by their recorded request times, which requires the
+    engines to have filled ``AccessStats.request_times``.
+    """
+    if n_windows < 1:
+        raise ValueError("n_windows must be positive")
+    if by not in ("index", "time"):
+        raise ValueError(f"by must be 'index' or 'time', got {by!r}")
+    stats = list(stats)
+    if by == "index":
+        coords = np.concatenate(
+            [np.arange(len(s.access_times), dtype=np.float64) for s in stats]
+        ) if stats else np.empty(0)
+        span = max((len(s.access_times) for s in stats), default=0)
+    else:
+        for s in stats:
+            if len(s.request_times) != len(s.access_times):
+                raise ValueError(
+                    "windowed_access_series(by='time') needs request_times "
+                    "recorded for every access (fleet/topology engines do this)"
+                )
+        coords = np.concatenate(
+            [np.asarray(s.request_times, dtype=np.float64) for s in stats]
+        ) if stats else np.empty(0)
+        span = float(coords.max()) + 1e-12 if coords.size else 0.0
+    access = np.concatenate(
+        [np.asarray(s.access_times, dtype=np.float64) for s in stats]
+    ) if stats else np.empty(0)
+    kinds = np.concatenate(
+        [np.asarray(s.serve_kinds, dtype=np.intp) for s in stats]
+    ) if stats else np.empty(0, dtype=np.intp)
+    if kinds.shape != access.shape:
+        raise ValueError("serve_kinds must be recorded alongside access_times")
+
+    edges = np.linspace(0.0, float(span) if span else 1.0, int(n_windows) + 1)
+    idx = np.minimum(
+        np.searchsorted(edges, coords, side="right") - 1, int(n_windows) - 1
+    )
+    counts = np.bincount(idx, minlength=n_windows).astype(np.intp)
+    hits = np.bincount(
+        idx, weights=(kinds == AccessStats.KIND_HIT).astype(np.float64),
+        minlength=n_windows,
+    )
+    t_sums = np.bincount(idx, weights=access, minlength=n_windows)
+    with np.errstate(invalid="ignore"):
+        denom = np.maximum(counts, 1)
+        hit_rate = np.where(counts > 0, hits / denom, np.nan)
+        mean_t = np.where(counts > 0, t_sums / denom, np.nan)
+    return WindowedSeries(
+        edges=edges, requests=counts, hit_rate=hit_rate, mean_access_time=mean_t
+    )
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, *, eps: float = 1e-9) -> float:
+    """``KL(p || q)`` in nats with epsilon smoothing on the estimate ``q``.
+
+    The drift metrics' model-quality measure: how many nats the planner's
+    model ``q`` loses against the generator's truth ``p``.  ``q`` is
+    smoothed (and renormalised) so a model that zeroes out an item the
+    truth still requests pays a large-but-finite penalty; ``p`` is used
+    as-is (its zero entries contribute nothing).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch {p.shape} vs {q.shape}")
+    q_s = q + eps
+    q_s = q_s / q_s.sum()
+    support = p > 0.0
+    # Normalise p over its own mass so sub-stochastic truths compare fairly.
+    p_n = p[support] / p[support].sum()
+    return float(np.sum(p_n * np.log(p_n / q_s[support])))
 
 
 @dataclass(frozen=True)

@@ -153,7 +153,7 @@ def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> Pre
         assert len(cache) + len(pending) <= capacity
 
     # Initial state: treat its item as just served at t=0, then view and plan.
-    ps.frequencies[state] += 1.0
+    ps.observe(state)
     cache_window = viewing_list[state]
     if capacity > 0:
         ps.cache_add(state, "demand")
@@ -196,7 +196,7 @@ def run_prefetch_cache(source: MarkovSource, config: PrefetchCacheConfig) -> Pre
         access_times[k] = access
         t_serve = t_req + access
         t = t_serve
-        ps.frequencies[x] += 1.0
+        ps.observe(x)
 
         window = viewing_list[x]
         if config.planning_window == "effective":

@@ -9,7 +9,10 @@
 * :mod:`repro.workload.zipf` — heavy-tailed popularity (robustness);
 * :mod:`repro.workload.trace` — record/replay of request traces;
 * :mod:`repro.workload.population` — per-client fleet workloads
-  (Zipf mixtures with hot-set overlap, per-client Markov sources).
+  (Zipf mixtures with hot-set overlap, per-client Markov sources);
+* :mod:`repro.workload.dynamics` — non-stationary schedules over the
+  population sources (regime switching, Zipf-exponent drift, flash crowds,
+  diurnal rate modulation) plus the ground truth for drift metrics.
 """
 
 from repro.workload.probability import (
@@ -29,8 +32,22 @@ from repro.workload.population import (
     markov_population,
     zipf_mixture_population,
 )
+from repro.workload.dynamics import (
+    DYNAMICS_KINDS,
+    DynamicPopulation,
+    DynamicsConfig,
+    DynamicsInfo,
+    dynamic_markov_population,
+    dynamic_zipf_population,
+)
 
 __all__ = [
+    "DYNAMICS_KINDS",
+    "DynamicPopulation",
+    "DynamicsConfig",
+    "DynamicsInfo",
+    "dynamic_markov_population",
+    "dynamic_zipf_population",
     "PROBABILITY_METHODS",
     "flat_probabilities",
     "generate_probabilities",

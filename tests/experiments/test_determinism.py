@@ -1,0 +1,128 @@
+"""Determinism regression: experiment tables are byte-identical.
+
+The CRN contract promises that a spec fully determines its result table —
+independent of worker count, execution order, process placement, and of
+*when* the run happens.  These tests pin that down for the fleet and
+topology kinds **including the new drift knobs** (non-stationary workloads
+and online-adaptive models must not smuggle in any ambient randomness) and
+for the windowed drift kind, whose cross-window memoization must be
+invisible: a memo hit and a fresh simulation must produce the same bytes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSpec, run
+
+
+def _csv_bytes(spec: ExperimentSpec, tmp_path, tag: str, workers: int) -> bytes:
+    result = run(spec, workers=workers)
+    out = tmp_path / tag
+    out.mkdir()
+    csv_path, _ = result.write(out)
+    return csv_path.read_bytes()
+
+
+FLEET_DRIFT_SPEC = dict(
+    name="determinism-fleet-drift",
+    kind="fleet",
+    workload={
+        "n": 30,
+        "top_k": 8,
+        "cache_capacity": 5,
+        "concurrency": 2,
+        "stagger": 10.0,
+        "drift": "regime",
+        "drift_regimes": 2,
+        "online_predictor": "frequency:ewma",
+    },
+    grid={
+        "policy": ("skp+pr",),
+        "n_clients": (1, 3),
+        "model_source": ("oracle", "online"),
+    },
+    iterations=50,
+    seed=67,
+)
+
+TOPOLOGY_DRIFT_SPEC = dict(
+    name="determinism-topology-drift",
+    kind="topology",
+    workload={
+        "n": 30,
+        "top_k": 8,
+        "overlap": 0.8,
+        "edge_cache_size": 8,
+        "concurrency": 2,
+        "stagger": 10.0,
+        "drift": "flash",
+        "flash_boost": 0.5,
+        "online_predictor": "frequency:ewma",
+    },
+    grid={
+        "policy": ("skp+pr",),
+        "n_clients": (3,),
+        "topology": ("tree", "two-tier"),
+        "model_source": ("oracle", "online"),
+    },
+    iterations=40,
+    seed=71,
+)
+
+DRIFT_KIND_SPEC = dict(
+    name="determinism-drift-windows",
+    kind="drift",
+    workload={
+        "n": 30,
+        "top_k": 8,
+        "n_clients": 3,
+        "concurrency": 2,
+        "stagger": 10.0,
+        "drift": "regime",
+        "drift_regimes": 2,
+        "n_windows": 4,
+    },
+    grid={
+        "policy": ("skp+pr",),
+        "model_source": ("oracle", "online"),
+        "window": (0, 1, 2, 3),
+    },
+    iterations=60,
+    seed=73,
+)
+
+
+def test_fleet_drift_table_worker_and_rerun_invariant(tmp_path):
+    spec = ExperimentSpec(**FLEET_DRIFT_SPEC)
+    serial = _csv_bytes(spec, tmp_path, "serial", workers=1)
+    parallel = _csv_bytes(spec, tmp_path, "parallel", workers=4)
+    rerun = _csv_bytes(spec, tmp_path, "rerun", workers=1)
+    assert serial == parallel
+    assert serial == rerun
+
+
+def test_topology_drift_table_worker_and_rerun_invariant(tmp_path):
+    spec = ExperimentSpec(**TOPOLOGY_DRIFT_SPEC)
+    serial = _csv_bytes(spec, tmp_path, "serial", workers=1)
+    parallel = _csv_bytes(spec, tmp_path, "parallel", workers=4)
+    rerun = _csv_bytes(spec, tmp_path, "rerun", workers=1)
+    assert serial == parallel
+    assert serial == rerun
+
+
+def test_drift_kind_table_worker_and_rerun_invariant(tmp_path):
+    # workers=4 splits the window axis across processes, so some cells hit
+    # the cross-window memo and some re-simulate from scratch — the bytes
+    # must not reveal which.
+    spec = ExperimentSpec(**DRIFT_KIND_SPEC)
+    serial = _csv_bytes(spec, tmp_path, "serial", workers=1)
+    parallel = _csv_bytes(spec, tmp_path, "parallel", workers=4)
+    rerun = _csv_bytes(spec, tmp_path, "rerun", workers=1)
+    assert serial == parallel
+    assert serial == rerun
+
+
+def test_drift_cells_share_seed_across_model_source_and_window():
+    # CRN: model_source and window select machinery/reporting, never draws.
+    spec = ExperimentSpec(**DRIFT_KIND_SPEC)
+    result = run(spec, workers=1)
+    assert len({cell.seed for cell in result.cells}) == 1

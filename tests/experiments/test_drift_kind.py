@@ -1,0 +1,231 @@
+"""End-to-end tests of the drift experiment kind.
+
+The headline acceptance behaviour of the non-stationarity subsystem: on a
+regime-switching workload, the static oracle-at-t0 model's hit rate
+*degrades* after the shift while the online-adaptive model's *recovers* —
+on identical request streams (CRN across ``model_source``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSpec, SpecError, preset, run
+
+
+def small_drift_spec(**workload_overrides) -> ExperimentSpec:
+    workload = {
+        "n": 40,
+        "exponent_min": 1.1,
+        "exponent_max": 1.1,
+        "overlap": 0.9,
+        "top_k": 10,
+        "stagger": 20.0,
+        "n_clients": 6,
+        "concurrency": 4,
+        "drift": "regime",
+        "drift_regimes": 2,
+        "n_windows": 4,
+        "online_predictor": "frequency:ewma",
+    }
+    workload.update(workload_overrides)
+    return ExperimentSpec(
+        name="drift-test",
+        kind="drift",
+        workload=workload,
+        grid={
+            "policy": ("skp+pr",),
+            "model_source": ("oracle", "online"),
+            "window": (0, 1, 2, 3),
+        },
+        iterations=240,
+        seed=53,
+    )
+
+
+class TestDriftKind:
+    def test_windowed_table_shape_and_bounds(self):
+        result = run(small_drift_spec(), workers=1)
+        assert len(result.cells) == 8
+        for cell in result.cells:
+            m = cell.metrics
+            assert m["window_end"] > m["window_start"]
+            assert 0.0 <= m["hit_rate"] <= 1.0
+            assert m["requests"] > 0
+            assert m["model_kl"] >= 0.0
+            assert 0.0 <= m["model_prob"] <= 1.0
+        # Windows tile [0, iterations) in request-index space.
+        oracle = sorted(
+            (c for c in result.cells if c.params["model_source"] == "oracle"),
+            key=lambda c: c.params["window"],
+        )
+        assert oracle[0].metrics["window_start"] == 0.0
+        assert oracle[-1].metrics["window_end"] == 240.0
+
+    def test_oracle_degrades_while_online_recovers(self):
+        """The acceptance criterion, pinned.
+
+        Regimes switch at the midpoint (windows 0-1 pre, 2-3 post).  The
+        oracle's post-shift hit rate must collapse below its pre-shift
+        level; the online model's final window must recover to beat the
+        oracle's final window decisively, and its last window must improve
+        on its first post-shift window (re-learning visible in-run).
+        """
+        result = run(small_drift_spec(), workers=1)
+
+        def series(model_source):
+            cells = sorted(
+                (c for c in result.cells if c.params["model_source"] == model_source),
+                key=lambda c: c.params["window"],
+            )
+            return [c.metrics["hit_rate"] for c in cells], [
+                c.metrics["model_kl"] for c in cells
+            ]
+
+        oracle_hit, oracle_kl = series("oracle")
+        online_hit, online_kl = series("online")
+        # Oracle: post-shift windows collapse versus pre-shift.
+        assert max(oracle_hit[2:]) < min(oracle_hit[:2]) - 0.1
+        # Oracle model KL explodes at the shift and never recovers.
+        assert min(oracle_kl[2:]) > max(oracle_kl[:2]) + 1.0
+        # Online: recovers post-shift — above the oracle's wreckage...
+        assert online_hit[3] > max(oracle_hit[2:]) + 0.05
+        # ...and improving across the post-shift windows.
+        assert online_hit[3] > online_hit[2] - 1e-9
+        # Online model KL comes back down after the shift.
+        assert online_kl[3] < online_kl[2]
+
+    def test_crn_identical_draws_across_model_source(self):
+        result = run(small_drift_spec(), workers=1)
+        assert len({c.seed for c in result.cells}) == 1
+
+    def test_window_memo_is_invisible(self):
+        # Running a single window's cell directly (fresh process state would
+        # miss the memo) must match the full-grid run's cell.
+        from repro.experiments.engine import _DRIFT_MEMO, run_cell
+
+        spec = small_drift_spec()
+        full = run(spec, workers=1)
+        _DRIFT_MEMO.clear()
+        cell = [c for c in spec.cells() if c["window"] == 2 and c["model_source"] == "online"][0]
+        direct = run_cell(spec, cell)
+        matching = full.cell(model_source="online", window=2)
+        assert direct.metrics == matching.metrics
+
+    def test_drift_events_metric_counts_detector_alarms(self):
+        result = run(
+            small_drift_spec(online_predictor="adaptive:frequency"), workers=1
+        )
+        online = result.cell(model_source="online", window=0)
+        assert online.metrics["drift_events"] >= 0.0
+        oracle = result.cell(model_source="oracle", window=0)
+        assert oracle.metrics["drift_events"] == 0.0
+
+
+class TestDriftSpecValidation:
+    def test_unknown_drift_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown drift kind"):
+            small_drift_spec(drift="sawtooth")
+
+    def test_markov_pop_rejects_zipf_only_dynamics(self):
+        with pytest.raises(SpecError, match="markov-pop supports drift kinds"):
+            small_drift_spec(source="markov-pop", drift="flash")
+
+    def test_bad_model_source_rejected(self):
+        spec_kwargs = small_drift_spec().to_dict()
+        spec_kwargs["grid"]["model_source"] = ["clairvoyant"]
+        with pytest.raises(SpecError, match="model_source"):
+            ExperimentSpec.from_dict(spec_kwargs)
+
+    def test_window_out_of_range_rejected(self):
+        spec_kwargs = small_drift_spec().to_dict()
+        spec_kwargs["grid"]["window"] = [0, 7]
+        with pytest.raises(SpecError, match="window values"):
+            ExperimentSpec.from_dict(spec_kwargs)
+
+    def test_unknown_online_predictor_rejected(self):
+        with pytest.raises(Exception, match="unknown access predictor"):
+            small_drift_spec(online_predictor="nope")
+
+    def test_drift_preset_round_trips_json(self):
+        spec = preset("drift-regime")
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
+class TestFleetKindDriftKnobs:
+    def test_fleet_model_source_axis_shares_draws(self):
+        spec = ExperimentSpec(
+            name="fleet-drift",
+            kind="fleet",
+            workload={
+                "n": 30,
+                "top_k": 8,
+                "cache_capacity": 5,
+                "concurrency": 2,
+                "drift": "regime",
+                "drift_regimes": 2,
+                "online_predictor": "frequency:ewma",
+            },
+            grid={
+                "policy": ("skp+pr",),
+                "n_clients": (3,),
+                "model_source": ("oracle", "online"),
+            },
+            iterations=120,
+            seed=31,
+        )
+        result = run(spec, workers=1)
+        oracle = result.cell(model_source="oracle")
+        online = result.cell(model_source="online")
+        assert oracle.seed == online.seed
+        assert oracle.metrics["hit_rate"] != online.metrics["hit_rate"]
+
+    def test_zero_drift_fleet_table_unchanged_by_dynamics_plumbing(self):
+        # The fleet kind's zero-drift cells must be bit-identical whether or
+        # not the (defaulted) drift knobs appear in the spec: both route
+        # through the dynamic builders' verbatim delegation.
+        base = ExperimentSpec(
+            name="fleet-base",
+            kind="fleet",
+            workload={"n": 30, "top_k": 8, "cache_capacity": 5, "concurrency": 2},
+            grid={"policy": ("skp+pr",), "n_clients": (2,)},
+            iterations=80,
+            seed=13,
+        )
+        explicit = ExperimentSpec(
+            name="fleet-base",
+            kind="fleet",
+            workload={
+                "n": 30, "top_k": 8, "cache_capacity": 5, "concurrency": 2,
+                "drift": "none", "model_source": "oracle",
+            },
+            grid={"policy": ("skp+pr",), "n_clients": (2,)},
+            iterations=80,
+            seed=13,
+        )
+        table_a = run(base, workers=1).table()
+        table_b = run(explicit, workers=1).table()
+        assert table_a == table_b
+
+
+def test_topology_online_model_runs():
+    spec = ExperimentSpec(
+        name="topo-online",
+        kind="topology",
+        workload={
+            "n": 30,
+            "top_k": 8,
+            "overlap": 0.8,
+            "edge_cache_size": 8,
+            "concurrency": 2,
+            "drift": "regime",
+            "drift_regimes": 2,
+            "model_source": "online",
+            "online_predictor": "frequency:ewma",
+        },
+        grid={"policy": ("skp+pr",), "n_clients": (3,)},
+        iterations=60,
+        seed=43,
+    )
+    result = run(spec, workers=1)
+    assert 0.0 <= result.cells[0].metrics["hit_rate"] <= 1.0
+    assert np.isfinite(result.cells[0].metrics["mean_access_time"])

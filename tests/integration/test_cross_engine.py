@@ -229,6 +229,42 @@ GOLDEN_TRACES = {
         "mid_hits": 66,
         "edge_prefetches_issued": 130,
     },
+    # Hierarchy coverage beyond the basic tree/two-tier shapes: fair origin
+    # scheduling + DS sub-arbitration + effective planning windows on a
+    # 3-edge tree, and a Markov population through edge + mid tiers — so
+    # kernel work is pinned on every scheduling/planning combination the
+    # hierarchies exercise, not just the FIFO/nominal defaults.
+    "topology_tree_fair_effective": {
+        "events": 878,
+        "makespan": 4333.498009885602,
+        "mean_access_time": 11.763589024116744,
+        "p95_access_time": 50.70968522204751,
+        "hit_rate": 0.5777777777777777,
+        "transfers_granted": 177,
+        "offered_load": 0.697722922892753,
+        "prefetches_scheduled": 184,
+        "prefetches_used": 26,
+        "access_time_sum": 4234.892048682028,
+        "edge_hits": 47,
+        "edge_misses": 104,
+        "edge_prefetches_issued": 43,
+        "edge_prefetches_used": 6,
+    },
+    "topology_two_tier_markov": {
+        "events": 2309,
+        "makespan": 4256.656492851777,
+        "mean_access_time": 18.22645073573416,
+        "p95_access_time": 68.17080670683399,
+        "hit_rate": 0.5277777777777778,
+        "transfers_granted": 405,
+        "offered_load": 1.5328387318690297,
+        "prefetches_scheduled": 806,
+        "prefetches_used": 257,
+        "access_time_sum": 6561.5222648642975,
+        "edge_hits": 14,
+        "mid_hits": 21,
+        "edge_prefetches_issued": 20,
+    },
 }
 
 
@@ -322,6 +358,136 @@ def test_golden_topology_two_tier_bit_exact():
     fp["edge_hits"] = res.tiers[0].hits
     fp["mid_hits"] = res.tier("mid").hits
     fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    assert fp == expected
+
+
+def test_golden_topology_tree_fair_effective_bit_exact():
+    population = zipf_mixture_population(6, 40, 60, overlap=0.7, stagger=15.0, seed=21)
+    res = run_topology(
+        population,
+        TopologyConfig(
+            topology="tree",
+            n_edges=3,
+            edge_cache_size=10,
+            placement="both",
+            concurrency=2,
+            discipline="fair",
+            cache_capacity=6,
+            sub_arbitration="ds",
+            planning_window="effective",
+            miss_penalty=2.0,
+        ),
+        seed=4,
+    )
+    expected = GOLDEN_TRACES["topology_tree_fair_effective"]
+    fp = _fingerprint(res)
+    fp["edge_hits"] = res.tiers[0].hits
+    fp["edge_misses"] = res.tiers[0].misses
+    fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    fp["edge_prefetches_used"] = res.tiers[0].prefetches_used
+    assert fp == expected
+
+
+def test_golden_topology_two_tier_markov_bit_exact():
+    from repro.workload.population import markov_population
+
+    population = markov_population(6, 30, 60, out_degree=(3, 6), seed=19)
+    res = run_topology(
+        population,
+        TopologyConfig(
+            topology="two-tier",
+            n_edges=2,
+            edge_cache_size=8,
+            mid_cache_size=16,
+            placement="both",
+            concurrency=3,
+            cache_capacity=5,
+        ),
+        seed=6,
+    )
+    expected = GOLDEN_TRACES["topology_two_tier_markov"]
+    fp = _fingerprint(res)
+    fp["edge_hits"] = res.tiers[0].hits
+    fp["mid_hits"] = res.tier("mid").hits
+    fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    assert fp == expected
+
+
+# ---------------------------------------------------------------------------
+# Zero-drift is the stationary special case — bit-exactly.
+#
+# The dynamics subsystem must be invisible when switched off: a dynamic
+# population with kind="none" plus model_source="oracle" routes through the
+# new plumbing (dynamic builders, ClientPlanState.observe, per-request
+# recording) yet must reproduce the pre-dynamics golden fingerprints with
+# ``==``, not a tolerance.
+# ---------------------------------------------------------------------------
+
+def test_zero_drift_population_is_bitwise_stationary():
+    from repro.workload.dynamics import DynamicsConfig, dynamic_zipf_population
+
+    dynamic = dynamic_zipf_population(
+        6, 40, 80, dynamics=DynamicsConfig(kind="none"),
+        overlap=0.5, stagger=20.0, seed=7,
+    )
+    static = zipf_mixture_population(6, 40, 80, overlap=0.5, stagger=20.0, seed=7)
+    np.testing.assert_array_equal(dynamic.population.sizes, static.sizes)
+    for dyn_client, static_client in zip(dynamic.population.clients, static.clients):
+        np.testing.assert_array_equal(dyn_client.trace.items, static_client.trace.items)
+        np.testing.assert_array_equal(
+            dyn_client.trace.viewing_times, static_client.trace.viewing_times
+        )
+        np.testing.assert_array_equal(
+            dyn_client.probabilities, static_client.probabilities
+        )
+        assert dyn_client.start_time == static_client.start_time
+        assert dyn_client.initial_item == static_client.initial_item
+
+
+def test_golden_fleet_zero_drift_oracle_bit_exact():
+    from repro.workload.dynamics import DynamicsConfig, dynamic_zipf_population
+
+    dynamic = dynamic_zipf_population(
+        6, 40, 80, dynamics=DynamicsConfig(kind="none"),
+        overlap=0.5, stagger=20.0, seed=7,
+    )
+    res = run_fleet(
+        dynamic.population,
+        FleetConfig(
+            cache_capacity=6, strategy="skp", concurrency=2, miss_penalty=2.0,
+            model_source="oracle",
+        ),
+        server_cache=LRUCache(10),
+    )
+    assert _fingerprint(res) == GOLDEN_TRACES["fleet_zipf"]
+
+
+def test_golden_topology_zero_drift_oracle_bit_exact():
+    from repro.workload.dynamics import DynamicsConfig, dynamic_zipf_population
+
+    dynamic = dynamic_zipf_population(
+        8, 40, 60, dynamics=DynamicsConfig(kind="none"),
+        overlap=0.6, stagger=20.0, seed=9,
+    )
+    res = run_topology(
+        dynamic.population,
+        TopologyConfig(
+            topology="tree",
+            n_edges=2,
+            edge_cache_size=12,
+            placement="both",
+            concurrency=2,
+            cache_capacity=6,
+            model_source="oracle",
+        ),
+        seed=3,
+    )
+    expected = GOLDEN_TRACES["topology_tree"]
+    fp = _fingerprint(res)
+    fp["edge_hits"] = res.tiers[0].hits
+    fp["edge_misses"] = res.tiers[0].misses
+    fp["edge_prefetches_issued"] = res.tiers[0].prefetches_issued
+    fp["edge_prefetches_used"] = res.tiers[0].prefetches_used
     assert fp == expected
 
 

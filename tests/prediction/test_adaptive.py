@@ -1,0 +1,165 @@
+"""Unit tests for the online-adaptive predictors and drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    DriftAdaptivePredictor,
+    EWMAFrequencyPredictor,
+    EWMAMarkovPredictor,
+    FrequencyPredictor,
+    MarkovPredictor,
+    SlidingWindowFrequencyPredictor,
+)
+
+
+class TestEWMAFrequency:
+    def test_rows_are_distributions(self):
+        p = EWMAFrequencyPredictor(5, decay=0.9)
+        assert p.predict().sum() == 0.0
+        for item in (0, 1, 0, 2):
+            p.update(item)
+        row = p.predict()
+        assert row.sum() == pytest.approx(1.0)
+        assert row[0] > row[1] > row[3] == 0.0
+
+    def test_forgets_the_old_regime(self):
+        p = EWMAFrequencyPredictor(4, decay=0.8)
+        for _ in range(50):
+            p.update(0)
+        for _ in range(20):
+            p.update(3)
+        row = p.predict()
+        assert row[3] > 0.9  # the old favourite is almost fully forgotten
+        static = FrequencyPredictor(4)
+        for _ in range(50):
+            static.update(0)
+        for _ in range(20):
+            static.update(3)
+        assert static.predict()[3] < row[3]  # counts never forget
+
+    def test_decay_one_matches_static_counts(self):
+        ewma = EWMAFrequencyPredictor(4, decay=1.0)
+        static = FrequencyPredictor(4)
+        for item in (0, 1, 1, 2, 3, 1):
+            ewma.update(item)
+            static.update(item)
+        np.testing.assert_allclose(ewma.predict(), static.predict())
+
+    def test_conditional_row_ignores_context(self):
+        p = EWMAFrequencyPredictor(4)
+        p.update(2)
+        np.testing.assert_array_equal(p.conditional_row(0), p.predict())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAFrequencyPredictor(4, decay=0.0)
+        with pytest.raises(ValueError):
+            EWMAFrequencyPredictor(4, decay=1.1)
+
+
+class TestSlidingWindowFrequency:
+    def test_window_evicts_exactly(self):
+        p = SlidingWindowFrequencyPredictor(4, window=3)
+        for item in (0, 0, 0, 1, 2, 3):
+            p.update(item)
+        row = p.predict()
+        assert row[0] == 0.0  # all three 0-accesses slid out
+        np.testing.assert_allclose(row[[1, 2, 3]], 1.0 / 3.0)
+
+    def test_reset(self):
+        p = SlidingWindowFrequencyPredictor(4, window=3)
+        p.update(1)
+        p.reset()
+        assert p.predict().sum() == 0.0
+        with pytest.raises(ValueError):
+            SlidingWindowFrequencyPredictor(4, window=0)
+
+
+class TestEWMAMarkov:
+    def test_conditional_rows_learn_transitions(self):
+        p = EWMAMarkovPredictor(4, decay=0.9)
+        for item in (0, 1, 0, 1, 0, 1):
+            p.update(item)
+        assert np.argmax(p.conditional_row(0)) == 1
+        assert np.argmax(p.conditional_row(1)) == 0
+        assert p.conditional_row(3).sum() == 0.0  # never visited
+
+    def test_per_row_decay_forgets_on_revisit(self):
+        p = EWMAMarkovPredictor(4, decay=0.5)
+        for _ in range(10):
+            p.update(0)
+            p.update(1)  # 0 -> 1 dominates
+        for _ in range(10):
+            p.update(0)
+            p.update(2)  # regime change: 0 -> 2
+        assert p.conditional_row(0)[2] > 0.95
+
+    def test_decay_one_matches_static_markov(self):
+        ewma = EWMAMarkovPredictor(5, decay=1.0)
+        static = MarkovPredictor(5)
+        rng = np.random.default_rng(7)
+        for item in rng.integers(0, 5, 100):
+            ewma.update(int(item))
+            static.update(int(item))
+        np.testing.assert_allclose(ewma.predict(), static.predict())
+        for state in range(5):
+            np.testing.assert_allclose(
+                ewma.conditional_row(state), static.conditional_row(state)
+            )
+
+
+class TestMarkovConditionalRow:
+    def test_matches_predict_for_current_state(self):
+        p = MarkovPredictor(4)
+        for item in (0, 1, 2, 1, 0):
+            p.update(item)
+        np.testing.assert_allclose(p.conditional_row(p.current), p.predict())
+
+    def test_smoothed_rows_normalise(self):
+        p = MarkovPredictor(4, smoothing=0.5)
+        p.update(0)
+        p.update(1)
+        assert p.conditional_row(3).sum() == pytest.approx(1.0)
+
+
+class TestDriftAdaptive:
+    def test_detects_an_abrupt_shift_and_resets(self):
+        inner = EWMAFrequencyPredictor(10, decay=0.995)
+        p = DriftAdaptivePredictor(inner, threshold=4.0, warmup=10)
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            p.update(int(rng.integers(0, 3)))  # regime A: items 0-2
+        assert p.drift_events == 0
+        for _ in range(300):
+            p.update(int(rng.integers(7, 10)))  # regime B: items 7-9
+        assert p.drift_events >= 1
+        row = p.predict()
+        assert row[7:].sum() > 0.9  # relearned the new regime after reset
+
+    def test_stationary_stream_raises_no_alarm(self):
+        p = DriftAdaptivePredictor(EWMAFrequencyPredictor(5), threshold=8.0)
+        rng = np.random.default_rng(5)
+        stream = rng.choice(5, size=600, p=[0.5, 0.2, 0.15, 0.1, 0.05])
+        for item in stream:
+            p.update(int(item))
+        assert p.drift_events == 0
+
+    def test_delegates_rows_and_reset(self):
+        inner = EWMAMarkovPredictor(4)
+        p = DriftAdaptivePredictor(inner)
+        p.update(0)
+        p.update(1)
+        np.testing.assert_array_equal(p.conditional_row(0), inner.conditional_row(0))
+        p.reset()
+        assert p.drift_events == 0
+        assert inner.predict().sum() == 0.0
+
+    def test_validation(self):
+        inner = EWMAFrequencyPredictor(4)
+        with pytest.raises(ValueError):
+            DriftAdaptivePredictor(inner, threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftAdaptivePredictor(inner, delta=-1.0)
+        with pytest.raises(ValueError):
+            DriftAdaptivePredictor(inner, warmup=-1)

@@ -1,0 +1,170 @@
+"""Unit tests for the non-stationary workload schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workload.dynamics import (
+    DYNAMICS_KINDS,
+    DynamicsConfig,
+    dynamic_markov_population,
+    dynamic_zipf_population,
+)
+
+
+class TestConfig:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown dynamics kind"):
+            DynamicsConfig(kind="sawtooth")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_regimes", 0),
+            ("switch_every", -1),
+            ("drift_to", 0.0),
+            ("flash_start", 1.5),
+            ("flash_duration", 0.0),
+            ("flash_items", 0),
+            ("flash_boost", 1.0),
+            ("diurnal_amplitude", 1.0),
+            ("diurnal_period", 0.0),
+        ],
+    )
+    def test_rejects_bad_knobs(self, field, value):
+        with pytest.raises(ValueError):
+            DynamicsConfig(**{field: value})
+
+    def test_regime_schedule_partitions_trace(self):
+        config = DynamicsConfig(kind="regime", n_regimes=3)
+        regime_of = config.regime_of_requests(90)
+        assert regime_of.tolist() == [0] * 30 + [1] * 30 + [2] * 30
+
+    def test_regime_switch_every_overrides_even_split(self):
+        config = DynamicsConfig(kind="regime", n_regimes=2, switch_every=10)
+        regime_of = config.regime_of_requests(35)
+        assert regime_of.tolist() == [0] * 10 + [1] * 25  # clamped at last regime
+
+    def test_flash_window(self):
+        config = DynamicsConfig(kind="flash", flash_start=0.5, flash_duration=0.25)
+        assert config.flash_window(200) == (100, 150)
+        regime_of = config.regime_of_requests(200)
+        assert regime_of[99] == 0 and regime_of[100] == 1
+        assert regime_of[149] == 1 and regime_of[150] == 0
+
+
+class TestZipfDynamics:
+    @pytest.mark.parametrize("kind", DYNAMICS_KINDS)
+    def test_true_rows_are_distributions(self, kind):
+        dyn = dynamic_zipf_population(
+            3, 25, 60, dynamics=DynamicsConfig(kind=kind), overlap=0.6, seed=5
+        )
+        for k in (0, 29, 59):
+            row = dyn.info.true_row(1, k)
+            assert row.shape == (25,)
+            assert np.all(row >= 0)
+            if kind == "none":
+                # Zero-drift truth is the truncated planner view (<= 1).
+                assert row.sum() <= 1.0 + 1e-9
+            else:
+                assert row.sum() == pytest.approx(1.0)
+
+    def test_regime_switch_changes_the_hot_set(self):
+        dyn = dynamic_zipf_population(
+            2, 40, 100,
+            dynamics=DynamicsConfig(kind="regime", n_regimes=2),
+            overlap=1.0, exponent_range=(1.2, 1.2), seed=9,
+        )
+        before = dyn.info.true_row(0, 0)
+        after = dyn.info.true_row(0, 99)
+        assert dyn.info.shift_points == (50,)
+        assert int(np.argmax(before)) != int(np.argmax(after))
+        # Same popularity *values*, different item identities.
+        np.testing.assert_allclose(np.sort(before), np.sort(after))
+
+    def test_flash_diverts_mass_to_cold_items(self):
+        config = DynamicsConfig(kind="flash", flash_items=4, flash_boost=0.5)
+        dyn = dynamic_zipf_population(
+            2, 30, 80, dynamics=config, overlap=1.0, seed=11
+        )
+        start, stop = config.flash_window(80)
+        base = dyn.info.true_row(0, 0)
+        flash = dyn.info.true_row(0, start)
+        boosted = np.flatnonzero(flash > base + 1e-12)
+        assert len(boosted) == 4
+        assert flash[boosted].sum() >= 0.5  # the diverted mass landed there
+        np.testing.assert_allclose(dyn.info.true_row(0, stop - 1), flash)
+        np.testing.assert_allclose(dyn.info.true_row(0, stop), base)
+
+    def test_zipf_drift_flattens_the_head(self):
+        dyn = dynamic_zipf_population(
+            2, 30, 100,
+            dynamics=DynamicsConfig(kind="zipf-drift", drift_to=0.3),
+            overlap=1.0, exponent_range=(1.4, 1.4), seed=13,
+        )
+        early = dyn.info.true_row(0, 0)
+        late = dyn.info.true_row(0, 99)
+        assert early.max() > late.max()  # head mass flattens as α: 1.4 -> 0.3
+        assert int(np.argmax(early)) == int(np.argmax(late))  # same ranking
+
+    def test_diurnal_modulates_viewing_times_only(self):
+        config = DynamicsConfig(kind="diurnal", diurnal_amplitude=0.8, diurnal_period=200.0)
+        modulated = dynamic_zipf_population(2, 20, 150, dynamics=config, seed=17)
+        flat = dynamic_zipf_population(2, 20, 150, dynamics=DynamicsConfig(), seed=17)
+        for mod_client, flat_client in zip(
+            modulated.population.clients, flat.population.clients
+        ):
+            np.testing.assert_array_equal(
+                mod_client.trace.items, flat_client.trace.items
+            )
+            ratio = mod_client.trace.viewing_times / flat_client.trace.viewing_times
+            assert ratio.min() < 0.6 and ratio.max() > 1.4  # the sinusoid bites
+            assert mod_client.trace.viewing_times.min() >= 0.0
+
+    def test_per_client_streams_differ_but_are_reproducible(self):
+        config = DynamicsConfig(kind="regime", n_regimes=2)
+        a = dynamic_zipf_population(3, 25, 60, dynamics=config, seed=19)
+        b = dynamic_zipf_population(3, 25, 60, dynamics=config, seed=19)
+        for ca, cb in zip(a.population.clients, b.population.clients):
+            np.testing.assert_array_equal(ca.trace.items, cb.trace.items)
+        assert not np.array_equal(
+            a.population.clients[0].trace.items, a.population.clients[1].trace.items
+        )
+
+    def test_true_row_index_bounds(self):
+        dyn = dynamic_zipf_population(2, 20, 30, dynamics=DynamicsConfig(), seed=3)
+        with pytest.raises(IndexError):
+            dyn.info.true_row(0, 30)
+
+
+class TestMarkovDynamics:
+    def test_rejects_unsupported_kinds(self):
+        for kind in ("zipf-drift", "flash"):
+            with pytest.raises(ValueError, match="markov populations support"):
+                dynamic_markov_population(
+                    2, 15, 30, dynamics=DynamicsConfig(kind=kind), out_degree=(3, 4)
+                )
+
+    def test_regime_switch_swaps_transition_structure(self):
+        dyn = dynamic_markov_population(
+            2, 15, 60,
+            dynamics=DynamicsConfig(kind="regime", n_regimes=2),
+            out_degree=(3, 4), seed=23,
+        )
+        client = dyn.population.clients[0]
+        assert dyn.info.shift_points == (30,)
+        prev = int(client.trace.items[29])
+        pre = dyn.info.true_row(0, 29, prev_item=prev)
+        post = dyn.info.true_row(0, 30, prev_item=prev)
+        assert not np.allclose(pre, post)
+        # Every step was drawn from the active regime's row.
+        for k in (10, 45):
+            prev_k = int(client.trace.items[k - 1])
+            row = dyn.info.true_row(0, k, prev_item=prev_k)
+            assert row[int(client.trace.items[k])] > 0.0
+
+    def test_markov_true_row_requires_prev_item(self):
+        dyn = dynamic_markov_population(
+            2, 15, 30, dynamics=DynamicsConfig(), out_degree=(3, 4), seed=3
+        )
+        with pytest.raises(ValueError, match="prev_item"):
+            dyn.info.true_row(0, 5)
