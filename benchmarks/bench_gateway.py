@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Benchmark the speculation gateway: decision latency, RPS, loop fidelity.
+
+Starts an in-process asyncio gateway (server and load generator share one
+event loop, so the figures are single-process SLO numbers, free of
+cross-process scheduling noise), replays a Zipf-mixture population as
+concurrent keep-alive HTTP sessions at several concurrency levels, and
+records:
+
+* sustained decisions/s and wall-clock p50/p90/p99 decision latency per
+  ``POST /v1/access`` round trip (HTTP framing + JSON + session lookup +
+  SKP planning + tier annotation);
+* the open-loop aggregate hit rate next to the closed-loop
+  :func:`repro.distsys.fleet.run_fleet` reference on the same seeded
+  population — the two fold identical per-session arithmetic over an
+  unbounded uplink, so the gap is 0 unless the service layer breaks the
+  planning state (the ISSUE's acceptance tolerance is 2 pp).
+
+Gates (the CI gateway-smoke job): ``--min-decisions-per-s`` fails the run
+if the best concurrency level cannot sustain the floor,
+``--max-p99-s`` fails it if p99 latency blows past the ceiling at every
+level, and ``--max-hit-gap-pp`` fails on open/closed-loop divergence.
+
+Run:  python benchmarks/bench_gateway.py [--requests N]
+(reduced scale by default; REPRO_FULL=1 for the 10x version)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, emit_bench_json, results_path, scale
+
+CONCURRENCY_LEVELS = (1, 8, 32)
+
+
+def main() -> int:
+    from repro.gateway import (
+        GatewayConfig,
+        SessionConfig,
+        TierSpec,
+        closed_loop_reference,
+        run_gateway_bench,
+    )
+    from repro.viz.csvout import write_rows
+    from repro.workload.population import zipf_mixture_population
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=32,
+                        help="HTTP sessions per run")
+    parser.add_argument("--requests", type=int, default=scale(150, 1500),
+                        help="requests per session")
+    parser.add_argument("--catalog", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--levels", type=int, nargs="*", default=None,
+                        help="max-concurrency levels (default: 1 8 32)")
+    parser.add_argument("--min-decisions-per-s", type=float, default=None,
+                        help="exit non-zero if the best level sustains less "
+                             "(the CI gateway-smoke gate)")
+    parser.add_argument("--max-p99-s", type=float, default=None,
+                        help="exit non-zero if p99 latency exceeds this at "
+                             "every level")
+    parser.add_argument("--max-hit-gap-pp", type=float, default=None,
+                        help="exit non-zero if |open - closed| hit rate "
+                             "exceeds this many percentage points")
+    args = parser.parse_args()
+
+    population = zipf_mixture_population(
+        args.clients, args.catalog, args.requests,
+        overlap=0.5, stagger=0.0, seed=args.seed,
+    )
+    config = GatewayConfig(
+        sizes=population.sizes,
+        session=SessionConfig(),
+        tiers=(TierSpec("edge", "lru", 64),),
+        seed=args.seed,
+    )
+    reference = closed_loop_reference(population, config)
+    closed_hit = reference.aggregate.hit_rate
+
+    levels = tuple(args.levels) if args.levels else CONCURRENCY_LEVELS
+    header = [
+        "concurrency", "decisions", "elapsed_s", "decisions_per_s",
+        "p50_ms", "p90_ms", "p99_ms", "open_hit_rate", "closed_hit_rate",
+        "hit_gap_pp",
+    ]
+    csv_rows: list[list[str]] = []
+    bench_rows: list[dict] = []
+    lines = [
+        f"gateway benchmark: {args.clients} sessions x {args.requests} requests "
+        f"(zipf-mix, catalog {args.catalog}, skp+pr, frequency:ewma)",
+        f"closed-loop reference hit rate: {closed_hit:.4f}",
+        "",
+        "concurrency  decisions  elapsed   decisions/s   p50      p90      p99     hit rate  gap",
+    ]
+    for level in levels:
+        result, _snapshot = run_gateway_bench(
+            population, config, max_concurrency=level
+        )
+        if result.errors:
+            print(f"ERROR: {result.errors} failed requests at level {level}",
+                  file=sys.stderr)
+            return 1
+        gap_pp = abs(result.hit_rate - closed_hit) * 100.0
+        bench_rows.append({
+            "concurrency": level,
+            "decisions": result.reports,
+            "elapsed_s": round(result.elapsed_s, 3),
+            "decisions_per_s": round(result.decisions_per_s, 1),
+            "p50_ms": round(result.latency_p50_s * 1e3, 3),
+            "p90_ms": round(result.latency_p90_s * 1e3, 3),
+            "p99_ms": round(result.latency_p99_s * 1e3, 3),
+            "open_hit_rate": round(result.hit_rate, 4),
+            "closed_hit_rate": round(closed_hit, 4),
+            "hit_gap_pp": round(gap_pp, 3),
+        })
+        csv_rows.append([str(row) for row in (
+            level, result.reports, f"{result.elapsed_s:.3f}",
+            f"{result.decisions_per_s:.1f}",
+            f"{result.latency_p50_s * 1e3:.3f}",
+            f"{result.latency_p90_s * 1e3:.3f}",
+            f"{result.latency_p99_s * 1e3:.3f}",
+            f"{result.hit_rate:.4f}", f"{closed_hit:.4f}", f"{gap_pp:.3f}",
+        )])
+        lines.append(
+            f"{level:11d}  {result.reports:9d}  {result.elapsed_s:7.2f}s"
+            f"  {result.decisions_per_s:11,.0f}"
+            f"  {result.latency_p50_s * 1e3:6.2f}ms"
+            f"  {result.latency_p90_s * 1e3:6.2f}ms"
+            f"  {result.latency_p99_s * 1e3:6.2f}ms"
+            f"  {result.hit_rate:8.4f}  {gap_pp:.2f}pp"
+        )
+    canonical = levels == CONCURRENCY_LEVELS and all(
+        getattr(args, name) == parser.get_default(name)
+        for name in ("clients", "requests", "catalog", "seed")
+    )
+    if canonical:
+        write_rows(results_path("bench_gateway.csv"), header, csv_rows)
+        emit("bench_gateway.txt", "\n".join(lines))
+    else:
+        print()
+        print("\n".join(lines))
+    emit_bench_json(
+        "gateway" if canonical else "gateway_smoke",
+        params={
+            "clients": args.clients,
+            "requests_per_session": args.requests,
+            "catalog": args.catalog,
+            "seed": args.seed,
+            "strategy": "skp",
+            "predictor": "frequency:ewma",
+            "levels": list(levels),
+        },
+        rows=bench_rows,
+    )
+    if canonical:
+        print(f"\nwrote {results_path('bench_gateway.csv')}")
+
+    failed = False
+    best_rps = max(row["decisions_per_s"] for row in bench_rows)
+    best_p99 = min(row["p99_ms"] for row in bench_rows) / 1e3
+    worst_gap = max(row["hit_gap_pp"] for row in bench_rows)
+    if args.min_decisions_per_s is not None:
+        if best_rps < args.min_decisions_per_s:
+            print(
+                f"PERF REGRESSION: best level sustained {best_rps:.0f} "
+                f"decisions/s < floor {args.min_decisions_per_s:.0f}",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"rps floor ok: best level {best_rps:,.0f} decisions/s "
+                  f">= {args.min_decisions_per_s:,.0f}")
+    if args.max_p99_s is not None:
+        if best_p99 > args.max_p99_s:
+            print(
+                f"PERF REGRESSION: best p99 {best_p99 * 1e3:.1f}ms "
+                f"> ceiling {args.max_p99_s * 1e3:.1f}ms",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"p99 ceiling ok: best level {best_p99 * 1e3:.2f}ms "
+                  f"<= {args.max_p99_s * 1e3:.1f}ms")
+    if args.max_hit_gap_pp is not None:
+        if worst_gap > args.max_hit_gap_pp:
+            print(
+                f"FIDELITY REGRESSION: open vs closed loop hit-rate gap "
+                f"{worst_gap:.2f}pp > {args.max_hit_gap_pp:.2f}pp",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"loop fidelity ok: worst gap {worst_gap:.2f}pp "
+                  f"<= {args.max_hit_gap_pp:.2f}pp")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,19 @@ Small, dependency-free front door for the library:
 * ``topology``   — run one cache-hierarchy point: the fleet routed through
   star/tree/two-tier proxy tiers with per-tier speculation, plus the Che
   analytical reference for the edge hit ratio (same drift/model knobs);
+* ``gateway``    — the live speculation sidecar: ``serve`` runs the asyncio
+  HTTP service (``POST /v1/access`` → prefetch advice), ``bench`` replays a
+  population workload (``zipf-mix``/``markov-pop``/``trace:<path>``) against
+  an in-process gateway and reports decision latency, sustained RPS, and the
+  closed-loop hit-rate comparison;
 * ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
   file across worker processes (including the ``fleet-*`` and ``edge-*``
   presets), ``list`` the preset/component catalogs, ``describe`` one preset;
 * ``version``    — print the package version.
+
+Installed as the ``repro`` console script (``pip install -e .`` →
+``repro gateway serve``), or runnable without installation as
+``python -m repro``.
 """
 
 from __future__ import annotations
@@ -347,6 +356,161 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# gateway subcommands
+# ---------------------------------------------------------------------------
+
+def _gateway_config_from_args(args: argparse.Namespace, sizes=None):
+    """Build a GatewayConfig from the shared serve/bench options.
+
+    ``sizes`` pins the catalog to a workload's item sizes (the bench path —
+    the closed-loop reference plans over the same retrieval times only if
+    the gateway does too); ``serve`` uses the uniform §5 catalog.
+    """
+    from repro.experiments import CACHE_POLICIES, PIPELINES, PREDICTORS
+    from repro.gateway import GatewayConfig, SessionConfig, TierSpec
+
+    if args.policy not in PIPELINES:
+        args.parser.error(
+            f"unknown pipeline {args.policy!r}; available: {', '.join(PIPELINES.names())}"
+        )
+    if args.predictor not in PREDICTORS:
+        args.parser.error(
+            f"unknown predictor {args.predictor!r}; "
+            f"available: {', '.join(PREDICTORS.names())}"
+        )
+    if args.edge_cache not in CACHE_POLICIES:
+        args.parser.error(
+            f"unknown cache policy {args.edge_cache!r}; "
+            f"available: {', '.join(CACHE_POLICIES.names())}"
+        )
+    pipeline = dict(PIPELINES.get(args.policy))
+    session = SessionConfig(
+        cache_capacity=args.cache_capacity,
+        strategy=str(pipeline["strategy"]),
+        sub_arbitration=pipeline["sub_arbitration"],
+        predictor=args.predictor,
+        ttl=args.ttl,
+        max_sessions=args.max_sessions,
+    )
+    tiers = []
+    if args.edge_cache_size > 0:
+        tiers.append(TierSpec("edge", args.edge_cache, args.edge_cache_size))
+    if args.mid_cache_size > 0:
+        tiers.append(TierSpec("mid", args.edge_cache, args.mid_cache_size))
+    common = dict(
+        session=session,
+        tiers=tuple(tiers),
+        latency=args.latency,
+        bandwidth=args.bandwidth,
+        seed=args.seed,
+    )
+    if sizes is not None:
+        return GatewayConfig(sizes=sizes, **common)
+    return GatewayConfig.uniform(args.catalog, **common)
+
+
+def _cmd_gateway_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import serve
+
+    config = _gateway_config_from_args(args)
+    try:
+        asyncio.run(serve(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
+def _gateway_population_from_args(args: argparse.Namespace):
+    """Build the bench population; supports ``trace:<path>`` sources.
+
+    A trace source with ``--catalog 0`` infers the catalog from the log and
+    writes it back into ``args.catalog`` so the gateway config matches.
+    """
+    from repro.experiments import WORKLOADS
+
+    source = args.source
+    if source.startswith("trace:"):
+        path = Path(source[len("trace:"):])
+        if not path.is_file():
+            args.parser.error(f"trace file not found: {path}")
+        try:
+            population = WORKLOADS.create(
+                "trace", args.clients, args.catalog, args.requests,
+                path=str(path), stagger=0.0, seed=args.seed,
+            )
+        except ValueError as exc:  # malformed log, 1-entry trace, small catalog
+            args.parser.error(str(exc))
+        args.catalog = population.n_items
+        return population
+    if source not in ("zipf-mix", "markov-pop"):
+        args.parser.error("--source must be zipf-mix, markov-pop, or trace:<path>")
+    if args.catalog < 2:
+        args.parser.error("--catalog must be at least 2 for synthetic sources")
+    common = dict(stagger=0.0, seed=args.seed)
+    if source == "zipf-mix":
+        return WORKLOADS.create(
+            "zipf-mix", args.clients, args.catalog, args.requests,
+            overlap=args.overlap, **common,
+        )
+    return WORKLOADS.create(
+        "markov-pop", args.clients, args.catalog, args.requests, **common
+    )
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    from repro.gateway import closed_loop_reference, run_gateway_bench
+
+    population = _gateway_population_from_args(args)
+    config = _gateway_config_from_args(args, sizes=population.sizes)
+    result, snapshot = run_gateway_bench(
+        population,
+        config,
+        time_scale=args.time_scale,
+        max_concurrency=args.max_concurrency,
+    )
+    print(
+        f"gateway bench: {result.sessions} sessions x {args.requests} requests "
+        f"({args.source}, catalog {config.n_items}, "
+        f"concurrency {args.max_concurrency})"
+    )
+    print(
+        f"  {result.reports} decisions in {result.elapsed_s:.2f}s = "
+        f"{result.decisions_per_s:,.0f} decisions/s"
+    )
+    print(
+        f"  latency p50 {result.latency_p50_s * 1e3:.2f}ms  "
+        f"p90 {result.latency_p90_s * 1e3:.2f}ms  "
+        f"p99 {result.latency_p99_s * 1e3:.2f}ms  "
+        f"max {result.latency_max_s * 1e3:.2f}ms"
+    )
+    print(
+        f"  open-loop: hit rate {result.hit_rate:.3f} "
+        f"({result.hits} hit / {result.waits} wait / {result.misses} miss), "
+        f"mean T {result.mean_access_time:.4f}, "
+        f"{result.prefetches_advised} prefetches advised"
+    )
+    for tier in snapshot.get("tiers", ()):
+        print(
+            f"  mirror tier {tier['tier']}: hit rate {tier['hit_rate']:.3f} "
+            f"({tier['items']}/{tier['capacity']} items)"
+        )
+    if result.errors:
+        print(f"  ERRORS: {result.errors}", file=sys.stderr)
+        return 1
+    if not args.no_closed_loop:
+        reference = closed_loop_reference(population, config)
+        closed = reference.aggregate.hit_rate
+        gap = abs(result.hit_rate - closed)
+        print(
+            f"  closed-loop reference: hit rate {closed:.3f}  "
+            f"gap {gap * 100:.2f}pp"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # experiment subcommands
 # ---------------------------------------------------------------------------
 
@@ -557,6 +721,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_model_options(topology)
     _add_profile_options(topology)
     topology.set_defaults(func=_cmd_topology, parser=topology)
+
+    gateway = sub.add_parser(
+        "gateway", help="run or benchmark the live speculation gateway"
+    )
+    gsub = gateway.add_subparsers(dest="gateway_command", required=True)
+
+    def _add_gateway_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--catalog", type=_nonnegative_int, default=100,
+                            help="catalog size (items); 0 with a trace source "
+                                 "infers it from the log")
+        parser.add_argument("--policy", default="skp+pr",
+                            help="planner pipeline name (see `experiment list`)")
+        parser.add_argument("--predictor", default="frequency:ewma",
+                            help="per-session online predictor name")
+        parser.add_argument("--cache-capacity", type=_nonnegative_int, default=8,
+                            help="per-session client cache slots")
+        parser.add_argument("--ttl", type=float, default=300.0,
+                            help="idle-session TTL (wall-clock seconds)")
+        parser.add_argument("--max-sessions", type=_positive_int, default=10_000,
+                            help="LRU cap on live sessions")
+        parser.add_argument("--edge-cache", default="lru",
+                            help="mirrored tier cache policy name")
+        parser.add_argument("--edge-cache-size", type=_nonnegative_int, default=64,
+                            help="mirrored edge tier size (0 = no edge tier)")
+        parser.add_argument("--mid-cache-size", type=_nonnegative_int, default=0,
+                            help="mirrored mid tier size (0 = no mid tier)")
+        parser.add_argument("--latency", type=_nonnegative_float, default=0.0,
+                            help="link latency for retrieval times")
+        parser.add_argument("--bandwidth", type=float, default=1.0,
+                            help="link bandwidth for retrieval times")
+        parser.add_argument("--seed", type=int, default=0)
+
+    gserve = gsub.add_parser("serve", help="run the gateway HTTP service")
+    gserve.add_argument("--host", default="127.0.0.1")
+    gserve.add_argument("--port", type=_nonnegative_int, default=8273,
+                        help="listen port (0 = ephemeral)")
+    _add_gateway_options(gserve)
+    gserve.set_defaults(func=_cmd_gateway_serve, parser=gserve)
+
+    gbench = gsub.add_parser(
+        "bench", help="replay a workload against an in-process gateway"
+    )
+    gbench.add_argument("--source", default="zipf-mix",
+                        help="zipf-mix | markov-pop | trace:<path>")
+    gbench.add_argument("--clients", type=_positive_int, default=32,
+                        help="concurrent HTTP sessions")
+    gbench.add_argument("--requests", type=_positive_int, default=200,
+                        help="requests per session")
+    gbench.add_argument("--overlap", type=_unit_interval, default=0.5,
+                        help="shared-hot-set fraction for zipf-mix")
+    gbench.add_argument("--time-scale", type=_nonnegative_float, default=0.0,
+                        help="wall seconds slept per virtual viewing second "
+                             "(0 = saturation)")
+    gbench.add_argument("--max-concurrency", type=_positive_int, default=64,
+                        help="sessions in flight at once")
+    gbench.add_argument("--no-closed-loop", action="store_true",
+                        help="skip the closed-loop run_fleet comparison")
+    _add_gateway_options(gbench)
+    gbench.set_defaults(func=_cmd_gateway_bench, parser=gbench)
 
     experiment = sub.add_parser(
         "experiment", help="run/list/describe spec-driven experiments"

@@ -350,10 +350,15 @@ def _register_builtin_workloads() -> None:
     WORKLOADS.register("zipf", _zipf_rows)
     WORKLOADS.register("markov", generate_markov_source)
 
-    from repro.workload.population import markov_population, zipf_mixture_population
+    from repro.workload.population import (
+        markov_population,
+        trace_population,
+        zipf_mixture_population,
+    )
 
     WORKLOADS.register("zipf-mix", zipf_mixture_population)
     WORKLOADS.register("markov-pop", markov_population)
+    WORKLOADS.register("trace", trace_population)
 
     from repro.workload.dynamics import (
         dynamic_markov_population,

@@ -1,0 +1,56 @@
+"""`repro.gateway` — the speculation sidecar: serve prefetch advice live.
+
+The simulators answer "would speculation have paid?"; this package answers
+"what should I prefetch *now*?" as a running asyncio HTTP service (stdlib
+only — no runtime dependencies beyond numpy):
+
+* :mod:`repro.gateway.sessions` — per-session planning state: the shared
+  :class:`~repro.distsys.planning.ClientPlanState` plus an online predictor
+  on a virtual timeline, with TTL/LRU session eviction;
+* :mod:`repro.gateway.cache` — an in-process mirror of the edge/mid cache
+  tiers so advice is placement-aware;
+* :mod:`repro.gateway.service` — the HTTP front door
+  (``POST /v1/access``, ``GET /v1/session/<id>``, ``/metrics``,
+  ``/healthz``);
+* :mod:`repro.gateway.metrics` — seeded-reservoir latency quantiles and
+  counters behind ``/metrics``;
+* :mod:`repro.gateway.loadgen` — the open-loop load generator and the
+  closed-loop :func:`~repro.distsys.fleet.run_fleet` cross-check.
+
+See ``docs/gateway.md`` for the API, the session model, and the SLO
+methodology.
+"""
+
+from repro.gateway.cache import GatewayCacheHierarchy, TierSpec
+from repro.gateway.loadgen import (
+    LoadgenResult,
+    closed_loop_reference,
+    replay_population,
+    run_gateway_bench,
+)
+from repro.gateway.metrics import GatewayMetrics, ReservoirQuantiles
+from repro.gateway.service import GatewayConfig, GatewayService, serve
+from repro.gateway.sessions import (
+    Advice,
+    GatewaySession,
+    SessionConfig,
+    SessionStore,
+)
+
+__all__ = [
+    "Advice",
+    "GatewayCacheHierarchy",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayService",
+    "GatewaySession",
+    "LoadgenResult",
+    "ReservoirQuantiles",
+    "SessionConfig",
+    "SessionStore",
+    "TierSpec",
+    "closed_loop_reference",
+    "replay_population",
+    "run_gateway_bench",
+    "serve",
+]

@@ -1,0 +1,131 @@
+"""In-process multi-tier cache mirror for the speculation gateway.
+
+The topology engine (:mod:`repro.distsys.topology`) showed that *where* an
+item will be served from changes what speculation is worth: an edge hit
+costs one hop, an origin miss crosses the whole hierarchy.  The gateway
+cannot see the real edge caches, but it can maintain a faithful in-process
+mirror: the same replacement policies (:data:`repro.experiments.registry
+.CACHE_POLICIES`), the same store-and-forward miss propagation (a miss at
+tier *k* fetches through tier *k+1* and admits the item on the way back
+down), fed by the demand stream of every session the gateway serves — the
+aggregated stream the real proxies would see.
+
+The mirror makes advice *placement-aware* without touching the planning
+arithmetic: each ``/v1/access`` response annotates its prefetch list with
+the tier each item would be served from today (``sources``), and
+``/metrics`` exports per-tier hit rates, so operators can see how much of
+the advised traffic the edge would absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["TierSpec", "GatewayCacheHierarchy"]
+
+#: Pseudo-tier name for items no mirrored cache holds.
+ORIGIN = "origin"
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One mirrored tier: a name, a replacement policy, and a capacity.
+
+    ``capacity == 0`` makes the tier pass-through (it is skipped entirely),
+    mirroring the topology engine's cacheless proxies.
+    """
+
+    name: str
+    policy: str = "lru"
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name == ORIGIN:
+            raise ValueError(f"tier name must be non-empty and not {ORIGIN!r}")
+        if self.capacity < 0:
+            raise ValueError("tier capacity must be non-negative")
+
+
+class GatewayCacheHierarchy:
+    """An ordered stack of mirrored cache tiers, client-nearest first."""
+
+    def __init__(
+        self,
+        tiers: Sequence[TierSpec],
+        sizes: np.ndarray,
+        *,
+        latency: float = 0.0,
+        bandwidth: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        from repro.distsys.network import Link
+        from repro.experiments.registry import CACHE_POLICIES, CacheContext
+
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        sizes = np.asarray(sizes, dtype=np.float64)
+        context = CacheContext(
+            retrieval_times=Link(latency=latency, bandwidth=bandwidth).retrieval_times(sizes),
+            probabilities=np.full(sizes.shape[0], 1.0 / sizes.shape[0]),
+            seed=int(seed) % (2**32),
+        )
+        self.tiers = tuple(t for t in tiers if t.capacity > 0)
+        self._caches = [
+            CACHE_POLICIES.create(t.policy, t.capacity, context) for t in self.tiers
+        ]
+
+    def __len__(self) -> int:
+        return len(self._caches)
+
+    # -- demand-path mirroring -------------------------------------------
+    def observe_access(self, item: int) -> str:
+        """Route one served demand access through the mirror.
+
+        Returns the name of the tier that held the item (or ``"origin"``),
+        after admitting it into every tier that missed — store-and-forward,
+        exactly the topology engine's fill discipline.
+        """
+        item = int(item)
+        missed = []
+        source = ORIGIN
+        for spec, cache in zip(self.tiers, self._caches):
+            if cache.access(item):
+                source = spec.name
+                break
+            missed.append(cache)
+        for cache in missed:
+            cache.insert(item)
+        return source
+
+    # -- read-only views --------------------------------------------------
+    def locate(self, item: int) -> str:
+        """First tier currently holding ``item`` (no stats, no fills)."""
+        item = int(item)
+        for spec, cache in zip(self.tiers, self._caches):
+            if item in cache:
+                return spec.name
+        return ORIGIN
+
+    def annotate(self, items: Iterable[int]) -> dict[int, str]:
+        """Where each advised item would be served from today."""
+        return {int(item): self.locate(item) for item in items}
+
+    def tier_stats(self) -> list[dict]:
+        """Per-tier occupancy and hit accounting for /metrics and snapshots."""
+        return [
+            {
+                "tier": spec.name,
+                "policy": spec.policy,
+                "capacity": spec.capacity,
+                "items": len(cache),
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "evictions": cache.stats.evictions,
+                "hit_rate": cache.stats.hit_rate,
+            }
+            for spec, cache in zip(self.tiers, self._caches)
+        ]

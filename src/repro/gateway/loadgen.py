@@ -1,0 +1,346 @@
+"""Open-loop load generator: replay population workloads against a gateway.
+
+The simulators are *closed-loop*: the next request's timing depends on when
+the previous one finished, because client, network and server share one
+virtual timeline.  A live service faces *open-loop* traffic: sessions
+arrive concurrently and submit on their own schedules, indifferent to how
+fast the gateway answers.  This module replays any
+:class:`repro.workload.population.Population` (including the dynamic and
+trace-backed builders, via the workload registry) as N concurrent HTTP
+sessions against a running gateway and measures what the SLO cares about:
+
+* wall-clock decision latency per ``POST /v1/access`` round trip
+  (p50/p90/p99 from the recorded stream) and sustained decisions/s;
+* the gateway's aggregate serve accounting (hit / wait / miss), folded
+  from each response.
+
+Because each session's *planning* timeline is virtual (driven by the
+reported viewing times, not by wall clock), the hit rates the open-loop
+replay produces are directly comparable to a closed-loop
+:func:`repro.distsys.fleet.run_fleet` of the same seeded population over
+an unbounded uplink — the gateway sessions fold the identical arithmetic,
+so the two agree to the request (:func:`closed_loop_reference` builds the
+matching fleet; ``benchmarks/bench_gateway.py`` enforces the ≤ 2 pp
+criterion).
+
+Pacing: with ``time_scale == 0`` (default) every session submits its next
+report the moment the previous response lands — the saturation mode the
+throughput benchmark wants.  A positive ``time_scale`` sleeps
+``viewing_time * time_scale`` wall-clock seconds between a session's
+reports, turning the recorded virtual schedule into a real arrival
+process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.gateway.metrics import ReservoirQuantiles
+from repro.gateway.service import GatewayConfig, GatewayService
+from repro.workload.population import Population
+
+__all__ = [
+    "LoadgenResult",
+    "replay_population",
+    "run_gateway_bench",
+    "closed_loop_reference",
+]
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """What one open-loop replay measured."""
+
+    sessions: int
+    reports: int  # every POST /v1/access, warm starts included
+    requests: int  # scored accesses (hit + wait + miss)
+    hits: int
+    waits: int
+    misses: int
+    prefetches_advised: int
+    errors: int
+    elapsed_s: float
+    latency_p50_s: float
+    latency_p90_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    latency_max_s: float
+    mean_access_time: float  # virtual §2 access time, pooled
+
+    @property
+    def decisions_per_s(self) -> float:
+        return self.reports / self.elapsed_s if self.elapsed_s > 0 else float("nan")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else float("nan")
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    parts = line.decode("latin-1").split(maxsplit=2)
+    if len(parts) < 2:
+        raise ConnectionError(f"malformed status line {line!r}")
+    status = int(parts[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n"):
+            break
+        if not header:
+            raise ConnectionError("connection closed inside response headers")
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _post_json(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+    payload: dict,
+) -> tuple[int, dict]:
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            "Host: gateway\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    status, resp = await _read_response(reader)
+    return status, json.loads(resp) if resp else {}
+
+
+async def http_get(host: str, port: int, path: str) -> tuple[int, bytes]:
+    """One-shot GET against a gateway (tests and smoke checks)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\nHost: gateway\r\nConnection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class _Tally:
+    """Mutable accumulator the session coroutines fold into."""
+
+    def __init__(self, latency_seed: int = 0) -> None:
+        self.reports = 0
+        self.hits = 0
+        self.waits = 0
+        self.misses = 0
+        self.prefetches = 0
+        self.errors = 0
+        self.access_time_sum = 0.0
+        self.latency = ReservoirQuantiles(8192, seed=latency_seed)
+
+
+async def _replay_session(
+    host: str,
+    port: int,
+    session_id: str,
+    events: list[tuple[int, float]],
+    tally: _Tally,
+    *,
+    time_scale: float,
+    semaphore: asyncio.Semaphore,
+) -> None:
+    async with semaphore:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for item, viewing in events:
+                payload = {
+                    "session": session_id,
+                    "item": int(item),
+                    "viewing_time": float(viewing),
+                }
+                started = time.perf_counter()
+                status, advice = await _post_json(reader, writer, "/v1/access", payload)
+                tally.latency.record(time.perf_counter() - started)
+                tally.reports += 1
+                if status != 200:
+                    tally.errors += 1
+                    raise RuntimeError(
+                        f"gateway returned {status} for {payload}: {advice}"
+                    )
+                served = advice.get("served")
+                if served == "hit":
+                    tally.hits += 1
+                elif served == "wait":
+                    tally.waits += 1
+                elif served == "miss":
+                    tally.misses += 1
+                if served != "warm":
+                    tally.access_time_sum += float(advice.get("access_time", 0.0))
+                tally.prefetches += len(advice.get("prefetch", ()))
+                if time_scale > 0.0:
+                    await asyncio.sleep(float(viewing) * time_scale)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+def _session_events(workload) -> list[tuple[int, float]]:
+    """A client's report stream: warm start first, then the trace."""
+    events = [(int(workload.initial_item), float(workload.initial_viewing_time))]
+    events.extend(
+        (int(item), float(view))
+        for item, view in zip(workload.trace.items, workload.trace.viewing_times)
+    )
+    return events
+
+
+async def replay_population(
+    host: str,
+    port: int,
+    population: Population,
+    *,
+    time_scale: float = 0.0,
+    max_concurrency: int = 64,
+    session_prefix: str = "client-",
+) -> LoadgenResult:
+    """Replay every client of ``population`` as one concurrent HTTP session."""
+    if time_scale < 0:
+        raise ValueError("time_scale must be non-negative")
+    if max_concurrency < 1:
+        raise ValueError("max_concurrency must be positive")
+    tally = _Tally()
+    semaphore = asyncio.Semaphore(max_concurrency)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _replay_session(
+                host,
+                port,
+                f"{session_prefix}{workload.client_id}",
+                _session_events(workload),
+                tally,
+                time_scale=time_scale,
+                semaphore=semaphore,
+            )
+            for workload in population.clients
+        )
+    )
+    elapsed = time.perf_counter() - started
+    scored = tally.hits + tally.waits + tally.misses
+    summary = tally.latency.summary()
+    return LoadgenResult(
+        sessions=population.n_clients,
+        reports=tally.reports,
+        requests=scored,
+        hits=tally.hits,
+        waits=tally.waits,
+        misses=tally.misses,
+        prefetches_advised=tally.prefetches,
+        errors=tally.errors,
+        elapsed_s=elapsed,
+        latency_p50_s=summary["p50"],
+        latency_p90_s=summary["p90"],
+        latency_p99_s=summary["p99"],
+        latency_mean_s=summary["mean"],
+        latency_max_s=summary["max"],
+        mean_access_time=(
+            tally.access_time_sum / scored if scored else float("nan")
+        ),
+    )
+
+
+async def _bench_async(
+    population: Population,
+    config: GatewayConfig,
+    *,
+    time_scale: float,
+    max_concurrency: int,
+    host: str,
+) -> tuple[LoadgenResult, dict]:
+    service = GatewayService(config)
+    server = await service.start(host, 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        result = await replay_population(
+            host,
+            port,
+            population,
+            time_scale=time_scale,
+            max_concurrency=max_concurrency,
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+    return result, service.snapshot()
+
+
+def run_gateway_bench(
+    population: Population,
+    config: GatewayConfig,
+    *,
+    time_scale: float = 0.0,
+    max_concurrency: int = 64,
+    host: str = "127.0.0.1",
+) -> tuple[LoadgenResult, dict]:
+    """Start an in-process gateway, replay ``population``, return the numbers.
+
+    The server and every generator session share one event loop, so the
+    measured latency includes real socket framing and JSON marshalling but
+    no cross-process noise — the single-process SLO figure the acceptance
+    criterion asks for.
+    """
+    return asyncio.run(
+        _bench_async(
+            population,
+            config,
+            time_scale=time_scale,
+            max_concurrency=max_concurrency,
+            host=host,
+        )
+    )
+
+
+def closed_loop_reference(population: Population, config: GatewayConfig):
+    """The matching closed-loop fleet for an open-loop gateway replay.
+
+    Same population, same planner pipeline, same per-client online
+    predictor, over an *unbounded* uplink — under which fleet clients are
+    independent and fold exactly the per-session arithmetic the gateway
+    folds, so the aggregate hit rate is the apples-to-apples closed-loop
+    reference for :func:`replay_population`.
+    """
+    from repro.distsys.fleet import FleetConfig, run_fleet
+
+    session = config.session
+    fleet_config = FleetConfig(
+        cache_capacity=session.cache_capacity,
+        strategy=session.strategy,
+        sub_arbitration=session.sub_arbitration,
+        skp_variant=session.skp_variant,
+        concurrency=None,
+        latency=config.latency,
+        bandwidth=config.bandwidth,
+        model_source="online",
+        online_predictor=session.predictor,
+    )
+    return run_fleet(population, fleet_config)

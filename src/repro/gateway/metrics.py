@@ -1,0 +1,151 @@
+"""Streaming service metrics: counters plus bounded-memory latency quantiles.
+
+The gateway's SLO is stated in percentiles (p50/p99 decision latency), and a
+service that may run for days cannot keep every sample.  A
+:class:`ReservoirQuantiles` holds a fixed-size uniform sample of the stream
+(Vitter's Algorithm R): each new observation replaces a random slot with
+probability ``capacity / count``, so at any instant the reservoir is an
+unbiased sample of everything seen so far and quantile queries sort at most
+``capacity`` floats.  The replacement draws come from a *seeded*
+``random.Random``, so a replayed run reports identical quantiles —
+the same determinism contract the simulators keep.
+
+:class:`GatewayMetrics` is the registry behind ``GET /metrics``: named
+monotonic counters and named quantile streams, rendered in the Prometheus
+text exposition format so any scraper (or ``curl``) can read it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+__all__ = ["ReservoirQuantiles", "GatewayMetrics"]
+
+
+class ReservoirQuantiles:
+    """Uniform reservoir sample of a value stream with summary accessors."""
+
+    __slots__ = ("capacity", "count", "total", "min", "max", "_values", "_rng")
+
+    def __init__(self, capacity: int = 4096, *, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._values: list[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the reservoir (nearest-rank on the sample)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._values:
+            return float("nan")
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
+        """Several quantiles from one sort of the reservoir."""
+        qs = list(qs)
+        if not self._values:
+            return {q: float("nan") for q in qs}
+        ordered = sorted(self._values)
+        top = len(ordered) - 1
+        return {q: ordered[min(top, max(0, round(q * top)))] for q in qs}
+
+    def summary(self) -> dict[str, float]:
+        qs = self.quantiles((0.5, 0.9, 0.99))
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": qs[0.5],
+            "p90": qs[0.9],
+            "p99": qs[0.99],
+        }
+
+
+#: Quantiles exported per stream on /metrics.
+_EXPORTED_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class GatewayMetrics:
+    """Named counters and latency streams with Prometheus text rendering."""
+
+    def __init__(self, *, reservoir_capacity: int = 4096, seed: int = 0) -> None:
+        self._counters: dict[str, float] = {}
+        self._streams: dict[str, ReservoirQuantiles] = {}
+        self._reservoir_capacity = int(reservoir_capacity)
+        self._seed = int(seed)
+
+    # -- recording -------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        stream = self._streams.get(name)
+        if stream is None:
+            # Derive the stream seed from its name so adding a stream never
+            # perturbs another stream's replacement draws.
+            stream = self._streams[name] = ReservoirQuantiles(
+                self._reservoir_capacity,
+                seed=hash((self._seed, name)) & 0xFFFFFFFF,
+            )
+        stream.record(value)
+
+    # -- reading ---------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def stream(self, name: str) -> ReservoirQuantiles | None:
+        return self._streams.get(name)
+
+    def snapshot(self) -> dict:
+        """Counters plus per-stream summaries, JSON-friendly."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "streams": {
+                name: stream.summary()
+                for name, stream in sorted(self._streams.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Prometheus text exposition of every counter and stream."""
+        lines: list[str] = []
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value:g}")
+        for name, stream in sorted(self._streams.items()):
+            lines.append(f"# TYPE {name} summary")
+            for q, value in stream.quantiles(_EXPORTED_QUANTILES).items():
+                rendered = f"{value:.9g}" if value == value else "NaN"
+                lines.append(f'{name}{{quantile="{q:g}"}} {rendered}')
+            lines.append(f"{name}_sum {stream.total:.9g}")
+            lines.append(f"{name}_count {stream.count}")
+        return "\n".join(lines) + "\n"

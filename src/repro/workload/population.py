@@ -38,6 +38,7 @@ __all__ = [
     "Population",
     "derive_seed",
     "markov_population",
+    "trace_population",
     "zipf_mixture_population",
 ]
 
@@ -201,6 +202,90 @@ def zipf_mixture_population(
                 initial_viewing_time=float(viewing[0]),
                 start_time=start,
                 probabilities=planner_view,
+            )
+        )
+    return Population(sizes=sizes, clients=tuple(clients))
+
+
+def trace_population(
+    n_clients: int,
+    n_items: int,
+    requests: int,
+    *,
+    path: str | None = None,
+    trace: Trace | None = None,
+    size_range: tuple[float, float] = (1.0, 30.0),
+    stagger: float = 0.0,
+    seed: int = 0,
+) -> Population:
+    """Fleet workload replaying a recorded access log (``repro.workload.trace``).
+
+    The trace — loaded from ``path`` or passed directly — is cut into
+    ``n_clients`` contiguous slices of ``requests + 1`` accesses (the first
+    access of each slice is the client's warm start); a trace shorter than
+    the total demand wraps around, so small recorded logs can still drive
+    large replay fleets.  ``n_items == 0`` infers the catalog from the
+    trace itself (the ``gateway bench --source trace:<path>`` path).
+
+    The planner's access model is *mined from the log*: one shared
+    first-order transition matrix over consecutive trace pairs (empirical
+    row-normalised counts — the PPE-style "derive the model from observed
+    access patterns" loop), so replays plan from what the log actually did
+    rather than from an assumed distribution.  Note the matrix is dense
+    ``n_items²``; recorded logs with very large catalogs should prefer the
+    online ``model_source`` path instead.
+    """
+    if (path is None) == (trace is None):
+        raise ValueError("set exactly one of path / trace")
+    if trace is None:
+        trace = Trace.load(path)
+    if len(trace) < 2:
+        raise ValueError("trace must contain at least two accesses")
+    if n_items in (0, None):
+        n_items = trace.n_items
+    n_items = int(n_items)
+    if trace.n_items > n_items:
+        raise ValueError(
+            f"trace references item {trace.n_items - 1} but the catalog "
+            f"holds only {n_items} items"
+        )
+    _check_common(n_clients, n_items, requests, stagger)
+    sizes = _catalog_sizes(n_items, size_range, seed)
+
+    # Shared empirical model: first-order transition counts over the log.
+    items = trace.items
+    counts = np.zeros((n_items, n_items), dtype=np.float64)
+    np.add.at(counts, (items[:-1], items[1:]), 1.0)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    transition = np.divide(
+        counts, row_sums, out=np.zeros_like(counts), where=row_sums > 0
+    )
+
+    needed = int(n_clients) * (int(requests) + 1)
+    if len(trace) < needed:  # wrap the log so every client gets a full slice
+        reps = -(-needed // len(trace))
+        items_all = np.tile(trace.items, reps)[:needed]
+        views_all = np.tile(trace.viewing_times, reps)[:needed]
+    else:
+        items_all = trace.items[:needed]
+        views_all = trace.viewing_times[:needed]
+
+    clients = []
+    per_client = int(requests) + 1
+    for cid in range(int(n_clients)):
+        lo = cid * per_client
+        chunk_items = items_all[lo:lo + per_client]
+        chunk_views = views_all[lo:lo + per_client]
+        rng = np.random.default_rng(derive_seed(seed, client=cid, role="start"))
+        start = float(rng.uniform(0.0, stagger)) if stagger > 0 else 0.0
+        clients.append(
+            ClientWorkload(
+                client_id=cid,
+                trace=Trace(chunk_items[1:], chunk_views[1:]),
+                initial_item=int(chunk_items[0]),
+                initial_viewing_time=float(chunk_views[0]),
+                start_time=start,
+                transition=transition,
             )
         )
     return Population(sizes=sizes, clients=tuple(clients))

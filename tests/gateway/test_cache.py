@@ -1,0 +1,65 @@
+"""Tests for the gateway's mirrored multi-tier cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.cache import GatewayCacheHierarchy, TierSpec
+
+
+def _hierarchy(*tiers):
+    return GatewayCacheHierarchy(tiers, np.ones(16), seed=0)
+
+
+class TestTierSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec("", "lru", 4)
+        with pytest.raises(ValueError):
+            TierSpec("origin", "lru", 4)
+        with pytest.raises(ValueError):
+            TierSpec("edge", "lru", -1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            _hierarchy(TierSpec("edge", "lru", 4), TierSpec("edge", "lru", 8))
+
+
+class TestGatewayCacheHierarchy:
+    def test_cold_miss_then_hit(self):
+        h = _hierarchy(TierSpec("edge", "lru", 4))
+        assert h.observe_access(3) == "origin"  # cold: admitted on the way back
+        assert h.observe_access(3) == "edge"
+
+    def test_store_and_forward_fills_missing_tiers(self):
+        # A hit at the mid tier refills the edge tier above it.
+        h = _hierarchy(TierSpec("edge", "lru", 1), TierSpec("mid", "lru", 8))
+        h.observe_access(1)  # cold fill of both tiers
+        h.observe_access(2)  # evicts 1 from the 1-slot edge; mid keeps both
+        assert h.locate(1) == "mid"
+        assert h.observe_access(1) == "mid"  # served by mid...
+        assert h.locate(1) == "edge"  # ...and re-admitted at the edge
+
+    def test_zero_capacity_tier_is_pass_through(self):
+        h = _hierarchy(TierSpec("edge", "lru", 0), TierSpec("mid", "lru", 4))
+        assert len(h) == 1
+        h.observe_access(5)
+        assert h.locate(5) == "mid"
+
+    def test_annotate_reads_without_mutating(self):
+        h = _hierarchy(TierSpec("edge", "lru", 4))
+        h.observe_access(1)
+        before = h.tier_stats()[0]
+        assert h.annotate([1, 2]) == {1: "edge", 2: "origin"}
+        after = h.tier_stats()[0]
+        assert (before["hits"], before["misses"]) == (after["hits"], after["misses"])
+
+    def test_tier_stats_accounting(self):
+        h = _hierarchy(TierSpec("edge", "lru", 4))
+        h.observe_access(1)
+        h.observe_access(1)
+        h.observe_access(2)
+        stats = h.tier_stats()[0]
+        assert stats["tier"] == "edge"
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["items"] == 2

@@ -1,0 +1,82 @@
+"""Tests for the gateway's streaming metrics (reservoir quantiles, counters)."""
+
+import random
+
+import pytest
+
+from repro.gateway.metrics import GatewayMetrics, ReservoirQuantiles
+
+
+class TestReservoirQuantiles:
+    def test_exact_below_capacity(self):
+        q = ReservoirQuantiles(capacity=100, seed=1)
+        for v in range(1, 101):
+            q.record(float(v))
+        assert q.count == 100
+        assert q.quantile(0.0) == 1.0
+        assert q.quantile(1.0) == 100.0
+        assert q.quantile(0.5) in (50.0, 51.0)  # nearest-rank on 100 samples
+
+    def test_seeded_determinism_over_capacity(self):
+        def fill(seed):
+            q = ReservoirQuantiles(capacity=64, seed=seed)
+            rng = random.Random(7)
+            for _ in range(5000):
+                q.record(rng.random())
+            return q.summary()
+
+        assert fill(3) == fill(3)
+
+    def test_sampling_tracks_distribution(self):
+        # 10k uniform(0,1) samples through a 1k reservoir: the sampled
+        # quantiles stay near the true ones (Algorithm R is unbiased).
+        q = ReservoirQuantiles(capacity=1000, seed=0)
+        rng = random.Random(123)
+        for _ in range(10_000):
+            q.record(rng.random())
+        assert q.count == 10_000
+        assert abs(q.quantile(0.5) - 0.5) < 0.06
+        assert abs(q.quantile(0.99) - 0.99) < 0.02
+
+    def test_empty_summary_is_nan(self):
+        import math
+
+        s = ReservoirQuantiles().summary()
+        assert s["count"] == 0
+        assert math.isnan(s["p50"])
+
+    def test_rejects_bad_capacity_and_quantile(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(capacity=0)
+        q = ReservoirQuantiles()
+        q.record(1.0)
+        with pytest.raises(ValueError):
+            q.quantile(1.5)
+
+
+class TestGatewayMetrics:
+    def test_counters_and_streams(self):
+        m = GatewayMetrics(seed=0)
+        m.inc("requests_total")
+        m.inc("requests_total", 2)
+        assert m.counter("requests_total") == 3
+        m.observe("latency_seconds", 0.25)
+        assert m.stream("latency_seconds").count == 1
+
+    def test_render_is_prometheus_text(self):
+        m = GatewayMetrics(seed=0)
+        m.inc("gateway_reports_total")
+        m.observe("gateway_decision_latency_seconds", 0.001)
+        text = m.render()
+        assert "# TYPE gateway_reports_total counter" in text
+        assert "gateway_reports_total 1" in text
+        assert 'gateway_decision_latency_seconds{quantile="0.5"}' in text
+        assert "gateway_decision_latency_seconds_count 1" in text
+
+    def test_snapshot_roundtrips_json(self):
+        import json
+
+        m = GatewayMetrics(seed=0)
+        m.inc("a_total")
+        m.observe("b_seconds", 1.0)
+        json.dumps(m.snapshot())  # must be JSON-serialisable

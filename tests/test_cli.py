@@ -290,3 +290,74 @@ class TestExperimentCLI:
             main(["experiment", "run", "--spec-file", str(bad)])
         assert excinfo.value.code == 2
         assert "invalid spec file" in capsys.readouterr().err
+
+
+class TestGatewayCLI:
+    def test_bench_zipf_mix(self, capsys):
+        code = main(
+            [
+                "gateway", "bench",
+                "--clients", "4",
+                "--requests", "30",
+                "--catalog", "30",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decisions/s" in out
+        assert "closed-loop reference" in out
+        assert "gap 0.00pp" in out  # unbounded uplink: exact agreement
+
+    def test_bench_trace_source_infers_catalog(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.workload.trace import Trace
+
+        rng = np.random.default_rng(0)
+        path = tmp_path / "log.csv"
+        Trace(
+            rng.integers(0, 15, size=200), rng.uniform(0.5, 2.0, size=200)
+        ).save(path)
+        code = main(
+            [
+                "gateway", "bench",
+                "--source", f"trace:{path}",
+                "--clients", "3",
+                "--requests", "20",
+                "--catalog", "0",
+                "--no-closed-loop",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "catalog 15" in out
+        assert "closed-loop" not in out
+
+    def test_bench_missing_trace_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "bench", "--source", "trace:/no/such.csv"])
+        assert excinfo.value.code == 2
+
+    def test_bench_malformed_trace_file(self, capsys, tmp_path):
+        bad = tmp_path / "notatrace.csv"
+        bad.write_text("item\n3\n7\n")  # missing the viewing_time column
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "bench", "--source", f"trace:{bad}"])
+        assert excinfo.value.code == 2
+        assert "not a trace file" in capsys.readouterr().err
+
+    def test_bench_unknown_source(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "bench", "--source", "warp-drive"])
+        assert excinfo.value.code == 2
+
+    def test_bench_unknown_pipeline(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "bench", "--policy", "no-such"])
+        assert excinfo.value.code == 2
+
+    def test_bench_unknown_predictor(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "bench", "--predictor", "no-such"])
+        assert excinfo.value.code == 2

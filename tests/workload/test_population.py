@@ -147,3 +147,86 @@ class TestPopulation:
     def test_needs_clients(self):
         with pytest.raises(ValueError):
             Population(sizes=np.ones(3), clients=())
+
+
+class TestTracePopulation:
+    def trace(self, n=60, n_items=12, seed=0):
+        rng = np.random.default_rng(seed)
+        return Trace(
+            rng.integers(0, n_items, size=n), rng.uniform(0.5, 3.0, size=n)
+        )
+
+    def test_slices_trace_across_clients(self):
+        from repro.workload.population import trace_population
+
+        tr = self.trace(n=60)
+        pop = trace_population(4, 12, 10, trace=tr, seed=1)
+        assert pop.n_clients == 4 and pop.n_items == 12
+        # Client 0's slice is the head of the log: warm start + 10 requests.
+        c0 = pop.clients[0]
+        assert c0.initial_item == int(tr.items[0])
+        np.testing.assert_array_equal(c0.trace.items, tr.items[1:11])
+        # Client 1 continues where client 0's slice ended.
+        assert pop.clients[1].initial_item == int(tr.items[11])
+
+    def test_infers_catalog_from_log(self):
+        from repro.workload.population import trace_population
+
+        tr = self.trace(n_items=9)
+        pop = trace_population(2, 0, 5, trace=tr)
+        assert pop.n_items == tr.n_items
+
+    def test_short_log_wraps(self):
+        from repro.workload.population import trace_population
+
+        tr = self.trace(n=10)
+        pop = trace_population(5, 12, 6, trace=tr, seed=0)  # needs 35 > 10
+        assert pop.n_clients == 5
+        for c in pop.clients:
+            assert len(c.trace) == 6
+        # wrap-around: client 1's slice starts at log position 7 % 10
+        assert pop.clients[1].initial_item == int(tr.items[7])
+
+    def test_shared_empirical_transition_model(self):
+        from repro.workload.population import trace_population
+
+        tr = Trace(np.array([0, 1, 0, 1, 2]), np.ones(5))
+        pop = trace_population(2, 3, 1, trace=tr)
+        t = pop.clients[0].transition
+        np.testing.assert_array_equal(t, pop.clients[1].transition)  # shared model
+        np.testing.assert_allclose(t[0], [0.0, 1.0, 0.0])  # 0 -> 1 always
+        np.testing.assert_allclose(t[1], [0.5, 0.0, 0.5])  # 1 -> {0, 2}
+        np.testing.assert_allclose(t[2], 0.0)  # unseen continuation row
+
+    def test_loads_from_path(self, tmp_path):
+        from repro.workload.population import trace_population
+
+        tr = self.trace()
+        path = tmp_path / "log.csv"
+        tr.save(path)
+        a = trace_population(3, 12, 8, path=str(path), seed=2)
+        b = trace_population(3, 12, 8, trace=tr, seed=2)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_array_equal(ca.trace.items, cb.trace.items)
+
+    def test_validation(self):
+        from repro.workload.population import trace_population
+
+        tr = self.trace(n_items=12)
+        with pytest.raises(ValueError):
+            trace_population(2, 12, 5)  # neither path nor trace
+        with pytest.raises(ValueError):
+            trace_population(2, 12, 5, trace=tr, path="x.csv")  # both
+        with pytest.raises(ValueError):
+            trace_population(2, 4, 5, trace=tr)  # catalog smaller than log
+        with pytest.raises(ValueError):
+            trace_population(
+                2, 12, 5, trace=Trace(np.array([0]), np.array([1.0]))
+            )
+
+    def test_registered_as_workload_source(self):
+        from repro.experiments.registry import WORKLOADS
+
+        assert "trace" in WORKLOADS
+        pop = WORKLOADS.create("trace", 2, 12, 5, trace=self.trace(), seed=3)
+        assert pop.n_clients == 2
