@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Benchmark the mega-fleet engines: event vs cohort vs hybrid.
+
+Sweeps modeled fleet size across the three engines on one shared
+*exchangeable* Zipf workload — every client draws from the same catalog
+popularity (``overlap=1.0``, a fixed exponent) on a coarse ``v_quantum``
+grid, so plan states recur across clients and the cohort memo carries the
+load.  That is the mega-fleet regime the cohort kernel targets; with
+per-client exponents every client is its own cohort and the memo can only
+help within a trace (see docs/scale.md for the envelope):
+
+* ``event``  — the exact event loop; the baseline.  Run only up to 10^3
+  clients: its cost is linear in simulated requests.
+* ``cohort`` — the struct-of-arrays fold with batched planner solves.
+  Bit-exact with the event engine on an unbounded uplink; the interesting
+  number is its events/s multiple over the event engine (acceptance floor:
+  >= 10x at 10^3 clients).
+* ``hybrid`` — K simulated clients plus the Che/M/G/c closure
+  (docs/scale.md).  Cost is ~flat in modeled size, which is what lets the
+  sweep end at 10^6 modeled clients; where an event row exists at the same
+  size, the relative mean-T error is recorded next to the throughput.
+
+Artifacts: ``results/BENCH_megafleet.json`` (+ ``bench_megafleet.csv`` /
+``.txt``).  A non-default invocation (the CI smoke gate) records under the
+``megafleet_smoke`` name instead and never clobbers the canonical sweep.
+
+Run:  python benchmarks/bench_megafleet.py [--requests N] [--sizes ...]
+(reduced scale by default; REPRO_FULL=1 adds the 10^5-client cohort row)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import FULL, emit, emit_bench_json, results_path, scale
+
+SIZES = (100, 1_000, 10_000, 100_000, 1_000_000)
+EVENT_MAX = 1_000          # event engine: full fidelity, linear cost
+COHORT_MAX_DEFAULT = 10_000  # REPRO_FULL extends this to 10^5
+
+
+def _engines_for(n_clients: int, cohort_max: int) -> tuple[str, ...]:
+    engines = []
+    if n_clients <= EVENT_MAX:
+        engines.append("event")
+    if n_clients <= cohort_max:
+        engines.append("cohort")
+    engines.append("hybrid")
+    return tuple(engines)
+
+
+def main() -> int:
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.distsys.megafleet import run_hybrid_fleet
+    from repro.viz.csvout import write_rows
+    from repro.workload.population import zipf_mixture_population
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=100,
+                        help="requests per (simulated) client")
+    parser.add_argument("--catalog", type=int, default=100)
+    parser.add_argument("--hybrid-sample", type=int, default=64)
+    parser.add_argument("--v-quantum", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="modeled fleet sizes (default: 1e2..1e6)")
+    parser.add_argument("--min-clients-per-s", type=float, default=None,
+                        help="exit non-zero if any point models fewer "
+                             "clients per second (the CI smoke gate)")
+    args = parser.parse_args()
+
+    cohort_max = scale(COHORT_MAX_DEFAULT, 100_000)
+    sizes = tuple(args.sizes) if args.sizes else SIZES
+
+    def build(n_clients: int, client_ids=None):
+        return zipf_mixture_population(
+            n_clients, args.catalog, args.requests,
+            overlap=1.0, exponent_range=(1.0, 1.0),  # exchangeable fleet
+            v_quantum=args.v_quantum, stagger=50.0,
+            seed=args.seed, client_ids=client_ids,
+        )
+
+    # Unbounded uplink: the regime where the cohort fold is bit-exact, so
+    # event-vs-cohort rows measure pure engine cost at identical output.
+    base = FleetConfig(cache_capacity=8, strategy="skp", concurrency=None,
+                       hybrid_sample=args.hybrid_sample)
+
+    header = ["engine", "n_clients", "requests_modeled", "requests_simulated",
+              "elapsed_s", "clients_per_s", "events_per_s",
+              "mean_access_time", "hit_rate", "speedup_vs_event",
+              "t_err_vs_event"]
+    bench_rows: list[dict] = []
+    csv_rows: list[list[str]] = []
+    lines = [
+        f"megafleet benchmark: catalog {args.catalog}, {args.requests} "
+        f"requests/client, unbounded uplink, skp+pr, "
+        f"v_quantum {args.v_quantum}, K={args.hybrid_sample}",
+        "",
+        "engine   n_clients   elapsed   clients/s    events/s    mean T"
+        "   hit    vs event",
+    ]
+    event_baseline: dict[int, dict] = {}
+    for n_clients in sizes:
+        for engine in _engines_for(n_clients, cohort_max):
+            started = time.perf_counter()
+            if engine == "hybrid":
+                res = run_hybrid_fleet(
+                    lambda ids: build(n_clients, ids), n_clients, base,
+                )
+                simulated = sum(s.requests for s in res.client_stats)
+            else:
+                from dataclasses import replace
+
+                res = run_fleet(build(n_clients), replace(base, engine=engine))
+                simulated = n_clients * args.requests
+            elapsed = time.perf_counter() - started
+            baseline = event_baseline.get(n_clients)
+            speedup = (
+                round(res.events / elapsed / baseline["events_per_s"], 2)
+                if baseline is not None and engine == "cohort" else None
+            )
+            t_err = (
+                round(abs(res.aggregate.mean_access_time
+                          - baseline["mean_access_time"])
+                      / baseline["mean_access_time"], 6)
+                if baseline is not None and engine != "event" else None
+            )
+            row = {
+                "engine": engine,
+                "n_clients": n_clients,
+                "requests_modeled": n_clients * args.requests,
+                "requests_simulated": simulated,
+                "elapsed_s": round(elapsed, 3),
+                "clients_per_s": round(n_clients / elapsed, 1),
+                "events_per_s": round(res.events / elapsed, 1),
+                "mean_access_time": round(res.aggregate.mean_access_time, 4),
+                "hit_rate": round(res.aggregate.hit_rate, 4),
+                "speedup_vs_event": speedup,
+                "t_err_vs_event": t_err,
+            }
+            if engine == "event":
+                event_baseline[n_clients] = {
+                    "events_per_s": res.events / elapsed,
+                    "mean_access_time": res.aggregate.mean_access_time,
+                }
+            bench_rows.append(row)
+            csv_rows.append([str(row[k]) for k in header])
+            extra = (f"{speedup:.1f}x" if speedup is not None
+                     else f"dT {t_err:.2%}" if t_err is not None else "-")
+            lines.append(
+                f"{engine:7s}  {n_clients:9d}  {elapsed:7.2f}s  "
+                f"{n_clients / elapsed:9.0f}  {res.events / elapsed:10.0f}  "
+                f"{res.aggregate.mean_access_time:8.3f}  "
+                f"{res.aggregate.hit_rate:.3f}  {extra}"
+            )
+
+    canonical = sizes == SIZES and all(
+        getattr(args, name.replace("-", "_")) == parser.get_default(name.replace("-", "_"))
+        for name in ("requests", "catalog", "hybrid_sample", "v_quantum", "seed")
+    )
+    if canonical:
+        write_rows(results_path("bench_megafleet.csv"), header, csv_rows)
+        emit("bench_megafleet.txt", "\n".join(lines))
+    else:
+        print()
+        print("\n".join(lines))
+    emit_bench_json(
+        "megafleet" if canonical else "megafleet_smoke",
+        params={
+            "catalog": args.catalog,
+            "requests_per_client": args.requests,
+            "hybrid_sample": args.hybrid_sample,
+            "v_quantum": args.v_quantum,
+            "seed": args.seed,
+            "sizes": list(sizes),
+            "cohort_max": cohort_max,
+            "full": FULL,
+        },
+        rows=bench_rows,
+    )
+    if canonical:
+        print(f"\nwrote {results_path('bench_megafleet.csv')}")
+    if args.min_clients_per_s is not None:
+        slowest = min(row["clients_per_s"] for row in bench_rows)
+        if slowest < args.min_clients_per_s:
+            print(
+                f"PERF REGRESSION: slowest point modeled {slowest:.0f} "
+                f"clients/s < floor {args.min_clients_per_s:.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perf floor ok: slowest point {slowest:.0f} clients/s "
+              f">= {args.min_clients_per_s:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

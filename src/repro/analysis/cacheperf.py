@@ -41,8 +41,12 @@ __all__ = [
     "che_hit_ratios",
     "che_cache_hit_ratio",
     "tier_hit_ratios",
+    "miss_stream_pdf",
     "empirical_pdf",
     "che_edge_reference",
+    "erlang_c",
+    "mgc_waiting_time",
+    "service_moments",
     "CheTierComparison",
     "CheValidationReport",
     "che_validation_report",
@@ -131,6 +135,26 @@ def tier_hit_ratios(pdf, cache_sizes: Sequence[int]) -> list[float]:
     return ratios
 
 
+def miss_stream_pdf(pdf, cache_size: int) -> tuple[float, np.ndarray]:
+    """One tier's miss-stream closure: ``(hit_ratio, renormalised miss pdf)``.
+
+    The single-step building block of :func:`tier_hit_ratios`, exposed so
+    the hybrid fleet engine (:mod:`repro.distsys.megafleet`) can close the
+    shared server-cache tier analytically: feed it the pdf of the demand
+    entering the tier, get the Che hit ratio plus the popularity profile of
+    what falls through to the backing store.  ``cache_size <= 0`` is a
+    pass-through tier (ratio 0, demand forwarded unchanged).
+    """
+    p = _check_pdf(pdf)
+    if int(cache_size) < 1:
+        return 0.0, p
+    per_item = che_hit_ratios(p, int(cache_size))
+    ratio = min(1.0, float(np.dot(p, per_item)))
+    missed = p * (1.0 - per_item)
+    total = float(missed.sum())
+    return ratio, (missed / total if total > 0 else missed)
+
+
 def empirical_pdf(items, n_items: int) -> np.ndarray:
     """Empirical request distribution of a stream of item ids.
 
@@ -184,6 +208,88 @@ def che_edge_reference(population, result) -> float:
         )
         total += items.size
     return weighted / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Uplink contention: M/G/c waiting-time correction (Erlang-C / Allen–Cunneen)
+# ---------------------------------------------------------------------------
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C delay probability ``C(c, a)`` of an M/M/c queue.
+
+    ``offered_load`` is in Erlangs (``a = λ·E[S]``).  Computed with the
+    numerically stable recurrence for the Erlang-B blocking probability
+    (``B(0)=1``, ``B(k) = a·B(k-1) / (k + a·B(k-1))``) and the standard
+    conversion ``C = B / (1 - ρ(1 - B))``.  Returns 1.0 at or beyond
+    saturation (``a >= c``): every arrival waits.
+    """
+    c = int(servers)
+    a = float(offered_load)
+    if c < 1:
+        raise ValueError("servers must be positive")
+    if a < 0 or not np.isfinite(a):
+        raise ValueError("offered_load must be finite and non-negative")
+    if a == 0.0:
+        return 0.0
+    if a >= c:
+        return 1.0
+    b = 1.0
+    for k in range(1, c + 1):
+        b = a * b / (k + a * b)
+    rho = a / c
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def mgc_waiting_time(
+    arrival_rate: float,
+    servers: int,
+    mean_service: float,
+    service_scv: float = 1.0,
+) -> float:
+    """Mean queueing delay ``W_q`` of an M/G/c queue (Allen–Cunneen).
+
+    The standard two-moment approximation: the M/M/c Erlang-C wait scaled
+    by ``(1 + SCV)/2``, where ``service_scv`` is the squared coefficient of
+    variation of the service time.  This is the uplink contention model the
+    megafleet engines use — transfer *service* is deterministic per item
+    (duration + penalty), but the item mix makes the pooled service time a
+    general distribution.  Returns ``inf`` at or beyond saturation.
+    """
+    lam = float(arrival_rate)
+    c = int(servers)
+    s = float(mean_service)
+    scv = float(service_scv)
+    if lam < 0 or s < 0 or scv < 0:
+        raise ValueError("arrival_rate, mean_service and service_scv must be >= 0")
+    if lam == 0.0 or s == 0.0:
+        return 0.0
+    a = lam * s  # offered Erlangs
+    if a >= c:
+        return float("inf")
+    wait_mmc = erlang_c(c, a) * s / (c - a)
+    return wait_mmc * (1.0 + scv) / 2.0
+
+
+def service_moments(pdf, service_times) -> tuple[float, float]:
+    """``(mean, SCV)`` of the uplink service time under an item pdf.
+
+    Feeds :func:`mgc_waiting_time` with the two moments of the pooled
+    service-time distribution: per-item transfer durations (plus any
+    backing-store penalty the caller folded in) weighted by the probability
+    each item appears on the uplink.
+    """
+    p = _check_pdf(pdf)
+    s = np.asarray(service_times, dtype=np.float64)
+    if s.shape != p.shape:
+        raise ValueError("service_times must align with the pdf")
+    if np.any(s < 0) or not np.all(np.isfinite(s)):
+        raise ValueError("service_times must be finite and non-negative")
+    mean = float(np.dot(p, s))
+    second = float(np.dot(p, s * s))
+    if mean <= 0:
+        return 0.0, 0.0
+    variance = max(0.0, second - mean * mean)
+    return mean, variance / (mean * mean)
 
 
 # ---------------------------------------------------------------------------

@@ -141,7 +141,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
     return 0
 
 
-def _population_from_args(args: argparse.Namespace):
+def _population_from_args(args: argparse.Namespace, client_ids=None):
     """Validate the shared fleet/topology population options and build one.
 
     Both subcommands expose the same workload surface (--source, --clients,
@@ -173,11 +173,16 @@ def _population_from_args(args: argparse.Namespace):
             f"markov-pop supports --drift {'/'.join(MARKOV_DYNAMICS_KINDS)}"
         )
     dynamics = DynamicsConfig(kind=args.drift, n_regimes=args.drift_regimes)
-    common = dict(stagger=args.stagger, seed=args.seed, dynamics=dynamics)
+    common = dict(
+        stagger=args.stagger, seed=args.seed, dynamics=dynamics,
+        client_ids=client_ids,
+    )
     if args.source == "zipf-mix":
         dyn = WORKLOADS.create(
             "zipf-mix:dynamic", args.clients, args.catalog, args.requests,
-            overlap=args.overlap, **common,
+            overlap=args.overlap,
+            v_quantum=getattr(args, "v_quantum", 0.0),
+            **common,
         )
     else:
         dyn = WORKLOADS.create(
@@ -207,10 +212,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.distsys.fleet import FleetConfig, run_fleet
     from repro.experiments import PIPELINES, build_server_cache
 
-    population = _population_from_args(args)
-    server_cache = build_server_cache(
-        args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
-    )
+    # The config is built before the population (the hybrid engine builds
+    # its population lazily), so the pipeline check cannot ride on
+    # _population_from_args here.
+    if args.policy not in PIPELINES:
+        args.parser.error(
+            f"unknown pipeline {args.policy!r}; available: {', '.join(PIPELINES.names())}"
+        )
     pipeline = dict(PIPELINES.get(args.policy))
     config = FleetConfig(
         cache_capacity=args.cache_capacity,
@@ -221,16 +229,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         miss_penalty=args.miss_penalty,
         model_source=args.model_source,
         online_predictor=args.online_predictor,
+        engine=args.engine,
+        hybrid_sample=args.hybrid_sample,
     )
-    res = _run_maybe_profiled(
-        args, run_fleet, population, config, server_cache=server_cache
-    )
+    server_cache = None
+    if args.engine == "hybrid":
+        # Only the K sampled clients are ever materialised — a 10^6-client
+        # invocation costs the sample, not the population.
+        from repro.distsys.megafleet import run_hybrid_fleet
+
+        res = _run_maybe_profiled(
+            args,
+            run_hybrid_fleet,
+            lambda ids: _population_from_args(args, client_ids=ids),
+            args.clients,
+            config,
+            server_cache_size=args.server_cache_size,
+        )
+    else:
+        population = _population_from_args(args)
+        server_cache = build_server_cache(
+            args.server_cache, args.server_cache_size, population.sizes, seed=args.seed
+        )
+        res = _run_maybe_profiled(
+            args, run_fleet, population, config, server_cache=server_cache
+        )
     agg = res.aggregate
     print(
         f"fleet: {args.clients} clients x {args.requests} requests "
         f"({args.source}, catalog {args.catalog}, "
         f"uplink {args.concurrency if args.concurrency > 0 else 'unbounded'} "
-        f"slots, {args.discipline})"
+        f"slots, {args.discipline}, engine {args.engine})"
     )
     print(
         f"  mean T {agg.mean_access_time:.4f}  p50 {agg.p50_access_time:.4f}  "
@@ -252,6 +281,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     if server_cache is not None:
         print(f"  server cache hit rate {res.server_cache_hit_rate:.3f}")
+    if args.engine == "cohort":
+        print(
+            f"  cohort: {res.n_cohorts} cohorts  plan solves {res.plan_solves}  "
+            f"memo hits {res.plan_memo_hits}"
+            + ("  [saturated]" if res.saturated else "")
+        )
+    elif args.engine == "hybrid":
+        print(
+            f"  hybrid: {res.sample_size} simulated of {res.n_modeled} modeled  "
+            f"delta wait {res.delta_wait:.4f}  "
+            f"iterations {res.fixed_point_iterations}"
+            + ("" if res.converged else "  [not converged]")
+            + ("  [saturated]" if res.saturated else "")
+        )
     return 0
 
 
@@ -668,6 +711,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared server-side cache size (0 = off)")
     fleet.add_argument("--miss-penalty", type=_nonnegative_float, default=0.0,
                        help="backing-store service penalty")
+    fleet.add_argument("--engine", default="event",
+                       choices=["event", "cohort", "hybrid"],
+                       help="simulation engine: exact event loop, vectorized "
+                            "cohort kernel, or sampled simulation + analytic "
+                            "closure (see docs/scale.md)")
+    fleet.add_argument("--hybrid-sample", type=_positive_int, default=64,
+                       help="clients actually simulated by --engine hybrid")
+    fleet.add_argument("--v-quantum", type=_nonnegative_float, default=0.0,
+                       help="round viewing times to this grid (zipf-mix only; "
+                            "coarser grids raise the cohort engine's plan-memo "
+                            "hit rate)")
     fleet.add_argument("--stagger", type=_nonnegative_float, default=50.0,
                        help="client start times uniform in [0, stagger]")
     fleet.add_argument("--seed", type=int, default=0)

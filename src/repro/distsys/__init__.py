@@ -21,6 +21,13 @@ from repro.distsys.server import ItemServer
 from repro.distsys.client import Client, ClientStats
 from repro.distsys.session import SessionResult, predictor_provider, run_session
 from repro.distsys.fleet import Fleet, FleetClient, FleetConfig, FleetResult, run_fleet
+from repro.distsys.megafleet import (
+    CohortFleet,
+    CohortFleetResult,
+    HybridFleetResult,
+    run_cohort_fleet,
+    run_hybrid_fleet,
+)
 from repro.distsys.topology import (
     TOPOLOGIES,
     CacheNetwork,
@@ -50,6 +57,11 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "run_fleet",
+    "CohortFleet",
+    "CohortFleetResult",
+    "HybridFleetResult",
+    "run_cohort_fleet",
+    "run_hybrid_fleet",
     "TOPOLOGIES",
     "CacheNetwork",
     "ProxyNode",

@@ -70,6 +70,14 @@ class FleetConfig:
     #: .PREDICTORS` entry) that learns from the served request stream.
     model_source: str = "oracle"
     online_predictor: str = "markov:ewma"
+    #: Which kernel advances the fleet: "event" is the exact shared-heap
+    #: engine; "cohort" the vectorized struct-of-arrays kernel with
+    #: cohort-level plan memoization (:mod:`repro.distsys.megafleet` —
+    #: bit-exact over an unbounded uplink, mean-field under contention);
+    #: "hybrid" simulates ``hybrid_sample`` real clients through the event
+    #: engine and closes the rest analytically (Che + M/G/c fixed point).
+    engine: str = "event"
+    hybrid_sample: int = 64  # simulated sample size of the hybrid engine
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -80,6 +88,12 @@ class FleetConfig:
             raise ValueError(
                 f"model_source must be 'oracle' or 'online', got {self.model_source!r}"
             )
+        if self.engine not in ("event", "cohort", "hybrid"):
+            raise ValueError(
+                f"engine must be 'event', 'cohort' or 'hybrid', got {self.engine!r}"
+            )
+        if self.hybrid_sample < 1:
+            raise ValueError("hybrid_sample must be positive")
 
 
 class FleetClient:
@@ -489,5 +503,27 @@ def run_fleet(
     *,
     server_cache: Cache | None = None,
 ) -> FleetResult:
-    """Build and run a fleet in one call."""
+    """Build and run a fleet in one call, dispatching on ``config.engine``.
+
+    The hybrid path here models exactly ``population.n_clients`` clients
+    from an already-materialised population (sampling via
+    :func:`~repro.workload.population.subset_population`); to model a
+    fleet far larger than what you can afford to build, call
+    :func:`repro.distsys.megafleet.run_hybrid_fleet` directly with a
+    ``client_ids``-aware population factory.
+    """
+    if config.engine == "cohort":
+        from repro.distsys.megafleet import run_cohort_fleet
+
+        return run_cohort_fleet(population, config, server_cache=server_cache)
+    if config.engine == "hybrid":
+        from repro.distsys.megafleet import run_hybrid_fleet
+        from repro.workload.population import subset_population
+
+        return run_hybrid_fleet(
+            lambda ids: subset_population(population, ids),
+            population.n_clients,
+            config,
+            server_cache_size=getattr(server_cache, "capacity", 0),
+        )
     return Fleet(population, config, server_cache=server_cache).run()

@@ -198,7 +198,9 @@ def _dynamics_config(wl: Mapping):
     )
 
 
-def _build_dynamic_population(wl: Mapping, n_clients: int, requests: int, seed: int):
+def _build_dynamic_population(
+    wl: Mapping, n_clients: int, requests: int, seed: int, client_ids=None
+):
     """Dynamics-aware population construction shared by fleet/topology/drift.
 
     Returns a :class:`~repro.workload.dynamics.DynamicPopulation` (the
@@ -213,6 +215,7 @@ def _build_dynamic_population(wl: Mapping, n_clients: int, requests: int, seed: 
         stagger=float(wl["stagger"]),
         seed=seed,
         dynamics=_dynamics_config(wl),
+        client_ids=client_ids,
     )
     if wl["source"] == "zipf-mix":
         return WORKLOADS.create(
@@ -223,6 +226,9 @@ def _build_dynamic_population(wl: Mapping, n_clients: int, requests: int, seed: 
             exponent_range=(float(wl["exponent_min"]), float(wl["exponent_max"])),
             overlap=float(wl["overlap"]),
             top_k=int(wl["top_k"]),
+            # The drift kind predates the quantisation knob; .get keeps it
+            # optional there while the fleet/topology defaults supply it.
+            v_quantum=float(wl.get("v_quantum", 0.0)),
             **common,
         )
     return WORKLOADS.create(  # markov-pop
@@ -235,9 +241,18 @@ def _build_dynamic_population(wl: Mapping, n_clients: int, requests: int, seed: 
     )
 
 
-def _build_population(wl: Mapping, n_clients: int, requests: int, seed: int):
-    """The fleet/topology kinds' population (dynamic ground truth dropped)."""
-    return _build_dynamic_population(wl, n_clients, requests, seed).population
+def _build_population(
+    wl: Mapping, n_clients: int, requests: int, seed: int, client_ids=None
+):
+    """The fleet/topology kinds' population (dynamic ground truth dropped).
+
+    ``client_ids`` materialises only the named members of the fleet —
+    the hybrid engine's sampling hook, so a 10^6-client cell costs the
+    sample, not the population.
+    """
+    return _build_dynamic_population(
+        wl, n_clients, requests, seed, client_ids=client_ids
+    ).population
 
 
 def _fleet_service(spec: ExperimentSpec, cell: Mapping, wl: Mapping, sizes, seed: int):
@@ -255,6 +270,11 @@ def _fleet_service(spec: ExperimentSpec, cell: Mapping, wl: Mapping, sizes, seed
     pipeline = dict(PIPELINES.get(str(cell["policy"])))
     concurrency = int(spec.cell_param(cell, "concurrency"))
     latency, bandwidth = float(wl["latency"]), float(wl["bandwidth"])
+    if "engine" in spec.info.workload_defaults:
+        engine = str(spec.cell_param(cell, "engine"))
+        hybrid_sample = int(spec.cell_param(cell, "hybrid_sample"))
+    else:  # the drift kind: windowed metrics need the event timeline
+        engine, hybrid_sample = "event", 64
     config = FleetConfig(
         cache_capacity=int(spec.cell_param(cell, "cache_capacity")),
         strategy=str(pipeline["strategy"]),
@@ -268,8 +288,12 @@ def _fleet_service(spec: ExperimentSpec, cell: Mapping, wl: Mapping, sizes, seed
         miss_penalty=float(wl["miss_penalty"]),
         model_source=str(spec.cell_param(cell, "model_source")),
         online_predictor=str(spec.cell_param(cell, "online_predictor")),
+        engine=engine,
+        hybrid_sample=hybrid_sample,
     )
-    server_cache = build_server_cache(
+    # The hybrid engine never materialises the fleet, so callers pass
+    # sizes=None and close the server cache analytically from its size.
+    server_cache = None if sizes is None else build_server_cache(
         str(wl["server_cache"]),
         int(spec.cell_param(cell, "server_cache_size")),
         sizes,
@@ -285,9 +309,24 @@ def _run_fleet(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
 
     wl = spec.cell_workload(cell)
     n_clients = int(cell["n_clients"])
-    population = _build_population(wl, n_clients, int(spec.iterations), seed)
-    config, server_cache = _fleet_service(spec, cell, wl, population.sizes, seed)
-    res = run_fleet(population, config, server_cache=server_cache)
+    requests = int(spec.iterations)
+    if str(spec.cell_param(cell, "engine")) == "hybrid":
+        # Never materialise the fleet: hand the hybrid engine a factory
+        # that builds only the K sampled members on demand.
+        from repro.distsys.megafleet import run_hybrid_fleet
+
+        config, _ = _fleet_service(spec, cell, wl, None, seed)
+        res = run_hybrid_fleet(
+            lambda ids: _build_population(wl, n_clients, requests, seed, client_ids=ids),
+            n_clients,
+            config,
+            sample_size=config.hybrid_sample,
+            server_cache_size=int(spec.cell_param(cell, "server_cache_size")),
+        )
+    else:
+        population = _build_population(wl, n_clients, requests, seed)
+        config, server_cache = _fleet_service(spec, cell, wl, population.sizes, seed)
+        res = run_fleet(population, config, server_cache=server_cache)
     return {
         "mean_access_time": res.aggregate.mean_access_time,
         "p95_access_time": res.aggregate.p95_access_time,
@@ -312,13 +351,19 @@ def _run_topology(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
 
     wl = spec.cell_workload(cell)
     n_clients = int(cell["n_clients"])
-    population = _build_population(wl, n_clients, int(spec.iterations), seed)
     pipeline = dict(PIPELINES.get(str(cell["policy"])))
 
     def param(name):
         return spec.cell_param(cell, name)
 
     concurrency = int(param("concurrency"))
+    if str(param("engine")) != "event":
+        # Spec validation pinned non-event engines to the star topology,
+        # whose single proxy is a verbatim pass-through to the origin —
+        # the fleet path reproduces it bit-exactly, so the cohort/hybrid
+        # engines run the same system without the event-level hierarchy.
+        return _run_topology_fleet_path(spec, cell, wl, pipeline, seed)
+    population = _build_population(wl, n_clients, int(spec.iterations), seed)
     edge_delivery = int(param("edge_delivery_concurrency"))
     config = TopologyConfig(
         topology=str(param("topology")),
@@ -371,6 +416,79 @@ def _run_topology(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
         "che_edge_hit_rate": che_edge_reference(population, res),
         "mid_hit_rate": _nan_to_zero(mid.hit_rate) if mid is not None else 0.0,
         "origin_utilization": _nan_to_zero(res.origin_utilization),
+        "prefetch_load_frac": res.prefetch_load_frac,
+        "fairness": res.aggregate.fairness,
+    }
+
+
+def _run_topology_fleet_path(
+    spec: ExperimentSpec, cell: Mapping, wl: Mapping, pipeline: Mapping, seed: int
+) -> dict:
+    """Cohort/hybrid engines for the topology kind's star degenerate case.
+
+    The star builder interposes one pass-through proxy that relays every
+    request verbatim (edge-tier knobs ignored), so client traffic sees
+    exactly the fleet system: client cache + planner in front of the
+    origin uplink.  This helper rebuilds that system as a
+    :class:`~repro.distsys.fleet.FleetConfig` and dispatches on
+    ``engine``; edge-tier metrics report 0 — the pass-through proxy
+    caches nothing, matching the event path's NaN→0 convention.
+    """
+    from repro.distsys.fleet import FleetConfig, run_fleet
+    from repro.distsys.megafleet import run_hybrid_fleet
+    from repro.experiments.registry import build_server_cache
+
+    def param(name):
+        return spec.cell_param(cell, name)
+
+    n_clients = int(cell["n_clients"])
+    requests = int(spec.iterations)
+    engine = str(param("engine"))
+    concurrency = int(param("concurrency"))
+    client_side = str(param("placement")) in ("client", "both")
+    config = FleetConfig(
+        cache_capacity=int(wl["cache_capacity"]),
+        strategy=str(pipeline["strategy"]) if client_side else "none",
+        sub_arbitration=pipeline["sub_arbitration"] if client_side else None,
+        skp_variant=str(wl["skp_variant"]),
+        planning_window=str(wl["planning_window"]),
+        concurrency=None if concurrency <= 0 else concurrency,  # 0 = unbounded
+        discipline=str(param("discipline")),
+        latency=float(wl["latency"]),
+        bandwidth=float(wl["bandwidth"]),
+        miss_penalty=float(wl["miss_penalty"]),
+        model_source=str(param("model_source")),
+        online_predictor=str(param("online_predictor")),
+        engine=engine,
+        hybrid_sample=int(param("hybrid_sample")),
+    )
+    if engine == "hybrid":
+        res = run_hybrid_fleet(
+            lambda ids: _build_population(wl, n_clients, requests, seed, client_ids=ids),
+            n_clients,
+            config,
+            sample_size=config.hybrid_sample,
+            server_cache_size=int(wl["server_cache_size"]),
+        )
+    else:
+        population = _build_population(wl, n_clients, requests, seed)
+        server_cache = build_server_cache(
+            str(wl["server_cache"]),
+            int(wl["server_cache_size"]),
+            population.sizes,
+            latency=float(wl["latency"]),
+            bandwidth=float(wl["bandwidth"]),
+            seed=seed,
+        )
+        res = run_fleet(population, config, server_cache=server_cache)
+    return {
+        "mean_access_time": res.aggregate.mean_access_time,
+        "p95_access_time": res.aggregate.p95_access_time,
+        "hit_rate": res.aggregate.hit_rate,
+        "edge_hit_rate": 0.0,
+        "che_edge_hit_rate": 0.0,
+        "mid_hit_rate": 0.0,
+        "origin_utilization": _nan_to_zero(res.server_utilization),
         "prefetch_load_frac": res.prefetch_load_frac,
         "fairness": res.aggregate.fairness,
     }

@@ -271,6 +271,61 @@ def _fleet_overlap() -> ExperimentSpec:
     )
 
 
+@PRESETS.register("fleet-mega")
+def _fleet_mega() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-mega",
+        kind="fleet",
+        workload={
+            "overlap": 0.8,
+            "v_quantum": 10.0,
+            "concurrency": 0,
+            "hybrid_sample": 64,
+        },
+        grid={
+            "policy": ("no+pr", "skp+pr"),
+            "n_clients": (10_000, 100_000, 1_000_000),
+            "engine": ("hybrid",),
+        },
+        iterations=100,
+        seed=41,
+        description=(
+            "Mega-fleet scaling: 10^4..10^6 modeled clients per cell via the "
+            "hybrid engine — 64 simulated members plus the Che/M/G/c closure "
+            "(docs/scale.md).  The population is never materialised; each "
+            "cell costs the 64-client sample."
+        ),
+    )
+
+
+@PRESETS.register("fleet-hybrid-validate")
+def _fleet_hybrid_validate() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fleet-hybrid-validate",
+        kind="fleet",
+        workload={
+            "overlap": 0.8,
+            "v_quantum": 10.0,
+            "concurrency": 24,  # util ~0.87: inside the closure's envelope
+            "hybrid_sample": 64,
+        },
+        grid={
+            "policy": ("skp+pr",),
+            "n_clients": (100,),
+            "engine": ("event", "cohort", "hybrid"),
+        },
+        iterations=100,
+        seed=43,
+        description=(
+            "Hybrid/cohort validity check at a size the event engine still "
+            "handles: all three engines on the same 100-client cell (CRN — "
+            "engine is a component param, so every engine sees identical "
+            "draws).  tests/distsys/test_megafleet.py pins the hybrid "
+            "column within 5% of the event column on this preset."
+        ),
+    )
+
+
 @PRESETS.register("edge-tree")
 def _edge_tree() -> ExperimentSpec:
     return ExperimentSpec(

@@ -233,6 +233,9 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache": "lru",
             "server_cache_size": 0,
             "miss_penalty": 0.0,
+            "v_quantum": 0.0,
+            "engine": "event",
+            "hybrid_sample": 64,
             **_DRIFT_WORKLOAD_DEFAULTS,
             **_MODEL_COMPONENT_DEFAULTS,
         },
@@ -244,6 +247,7 @@ KIND_INFO: dict[str, KindInfo] = {
             "discipline",
             "server_cache_size",
             "model_source",
+            "engine",
         ),
         required_axes=("policy", "n_clients"),
         component_registries={"policy": PIPELINES},
@@ -278,6 +282,13 @@ KIND_INFO: dict[str, KindInfo] = {
             "miss_penalty",
             "model_source",
             "online_predictor",
+            # The engine selects a kernel over the same modeled fleet, and
+            # v_quantum rounds the same viewing-time uniforms — machinery
+            # and deterministic post-processing, so all three keep common
+            # random numbers across their own sweeps.
+            "engine",
+            "hybrid_sample",
+            "v_quantum",
         ),
     ),
     "topology": KindInfo(
@@ -327,6 +338,9 @@ KIND_INFO: dict[str, KindInfo] = {
             "server_cache": "lru",
             "server_cache_size": 0,
             "miss_penalty": 0.0,
+            "v_quantum": 0.0,
+            "engine": "event",
+            "hybrid_sample": 64,
             **_DRIFT_WORKLOAD_DEFAULTS,
             **_MODEL_COMPONENT_DEFAULTS,
         },
@@ -341,6 +355,7 @@ KIND_INFO: dict[str, KindInfo] = {
             "concurrency",
             "discipline",
             "model_source",
+            "engine",
         ),
         required_axes=("policy", "n_clients"),
         component_registries={"policy": PIPELINES},
@@ -391,6 +406,9 @@ KIND_INFO: dict[str, KindInfo] = {
             "miss_penalty",
             "model_source",
             "online_predictor",
+            "engine",
+            "hybrid_sample",
+            "v_quantum",
         ),
     ),
     "drift": KindInfo(
@@ -587,6 +605,30 @@ class ExperimentSpec:
                     )
             for value in self.grid.get("online_predictor", (wl["online_predictor"],)):
                 PREDICTORS.get(str(value))
+            if "engine" in info.workload_defaults:  # fleet/topology, not drift
+                engines = self.grid.get("engine", (wl["engine"],))
+                for value in engines:
+                    if value not in ("event", "cohort", "hybrid"):
+                        raise SpecError(
+                            f"engine must be event/cohort/hybrid, got {value!r}"
+                        )
+                if int(wl["hybrid_sample"]) < 1:
+                    raise SpecError("hybrid_sample must be positive")
+                if float(wl["v_quantum"]) < 0:
+                    raise SpecError("v_quantum must be non-negative")
+                if self.kind == "topology" and set(engines) != {"event"}:
+                    for topo in self.grid.get("topology", (wl["topology"],)):
+                        if topo != "star":
+                            raise SpecError(
+                                "cohort/hybrid engines support only the 'star' "
+                                "topology (bit-exact with the flat fleet); "
+                                f"got topology {topo!r}"
+                            )
+                if wl["drift"] != "none" and set(engines) != {"event"}:
+                    raise SpecError(
+                        "cohort/hybrid engines require drift 'none' (their "
+                        "populations are built per engine from static draws)"
+                    )
         if self.kind == "drift":
             wl = self.effective_workload()
             n_windows = int(wl["n_windows"])

@@ -245,9 +245,11 @@ def dynamic_zipf_population(
     overlap: float = 1.0,
     top_k: int = 20,
     v_range: tuple[float, float] = (1.0, 100.0),
+    v_quantum: float = 0.0,
     size_range: tuple[float, float] = (1.0, 30.0),
     stagger: float = 0.0,
     seed: int = 0,
+    client_ids=None,
 ) -> DynamicPopulation:
     """Zipf-mixture fleet under a :class:`DynamicsConfig` schedule.
 
@@ -261,11 +263,21 @@ def dynamic_zipf_population(
     predictor (``model_source="online"``), not from the workload.
     """
     config = dynamics
+    if v_quantum and config.kind != "none":
+        # The dynamics paths re-derive viewing times regime-by-regime;
+        # quantising them there is unimplemented, and silently ignoring the
+        # knob would desynchronise the cohort engine's memo assumptions.
+        raise ValueError("v_quantum requires dynamics.kind == 'none'")
+    if client_ids is not None and config.kind != "none":
+        # Subsetting a drifting population would need the regime schedule
+        # sliced per member; unsupported rather than silently wrong.
+        raise ValueError("client_ids requires dynamics.kind == 'none'")
     if config.kind == "none":
         population = zipf_mixture_population(
             n_clients, n_items, requests,
             exponent_range=exponent_range, overlap=overlap, top_k=top_k,
-            v_range=v_range, size_range=size_range, stagger=stagger, seed=seed,
+            v_range=v_range, v_quantum=v_quantum, size_range=size_range,
+            stagger=stagger, seed=seed, client_ids=client_ids,
         )
         info = DynamicsInfo(
             config, requests, n_items,
@@ -404,6 +416,7 @@ def dynamic_markov_population(
     size_range: tuple[float, float] = (1.0, 30.0),
     stagger: float = 0.0,
     seed: int = 0,
+    client_ids=None,
 ) -> DynamicPopulation:
     """Markov fleet under a :class:`DynamicsConfig` schedule.
 
@@ -420,11 +433,13 @@ def dynamic_markov_population(
             f"markov populations support dynamics {MARKOV_DYNAMICS_KINDS}, "
             f"got {config.kind!r}"
         )
+    if client_ids is not None and config.kind != "none":
+        raise ValueError("client_ids requires dynamics.kind == 'none'")
     if config.kind == "none":
         population = markov_population(
             n_clients, n_items, requests,
             out_degree=out_degree, v_range=v_range, size_range=size_range,
-            stagger=stagger, seed=seed,
+            stagger=stagger, seed=seed, client_ids=client_ids,
         )
         info = DynamicsInfo(
             config, requests, n_items,

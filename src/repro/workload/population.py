@@ -38,6 +38,7 @@ __all__ = [
     "Population",
     "derive_seed",
     "markov_population",
+    "subset_population",
     "trace_population",
     "zipf_mixture_population",
 ]
@@ -144,6 +145,36 @@ def _check_common(n_clients: int, n_items: int, requests: int, stagger: float) -
         raise ValueError("stagger must be non-negative")
 
 
+def _resolve_client_ids(n_clients: int, client_ids) -> list[int]:
+    """Which client ids to materialise: all of them, or a validated subset.
+
+    Per-client randomness is hashed from ``(seed, client id)`` alone, so a
+    subset build is bit-identical to slicing the full population — the
+    hybrid engine's sampled clients are *real* members of the modeled
+    million-client fleet, not a lookalike workload.
+    """
+    if client_ids is None:
+        return list(range(int(n_clients)))
+    ids = [int(c) for c in client_ids]
+    if not ids:
+        raise ValueError("client_ids must be non-empty")
+    if len(set(ids)) != len(ids):
+        raise ValueError("client_ids must be distinct")
+    bad = [c for c in ids if not 0 <= c < int(n_clients)]
+    if bad:
+        raise ValueError(f"client_ids out of range [0, {n_clients}): {bad[:5]}")
+    return sorted(ids)
+
+
+def subset_population(population: Population, client_ids) -> Population:
+    """A population holding only the given (already-built) clients."""
+    ids = _resolve_client_ids(population.n_clients, client_ids)
+    return Population(
+        sizes=population.sizes,
+        clients=tuple(population.clients[c] for c in ids),
+    )
+
+
 def zipf_mixture_population(
     n_clients: int,
     n_items: int,
@@ -153,9 +184,11 @@ def zipf_mixture_population(
     overlap: float = 1.0,
     top_k: int = 20,
     v_range: tuple[float, float] = (1.0, 100.0),
+    v_quantum: float = 0.0,
     size_range: tuple[float, float] = (1.0, 30.0),
     stagger: float = 0.0,
     seed: int = 0,
+    client_ids=None,
 ) -> Population:
     """Zipf-mixture fleet: per-client exponents and hot-set ``overlap``.
 
@@ -164,12 +197,27 @@ def zipf_mixture_population(
     candidate sets the SKP solver faces stay comparable to the paper's
     Markov out-degree of 10–20; the request stream itself samples the full
     distribution.  Clients start staggered uniformly in ``[0, stagger]``.
+
+    ``v_quantum > 0`` rounds every viewing-time draw to the nearest positive
+    multiple of the quantum (same underlying uniforms, so the knob keeps
+    common random numbers across its own sweep).  A finite viewing-time
+    alphabet is what lets the cohort engine's plan memo
+    (:mod:`repro.distsys.megafleet`) share SKP solves across clients —
+    continuous draws make every planning window unique.
+
+    ``client_ids`` materialises only the named members of the ``n_clients``
+    fleet (every per-client draw hashes from ``(seed, client id)``, so the
+    subset is bit-identical to slicing the full build) — the hybrid
+    engine's way of sampling K real clients out of a million modeled ones
+    without constructing the million.
     """
     _check_common(n_clients, n_items, requests, stagger)
     if not 0.0 <= overlap <= 1.0:
         raise ValueError("overlap must be in [0, 1]")
     if not (0 < exponent_range[0] <= exponent_range[1]):
         raise ValueError(f"exponent_range must satisfy 0 < lo <= hi, got {exponent_range}")
+    if v_quantum < 0 or not np.isfinite(v_quantum):
+        raise ValueError("v_quantum must be finite and non-negative")
     top_k = int(top_k)
     if top_k < 1:
         raise ValueError("top_k must be positive")
@@ -179,7 +227,7 @@ def zipf_mixture_population(
     k_shared = int(round(float(overlap) * n_items))
 
     clients = []
-    for cid in range(int(n_clients)):
+    for cid in _resolve_client_ids(n_clients, client_ids):
         rng = np.random.default_rng(derive_seed(seed, client=cid))
         exponent = float(rng.uniform(*exponent_range))
         # Ranking = shared hot prefix, then a private shuffle of the rest.
@@ -193,6 +241,8 @@ def zipf_mixture_population(
         planner_view[ranking[:top_k]] = base[:top_k]
         items = rng.choice(n_items, size=requests + 1, p=probabilities)
         viewing = rng.uniform(float(v_range[0]), float(v_range[1]), requests + 1)
+        if v_quantum > 0:
+            viewing = np.maximum(v_quantum, np.round(viewing / v_quantum) * v_quantum)
         start = float(rng.uniform(0.0, stagger)) if stagger > 0 else 0.0
         clients.append(
             ClientWorkload(
@@ -217,6 +267,7 @@ def trace_population(
     size_range: tuple[float, float] = (1.0, 30.0),
     stagger: float = 0.0,
     seed: int = 0,
+    client_ids=None,
 ) -> Population:
     """Fleet workload replaying a recorded access log (``repro.workload.trace``).
 
@@ -272,7 +323,7 @@ def trace_population(
 
     clients = []
     per_client = int(requests) + 1
-    for cid in range(int(n_clients)):
+    for cid in _resolve_client_ids(n_clients, client_ids):
         lo = cid * per_client
         chunk_items = items_all[lo:lo + per_client]
         chunk_views = views_all[lo:lo + per_client]
@@ -301,18 +352,21 @@ def markov_population(
     size_range: tuple[float, float] = (1.0, 30.0),
     stagger: float = 0.0,
     seed: int = 0,
+    client_ids=None,
 ) -> Population:
     """Markov fleet: every client owns a private §5.3-style source.
 
     Transition structure, viewing times and walks are per-client (derived
     seeds); the item catalog — and therefore sizes/retrieval costs — is
     shared, so clients contend for the same objects on the server.
+    ``client_ids`` builds only the named members of the fleet (bit-identical
+    to slicing the full build, see :func:`zipf_mixture_population`).
     """
     _check_common(n_clients, n_items, requests, stagger)
     sizes = _catalog_sizes(n_items, size_range, seed)
 
     clients = []
-    for cid in range(int(n_clients)):
+    for cid in _resolve_client_ids(n_clients, client_ids):
         source = generate_markov_source(
             int(n_items),
             out_degree=(int(out_degree[0]), int(out_degree[1])),
