@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Benchmark the repro.optimize placement search on a preset problem.
+
+Runs every requested search driver on one ``optimize``-kind preset
+(default: ``opt-edge-budget`` — allocate one budget across client caches,
+edge caches and paid edge speculation on a 2-edge tree) and records, per
+driver: the confirmed winner and its allocation, the uniform-baseline
+comparison, the analytic-vs-confirmed gap, and the evaluation counts that
+are the search's cost.
+
+Acceptance gates (the ISSUE/CI criteria) ride on the same run:
+
+* ``--min-improvement-frac F`` — every driver's confirmed winner must
+  improve fleet mean T over the equal-cost uniform allocation by ≥ F;
+* ``--max-gap-frac G`` — every winner's analytic score must sit within G
+  of its confirmation-engine measurement;
+* ``--max-seconds S`` — wall-clock floor for the CI smoke job.
+
+Artifacts: ``results/BENCH_optimize.json`` (+ ``bench_optimize.csv`` /
+``.txt``).  A non-default invocation (the CI smoke gate) records under the
+``optimize_smoke`` name instead and never clobbers the canonical sweep.
+
+Run:  python benchmarks/bench_optimize.py [--preset NAME] [--drivers ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, emit_bench_json, results_path
+
+
+def main() -> int:
+    from repro.experiments import preset
+    from repro.optimize import DRIVERS, optimize, problem_from_spec
+    from repro.viz.csvout import write_rows
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="opt-edge-budget",
+                        help="optimize-kind preset (see `repro optimize list`)")
+    parser.add_argument("--drivers", nargs="*", default=None,
+                        choices=list(DRIVERS),
+                        help="search drivers to run (default: the preset's grid)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="requests per client per candidate evaluation")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--min-improvement-frac", type=float, default=None,
+                        help="fail unless every driver beats the uniform "
+                             "baseline by at least this fraction")
+    parser.add_argument("--max-gap-frac", type=float, default=None,
+                        help="fail if any winner's analytic score strays "
+                             "further than this from its confirmation")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="fail if the whole sweep takes longer (CI gate)")
+    args = parser.parse_args()
+
+    spec = preset(args.preset, iterations=args.iterations, seed=args.seed)
+    if spec.kind != "optimize":
+        parser.error(f"preset {args.preset!r} is kind {spec.kind!r}, not optimize")
+    problem = problem_from_spec(spec)
+    drivers = tuple(args.drivers) if args.drivers else spec.grid["driver"]
+
+    header = ["driver", "best_assignment", "best_cost", "best_mean_t",
+              "baseline_mean_t", "improvement_frac", "analytic_gap_frac",
+              "analytic_evals", "confirm_evals", "trail_length", "elapsed_s"]
+    bench_rows: list[dict] = []
+    csv_rows: list[list[str]] = []
+    lines = [
+        f"optimize benchmark: {spec.summary()}",
+        f"budget {problem.budget:g} over "
+        + ", ".join(f"{v.name}[{len(v.values)}]" for v in problem.variables)
+        + f" ({problem.n_candidates} raw candidates, "
+        f"confirm {problem.confirm_engine} top {problem.confirm_top})",
+        "",
+        "driver       best allocation                              cost"
+        "    mean T    baseline   improves   gap   evals",
+    ]
+    started_all = time.perf_counter()
+    for driver in drivers:
+        started = time.perf_counter()
+        result = optimize(problem, driver=str(driver))
+        elapsed = time.perf_counter() - started
+        best, baseline = result.best, result.baseline
+        row = {
+            "driver": str(driver),
+            "best_assignment": dict(best.assignment),
+            "best_cost": round(best.cost, 2),
+            "best_mean_t": round(best.confirmed, 4),
+            "baseline_mean_t": round(baseline.confirmed, 4),
+            "improvement_frac": round(result.improvement_frac, 4),
+            "analytic_gap_frac": round(result.analytic_gap_frac, 4),
+            "analytic_evals": result.analytic_evals,
+            "confirm_evals": result.confirmed_evals,
+            "trail_length": len(result.trail),
+            "elapsed_s": round(elapsed, 3),
+        }
+        bench_rows.append(row)
+        csv_rows.append([
+            json.dumps(row[k], sort_keys=True) if k == "best_assignment"
+            else str(row[k])
+            for k in header
+        ])
+        allocation = " ".join(f"{k}={v}" for k, v in best.assignment.items())
+        lines.append(
+            f"{driver:11s}  {allocation:42s}  {best.cost:5.0f}  "
+            f"{best.confirmed:8.3f}  {baseline.confirmed:9.3f}  "
+            f"{100 * result.improvement_frac:7.1f}%  "
+            f"{100 * result.analytic_gap_frac:4.1f}%  "
+            f"{result.analytic_evals}/{result.confirmed_evals}"
+        )
+    elapsed_all = time.perf_counter() - started_all
+    lines.append("")
+    lines.append(f"total wall clock: {elapsed_all:.1f}s")
+
+    canonical = (
+        args.preset == parser.get_default("preset")
+        and args.drivers is None
+        and args.iterations is None
+        and args.seed is None
+    )
+    if canonical:
+        write_rows(results_path("bench_optimize.csv"), header, csv_rows)
+        emit("bench_optimize.txt", "\n".join(lines))
+    else:
+        print()
+        print("\n".join(lines))
+    emit_bench_json(
+        "optimize" if canonical else "optimize_smoke",
+        params={
+            "preset": args.preset,
+            "iterations": int(spec.iterations),
+            "seed": int(spec.seed),
+            "drivers": [str(d) for d in drivers],
+            "budget": float(problem.budget),
+            "n_candidates": problem.n_candidates,
+            "confirm_engine": problem.confirm_engine,
+        },
+        rows=bench_rows,
+    )
+
+    failures = []
+    if args.min_improvement_frac is not None:
+        worst = min(bench_rows, key=lambda r: r["improvement_frac"])
+        if worst["improvement_frac"] < args.min_improvement_frac:
+            failures.append(
+                f"GATE: {worst['driver']} improves only "
+                f"{worst['improvement_frac']:.1%} < floor "
+                f"{args.min_improvement_frac:.1%}"
+            )
+    if args.max_gap_frac is not None:
+        worst = max(bench_rows, key=lambda r: r["analytic_gap_frac"])
+        if worst["analytic_gap_frac"] > args.max_gap_frac:
+            failures.append(
+                f"GATE: {worst['driver']} analytic gap "
+                f"{worst['analytic_gap_frac']:.1%} > ceiling "
+                f"{args.max_gap_frac:.1%}"
+            )
+    if args.max_seconds is not None and elapsed_all > args.max_seconds:
+        failures.append(
+            f"GATE: sweep took {elapsed_all:.1f}s > budget {args.max_seconds:.0f}s"
+        )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if not failures and (
+        args.min_improvement_frac is not None
+        or args.max_gap_frac is not None
+        or args.max_seconds is not None
+    ):
+        print("all gates ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Merge every ``results/BENCH_*.json`` into ``results/BENCH_history.json``.
+
+Each benchmark records its own machine-readable artifact (one file per
+benchmark, overwritten on re-run); this script folds them into a single
+history document — one entry per artifact with the recording package
+version, parameters and full rows — so cross-PR comparisons and dashboards
+read one file.  Thin front door over
+:func:`repro.util.perf.collect_bench_history`.
+
+Run:  python benchmarks/collect_history.py [--results-dir DIR] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import RESULTS_DIR
+
+
+def main() -> int:
+    from repro.util.perf import HISTORY_NAME, collect_bench_history
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", default=str(RESULTS_DIR),
+                        help="directory holding the BENCH_*.json artifacts")
+    parser.add_argument("--output", default=None,
+                        help=f"history path (default: <results-dir>/{HISTORY_NAME})")
+    args = parser.parse_args()
+
+    results_dir = Path(args.results_dir)
+    output = Path(args.output) if args.output else results_dir / HISTORY_NAME
+    history = collect_bench_history(results_dir, output=output)
+    for entry in history["benchmarks"]:
+        print(
+            f"  {entry['benchmark']:24s} v{entry['version'] or '?':8s} "
+            f"{entry['n_rows']:3d} rows  ({entry['file']})"
+        )
+    for name in history["skipped"]:
+        print(f"  skipped (unparseable): {name}", file=sys.stderr)
+    print(f"wrote {output} ({history['count']} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

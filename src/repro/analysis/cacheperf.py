@@ -71,12 +71,17 @@ def che_characteristic_time(pdf, cache_size: int, *, tol: float = 1e-12) -> floa
     Solves ``sum_i (1 - exp(-p_i * T)) = C`` by bisection on the strictly
     increasing left-hand side (no scipy).  Returns ``inf`` when the cache
     holds every item with positive probability (the fixed point diverges and
-    every such item always hits).
+    every such item always hits).  A zero-capacity cache is degenerate —
+    nothing is ever retained, so ``T_C = 0`` without entering the fixed
+    point (the optimizer's capacity grids start at 0, and iterating on
+    ``occupancy(t) = 0`` would never terminate).
     """
     p = _check_pdf(pdf)
     cache_size = int(cache_size)
-    if cache_size < 1:
-        raise ValueError("cache_size must be positive")
+    if cache_size < 0:
+        raise ValueError("cache_size must be non-negative")
+    if cache_size == 0:
+        return 0.0
     positive = p[p > 0]
     if cache_size >= positive.shape[0]:
         return float("inf")
@@ -99,7 +104,8 @@ def che_characteristic_time(pdf, cache_size: int, *, tol: float = 1e-12) -> floa
 
 def che_hit_ratios(pdf, cache_size: int) -> np.ndarray:
     """Per-item hit probability ``1 - exp(-p_i * T_C)`` under the Che
-    approximation (items with zero probability never hit)."""
+    approximation (items with zero probability never hit; a zero-capacity
+    cache never hits at all — ``T_C = 0``)."""
     p = _check_pdf(pdf)
     t_c = che_characteristic_time(p, cache_size)
     if np.isinf(t_c):
@@ -298,12 +304,20 @@ def service_moments(pdf, service_times) -> tuple[float, float]:
 
 @dataclass(frozen=True)
 class CheTierComparison:
-    """One tier's analytical prediction next to its simulated hit ratio."""
+    """One tier's analytical prediction next to its simulated hit ratio.
+
+    ``degenerate`` flags a zero-capacity tier: the Che fixed point is not
+    solved there (the prediction is 0.0 by definition, the tier is
+    pass-through), so a large "error" on such a tier means the simulator
+    disagrees about pass-through semantics, not that the approximation
+    failed.
+    """
 
     tier: str
     cache_size: int
     predicted: float
     simulated: float
+    degenerate: bool = False
 
     @property
     def error(self) -> float:
@@ -331,6 +345,7 @@ class CheValidationReport:
             lines.append(
                 f"{t.tier:6s}  {t.cache_size:4d}  {t.predicted:7.4f}  "
                 f"{t.simulated:7.4f}  {t.error:+7.4f}"
+                + ("  (pass-through)" if t.degenerate else "")
             )
         return "\n".join(lines)
 
@@ -343,7 +358,10 @@ def che_validation_report(
 
     ``tiers`` is ``(name, cache_size, simulated_hit_ratio)`` along the
     request path, nearest tier first; ``pdf`` is the demand distribution
-    entering the first tier.
+    entering the first tier.  Zero-capacity tiers are reported with
+    ``predicted = 0.0`` and ``degenerate = True`` — the cascade forwards
+    their demand unchanged instead of solving a fixed point that has no
+    solution at capacity 0.
     """
     names = [str(name) for name, _, _ in tiers]
     sizes = [int(size) for _, size, _ in tiers]
@@ -351,7 +369,10 @@ def che_validation_report(
     predicted = tier_hit_ratios(pdf, sizes)
     return CheValidationReport(
         tiers=tuple(
-            CheTierComparison(tier=n, cache_size=c, predicted=p, simulated=s)
+            CheTierComparison(
+                tier=n, cache_size=c, predicted=p, simulated=s,
+                degenerate=c < 1,
+            )
             for n, c, p, s in zip(names, sizes, predicted, simulated)
         )
     )

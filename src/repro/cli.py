@@ -19,6 +19,10 @@ Small, dependency-free front door for the library:
 * ``experiment`` — the spec-driven experiments API: ``run`` a preset or spec
   file across worker processes (including the ``fleet-*`` and ``edge-*``
   presets), ``list`` the preset/component catalogs, ``describe`` one preset;
+* ``optimize``   — cost-aware placement search (``repro.optimize``): ``run``
+  one greedy/coordinate/exhaustive driver on an ``opt-*`` preset and print
+  the candidate trail, ``list`` the optimize presets, ``describe`` one
+  problem's decision variables, bounds and cost budget;
 * ``version``    — print the package version.
 
 Installed as the ``repro`` console script (``pip install -e .`` →
@@ -632,6 +636,111 @@ def _cmd_experiment_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# optimize subcommands
+# ---------------------------------------------------------------------------
+
+def _optimize_preset(args: argparse.Namespace):
+    """Resolve an ``optimize``-kind preset or fail with the valid names."""
+    from repro.experiments import PRESETS, preset
+
+    if args.name not in PRESETS:
+        args.parser.error(
+            f"unknown preset {args.name!r}; available: {', '.join(PRESETS.names())}"
+        )
+    spec = preset(args.name)
+    if spec.kind != "optimize":
+        names = [n for n in PRESETS.names() if preset(n).kind == "optimize"]
+        args.parser.error(
+            f"preset {args.name!r} is kind {spec.kind!r}, not an optimize "
+            f"preset; choose from: {', '.join(names)}"
+        )
+    return spec
+
+
+def _cmd_optimize_run(args: argparse.Namespace) -> int:
+    from repro.optimize import OptimizeError, optimize, problem_from_spec
+
+    spec = _optimize_preset(args).with_overrides(
+        iterations=args.iterations, seed=args.seed
+    )
+    problem = problem_from_spec(spec)
+    print(f"{spec.summary()} [driver={args.driver}]", file=sys.stderr)
+    try:
+        result = optimize(problem, driver=args.driver)
+    except OptimizeError as exc:
+        args.parser.error(str(exc))
+    print(result.format_table())
+    if args.output:
+        path = Path(args.output)
+        path.write_text(result.to_json(indent=2))
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_optimize_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import preset, preset_names
+    from repro.optimize import problem_from_spec
+
+    print("optimize presets:")
+    for name in preset_names():
+        spec = preset(name)
+        if spec.kind != "optimize":
+            continue
+        problem = problem_from_spec(spec)
+        print(f"  {spec.summary()}")
+        print(
+            f"    {problem.system_kind} system, {len(problem.variables)} "
+            f"variables, budget {problem.budget:g}, "
+            f"{problem.n_candidates} raw candidates"
+        )
+    return 0
+
+
+def _cmd_optimize_describe(args: argparse.Namespace) -> int:
+    from repro.optimize import problem_from_spec
+
+    spec = _optimize_preset(args)
+    problem = problem_from_spec(spec)
+    print(spec.summary())
+    if spec.description:
+        print(spec.description)
+    print()
+    print(
+        f"system: {problem.system_kind}, policy {problem.policy}, "
+        f"{problem.n_clients} clients × {problem.iterations} requests, "
+        f"confirm engine {problem.confirm_engine} (top {problem.confirm_top})"
+    )
+    print(
+        f"{'variable':24s}  {'values':>20s}  {'unit':>6s}  "
+        f"{'replicas':>12s}  {'max cost':>9s}"
+    )
+    for var in problem.variables:
+        replicas = problem.replica_count(var)
+        label = (
+            f"{var.replicas} ×{replicas}"
+            if isinstance(var.replicas, str)
+            else f"×{replicas}"
+        )
+        max_cost = max(problem.variable_cost(var.name, v) for v in var.values)
+        values = " ".join(str(v) for v in var.values)
+        print(
+            f"{var.name:24s}  {values:>20s}  {var.unit_cost:6.1f}  "
+            f"{label:>12s}  {max_cost:9.1f}"
+        )
+    baseline = problem.uniform_baseline()
+    print(
+        f"budget {problem.budget:g}  (cheapest corner costs "
+        f"{problem.cost(problem.cheapest_assignment()):g})"
+    )
+    print(
+        "uniform baseline: "
+        + " ".join(f"{k}={v}" for k, v in baseline.items())
+        + f"  (cost {problem.cost(baseline):g})"
+    )
+    return 0
+
+
 def _cmd_version(_args: argparse.Namespace) -> int:
     import repro
 
@@ -861,6 +970,33 @@ def build_parser() -> argparse.ArgumentParser:
     edescribe = esub.add_parser("describe", help="show one preset's full spec")
     edescribe.add_argument("name")
     edescribe.set_defaults(func=_cmd_experiment_describe, parser=edescribe)
+
+    optimize = sub.add_parser(
+        "optimize", help="cost-aware placement search over the cache hierarchy"
+    )
+    osub = optimize.add_subparsers(dest="optimize_command", required=True)
+
+    orun = osub.add_parser("run", help="run one search driver on an optimize preset")
+    orun.add_argument("name", help="optimize preset name (see `optimize list`)")
+    orun.add_argument("--driver", default="greedy",
+                      choices=["greedy", "coordinate", "exhaustive"],
+                      help="search driver (default: greedy marginal-gain)")
+    orun.add_argument("--iterations", type=_positive_int, default=None,
+                      help="requests per client in every candidate evaluation")
+    orun.add_argument("--seed", type=int, default=None)
+    orun.add_argument("--output",
+                      help="write the full OptimizationResult trail JSON here")
+    orun.set_defaults(func=_cmd_optimize_run, parser=orun)
+
+    olist = osub.add_parser("list", help="list the optimize presets")
+    olist.set_defaults(func=_cmd_optimize_list, parser=olist)
+
+    odescribe = osub.add_parser(
+        "describe",
+        help="show a preset's decision variables, bounds and cost budget",
+    )
+    odescribe.add_argument("name", help="optimize preset name")
+    odescribe.set_defaults(func=_cmd_optimize_describe, parser=odescribe)
 
     version = sub.add_parser("version", help="print the package version")
     version.set_defaults(func=_cmd_version, parser=version)

@@ -616,6 +616,31 @@ def _run_drift(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     }
 
 
+def _run_optimize(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    """One search driver over the cell's placement problem.
+
+    The outer cell seed is deliberately unused: every candidate evaluation
+    derives its own CRN seed from ``problem.seed`` (== ``spec.seed``)
+    inside the search, so all drivers — on any worker — search the same
+    landscape and the trail is reproducible anywhere.
+    """
+    del seed
+    from repro.optimize import optimize, problem_from_spec
+
+    result = optimize(problem_from_spec(spec), driver=str(cell["driver"]))
+    return {
+        "best_mean_t": float(result.best.confirmed),
+        "baseline_mean_t": float(result.baseline.confirmed),
+        "improvement_frac": float(result.improvement_frac),
+        "analytic_best": float(result.best.analytic),
+        "analytic_gap_frac": float(result.analytic_gap_frac),
+        "best_cost": float(result.best.cost),
+        "analytic_evals": float(result.analytic_evals),
+        "confirm_evals": float(result.confirmed_evals),
+        "trail_length": float(len(result.trail)),
+    }
+
+
 _KIND_RUNNERS = {
     "prefetch-only": _run_prefetch_only,
     "prefetch-cache": _run_prefetch_cache,
@@ -624,6 +649,7 @@ _KIND_RUNNERS = {
     "fleet": _run_fleet,
     "topology": _run_topology,
     "drift": _run_drift,
+    "optimize": _run_optimize,
 }
 
 

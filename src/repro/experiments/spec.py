@@ -8,7 +8,7 @@ data.  Specs round-trip losslessly through JSON
 (:meth:`ExperimentSpec.spec_hash` goes into result provenance), and expand
 into a list of *cells* (one grid point each) that the engine executes.
 
-The six experiment kinds:
+The experiment kinds:
 
 ``prefetch-only``
     The §4.4 Monte-Carlo simulation behind Figures 4/5: i.i.d. one-shot
@@ -54,6 +54,15 @@ The six experiment kinds:
     truth), so the result table IS the drift time series.  The simulation
     runs once per (non-window) parameter combination and is memoized
     across the window axis.
+``optimize``
+    Cost-aware placement search (:mod:`repro.optimize`): the workload
+    declares a :class:`~repro.optimize.problem.PlacementProblem` — a
+    ``fleet``/``topology`` system, decision variables (per-tier cache
+    capacities, prefetch budgets) and a cost budget — and each cell runs
+    one search ``driver`` (greedy / coordinate / exhaustive) over it,
+    reporting the confirmed winner, its improvement over the uniform
+    baseline, and the analytic-vs-confirmed gap.  ``iterations`` is
+    requests per client in every candidate evaluation.
 
 The ``fleet`` and ``topology`` kinds accept the same ``drift_*`` workload
 parameters and a ``model_source`` knob/axis, reporting whole-run scalars
@@ -481,6 +490,47 @@ KIND_INFO: dict[str, KindInfo] = {
             "n_windows",
         ),
     ),
+    "optimize": KindInfo(
+        workload_defaults={
+            "system_kind": "fleet",
+            "system": {},
+            "policy": "skp+pr",
+            "n_clients": 8,
+            "variables": (),
+            "budget": 0.0,
+            "sample": 16,
+            "confirm_top": 3,
+            "confirm_engine": "event",
+            "restarts": 2,
+            "max_steps": 200,
+        },
+        axes=("driver",),
+        required_axes=("driver",),
+        component_registries={},
+        metrics=(
+            "best_mean_t",
+            "baseline_mean_t",
+            "improvement_frac",
+            "analytic_best",
+            "analytic_gap_frac",
+            "best_cost",
+            "analytic_evals",
+            "confirm_evals",
+            "trail_length",
+        ),
+        # The driver picks a search strategy and the remaining knobs tune
+        # search machinery; none shape any draw.  Candidate-level CRN is
+        # enforced one level down: PlacementProblem only admits decision
+        # variables that are component_params of the underlying kind.
+        component_params=(
+            "driver",
+            "sample",
+            "confirm_top",
+            "confirm_engine",
+            "restarts",
+            "max_steps",
+        ),
+    ),
 }
 
 
@@ -676,6 +726,18 @@ class ExperimentSpec:
                 raise SpecError("mid_cache_size must be non-negative")
             if int(wl["edge_uplink_streams"]) < 1 or int(wl["mid_uplink_streams"]) < 1:
                 raise SpecError("uplink_streams must be positive")
+        if self.kind == "optimize":
+            from repro.optimize import DRIVERS, OptimizeError, problem_from_spec
+
+            for value in self.grid.get("driver", ()):
+                if value not in DRIVERS:
+                    raise SpecError(
+                        f"driver must be one of {list(DRIVERS)}, got {value!r}"
+                    )
+            try:
+                problem_from_spec(self)
+            except OptimizeError as exc:
+                raise SpecError(f"invalid placement problem: {exc}") from exc
         for value in self.grid.get("v_bin", ()):
             if (
                 not isinstance(value, tuple)

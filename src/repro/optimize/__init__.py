@@ -1,0 +1,41 @@
+"""Cost-aware placement and budget optimization over the cache hierarchy.
+
+Where the rest of the package *simulates a configuration*, this subsystem
+*finds one*: :class:`PlacementProblem` declares per-tier cache capacities,
+speculation budgets and placements as decision variables under a
+storage/bandwidth cost budget; :class:`CandidateEvaluator` scores
+candidates cheaply with the Che-seeded analytic closures and confirms the
+leaders with the event/cohort engines on common random numbers; and
+:func:`optimize` runs the greedy / coordinate-descent / exhaustive search
+drivers, returning a reproducible :class:`OptimizationResult` trail.
+
+The ``optimize`` experiment kind (``repro optimize run <preset>``) threads
+the whole thing through the standard spec/preset/CLI machinery; see
+``docs/optimize.md``.
+"""
+
+from repro.optimize.evaluate import CandidateEvaluator
+from repro.optimize.problem import (
+    DecisionVariable,
+    OptimizeError,
+    PlacementProblem,
+    problem_from_spec,
+)
+from repro.optimize.search import (
+    DRIVERS,
+    CandidateRecord,
+    OptimizationResult,
+    optimize,
+)
+
+__all__ = [
+    "CandidateEvaluator",
+    "CandidateRecord",
+    "DecisionVariable",
+    "DRIVERS",
+    "OptimizationResult",
+    "OptimizeError",
+    "PlacementProblem",
+    "optimize",
+    "problem_from_spec",
+]

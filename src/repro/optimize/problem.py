@@ -1,0 +1,420 @@
+"""Cost-aware placement problems over the cache hierarchy.
+
+A :class:`PlacementProblem` turns the fleet/topology kinds' service knobs —
+per-tier cache capacities, the edge prefetch budget, speculation placement —
+into *decision variables* searched under a storage/bandwidth cost budget.
+The problem is plain data (JSON-able, like an
+:class:`~repro.experiments.spec.ExperimentSpec`), and every candidate
+assignment expands to an ordinary one-cell spec via :meth:`base_spec`, so
+the existing engine machinery evaluates candidates.
+
+The common-random-numbers guarantee is structural: every decision variable
+must name one of the underlying kind's ``component_params`` — knobs that
+select service machinery, never the draws — so
+:meth:`ExperimentSpec.cell_seed` derives the *same* seed for every
+candidate and score differences are placement effects, not sampling noise.
+A workload-shaping parameter (``overlap``, ``n`` …) is rejected as a
+variable for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Mapping
+
+__all__ = [
+    "OptimizeError",
+    "DecisionVariable",
+    "PlacementProblem",
+    "problem_from_spec",
+]
+
+#: Experiment kinds a placement problem can optimise over.
+SYSTEM_KINDS = ("fleet", "topology")
+
+
+class OptimizeError(ValueError):
+    """A placement problem (or candidate assignment) failed validation."""
+
+
+@dataclass(frozen=True)
+class DecisionVariable:
+    """One knob the optimizer controls.
+
+    ``values`` are the candidate settings in search order (ascending for
+    numeric knobs — greedy upgrades step through them left to right).  The
+    cost of setting the variable to ``values[i]`` is::
+
+        unit_cost × replicas × (costs[i]  if costs else float(values[i]))
+
+    ``replicas`` scales per-instance cost to fleet cost: ``"clients"``
+    multiplies by the problem's client count (per-client caches),
+    ``"edges"`` by the topology's edge count (per-edge caches and budgets),
+    an int multiplies literally (shared/origin resources use 1).
+    ``costs`` prices categorical values (e.g. a speculation on/off switch)
+    where ``float(value)`` has no meaning.
+    """
+
+    name: str
+    values: tuple = ()
+    unit_cost: float = 1.0
+    replicas: str | int = 1
+    costs: tuple | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if self.costs is not None:
+            object.__setattr__(
+                self, "costs", tuple(float(c) for c in self.costs)
+            )
+        if not self.name:
+            raise OptimizeError("decision variable needs a name")
+        if not self.values:
+            raise OptimizeError(
+                f"variable {self.name!r} needs a non-empty value sequence"
+            )
+        if len(set(self.values)) != len(self.values):
+            raise OptimizeError(f"variable {self.name!r} has duplicate values")
+        if float(self.unit_cost) < 0:
+            raise OptimizeError(f"variable {self.name!r}: unit_cost must be >= 0")
+        if isinstance(self.replicas, str):
+            if self.replicas not in ("clients", "edges"):
+                raise OptimizeError(
+                    f"variable {self.name!r}: replicas must be 'clients', "
+                    f"'edges' or a positive int, got {self.replicas!r}"
+                )
+        elif int(self.replicas) < 1:
+            raise OptimizeError(f"variable {self.name!r}: replicas must be >= 1")
+        if self.costs is None:
+            for v in self.values:
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    raise OptimizeError(
+                        f"variable {self.name!r}: non-numeric value {v!r} "
+                        "needs an explicit costs sequence"
+                    )
+                if float(v) < 0:
+                    raise OptimizeError(
+                        f"variable {self.name!r}: values must be >= 0, got {v!r}"
+                    )
+        elif len(self.costs) != len(self.values):
+            raise OptimizeError(
+                f"variable {self.name!r}: costs ({len(self.costs)}) and values "
+                f"({len(self.values)}) must align"
+            )
+
+    def value_cost(self, value) -> float:
+        """Per-replica cost of one value (before unit_cost × replicas)."""
+        if self.costs is not None:
+            return self.costs[self.values.index(value)]
+        return float(value)
+
+    def to_mapping(self) -> dict:
+        data = {
+            "name": self.name,
+            "values": list(self.values),
+            "unit_cost": float(self.unit_cost),
+            "replicas": self.replicas,
+        }
+        if self.costs is not None:
+            data["costs"] = list(self.costs)
+        return data
+
+    @classmethod
+    def from_mapping(cls, data: Mapping) -> "DecisionVariable":
+        data = dict(data)
+        unknown = set(data) - {"name", "values", "unit_cost", "replicas", "costs"}
+        if unknown:
+            raise OptimizeError(f"unknown decision-variable fields: {sorted(unknown)}")
+        replicas = data.get("replicas", 1)
+        return cls(
+            name=str(data.get("name", "")),
+            values=tuple(data.get("values", ())),
+            unit_cost=float(data.get("unit_cost", 1.0)),
+            replicas=replicas if isinstance(replicas, str) else int(replicas),
+            costs=None if data.get("costs") is None else tuple(data["costs"]),
+        )
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """Decision variables + cost budget over one fleet/topology system.
+
+    ``system`` holds workload overrides for the underlying kind (catalog
+    size, links, penalty, hierarchy shape …); the decision variables'
+    values override it per candidate.  ``iterations`` is requests per
+    client in every evaluation, ``seed`` the master seed every candidate's
+    cell seed derives from (identical across candidates — CRN).
+    """
+
+    name: str
+    system_kind: str = "fleet"
+    system: dict = field(default_factory=dict)
+    policy: str = "skp+pr"
+    n_clients: int = 8
+    iterations: int = 300
+    seed: int = 0
+    variables: tuple = ()
+    budget: float = 0.0
+    #: Sampled clients for analytic scoring (0 = all — tiny fleets).
+    sample: int = 16
+    confirm_top: int = 3
+    confirm_engine: str = "event"
+    restarts: int = 2
+    max_steps: int = 200
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "system", dict(self.system))
+        variables = tuple(
+            v if isinstance(v, DecisionVariable) else DecisionVariable.from_mapping(v)
+            for v in self.variables
+        )
+        object.__setattr__(self, "variables", variables)
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        from repro.experiments.spec import KIND_INFO, SpecError
+
+        if self.system_kind not in SYSTEM_KINDS:
+            raise OptimizeError(
+                f"system_kind must be one of {list(SYSTEM_KINDS)}, "
+                f"got {self.system_kind!r}"
+            )
+        if not self.name:
+            raise OptimizeError("placement problem needs a non-empty name")
+        if not self.variables:
+            raise OptimizeError("placement problem needs at least one variable")
+        if float(self.budget) <= 0:
+            raise OptimizeError(f"budget must be positive, got {self.budget}")
+        if int(self.n_clients) < 1:
+            raise OptimizeError("n_clients must be positive")
+        if int(self.iterations) < 1:
+            raise OptimizeError("iterations must be positive")
+        if int(self.sample) < 0:
+            raise OptimizeError("sample must be >= 0 (0 = all clients)")
+        if int(self.confirm_top) < 1:
+            raise OptimizeError("confirm_top must be positive")
+        if self.confirm_engine not in ("event", "cohort"):
+            raise OptimizeError(
+                f"confirm_engine must be 'event' or 'cohort', "
+                f"got {self.confirm_engine!r}"
+            )
+        if int(self.restarts) < 0 or int(self.max_steps) < 1:
+            raise OptimizeError("restarts must be >= 0 and max_steps positive")
+        info = KIND_INFO[self.system_kind]
+        seen = set()
+        for var in self.variables:
+            if var.name in seen:
+                raise OptimizeError(f"duplicate decision variable {var.name!r}")
+            seen.add(var.name)
+            if var.name not in info.workload_defaults:
+                raise OptimizeError(
+                    f"{var.name!r} is not a workload parameter of the "
+                    f"{self.system_kind!r} kind"
+                )
+            if var.name not in info.component_params:
+                raise OptimizeError(
+                    f"{var.name!r} shapes the workload draws, not the service "
+                    "machinery; decision variables must be component "
+                    "parameters so all candidates share common random numbers"
+                )
+            if var.replicas == "edges" and self.system_kind != "topology":
+                raise OptimizeError(
+                    f"variable {var.name!r}: replicas='edges' needs the "
+                    "topology kind"
+                )
+        for key in self.system:
+            if key not in info.workload_defaults:
+                raise OptimizeError(
+                    f"unknown system parameter {key!r} for kind "
+                    f"{self.system_kind!r}"
+                )
+            if key in seen:
+                raise OptimizeError(
+                    f"system parameter {key!r} is also a decision variable"
+                )
+        cheapest = self.cheapest_assignment()
+        if self.cost(cheapest) > float(self.budget):
+            raise OptimizeError(
+                f"infeasible problem: the cheapest assignment costs "
+                f"{self.cost(cheapest):g}, over the budget {self.budget:g}"
+            )
+        try:
+            self.base_spec(cheapest)
+        except SpecError as exc:
+            raise OptimizeError(f"invalid underlying system: {exc}") from exc
+
+    # -- cost model --------------------------------------------------------
+    def replica_count(self, var: DecisionVariable) -> int:
+        if var.replicas == "clients":
+            return int(self.n_clients)
+        if var.replicas == "edges":
+            from repro.experiments.spec import KIND_INFO
+
+            default = KIND_INFO["topology"].workload_defaults["n_edges"]
+            return int(self.system.get("n_edges", default))
+        return int(var.replicas)
+
+    def variable(self, name: str) -> DecisionVariable:
+        for var in self.variables:
+            if var.name == name:
+                return var
+        raise OptimizeError(f"unknown decision variable {name!r}")
+
+    def variable_cost(self, name: str, value) -> float:
+        var = self.variable(name)
+        if value not in var.values:
+            raise OptimizeError(
+                f"{value!r} is not a candidate value of {name!r}; "
+                f"choose from {list(var.values)}"
+            )
+        return float(var.unit_cost) * self.replica_count(var) * var.value_cost(value)
+
+    def cost(self, assignment: Mapping) -> float:
+        """Total fleet cost of one assignment (must cover every variable)."""
+        self._check_names(assignment)
+        return sum(
+            self.variable_cost(name, value) for name, value in assignment.items()
+        )
+
+    def _check_names(self, assignment: Mapping) -> None:
+        names = {var.name for var in self.variables}
+        extra = set(assignment) - names
+        missing = names - set(assignment)
+        if extra:
+            raise OptimizeError(f"unknown decision variables: {sorted(extra)}")
+        if missing:
+            raise OptimizeError(f"assignment misses variables: {sorted(missing)}")
+
+    def check(self, assignment: Mapping) -> None:
+        """Raise :class:`OptimizeError` unless ``assignment`` is feasible."""
+        total = self.cost(assignment)  # validates names and values
+        if total > float(self.budget) + 1e-9:
+            raise OptimizeError(
+                f"assignment costs {total:g}, over the budget {self.budget:g}: "
+                f"{dict(assignment)!r}"
+            )
+
+    def feasible(self, assignment: Mapping) -> bool:
+        try:
+            self.check(assignment)
+        except OptimizeError:
+            return False
+        return True
+
+    # -- candidate spaces --------------------------------------------------
+    def cheapest_assignment(self) -> dict:
+        """Minimum-cost corner: every variable at its cheapest value."""
+        return {
+            var.name: min(var.values, key=var.value_cost)
+            for var in self.variables
+        }
+
+    def uniform_baseline(self) -> dict:
+        """The naive reference allocation: an equal budget share per variable.
+
+        Each variable independently takes the most expensive value its
+        ``budget / n_variables`` share affords (its cheapest value if even
+        that overshoots — :meth:`validate` guarantees the total then still
+        fits).  This is the "default uniform allocation at equal total
+        cost" that optimized placements are scored against.
+        """
+        share = float(self.budget) / len(self.variables)
+        baseline = {}
+        for var in self.variables:
+            affordable = [
+                v for v in var.values if self.variable_cost(var.name, v) <= share
+            ]
+            pool = affordable or [min(var.values, key=var.value_cost)]
+            baseline[var.name] = max(pool, key=var.value_cost)
+        return baseline
+
+    def grid(self) -> Iterator[dict]:
+        """Every feasible assignment (exhaustive search space)."""
+        names = [var.name for var in self.variables]
+        for combo in itertools.product(*(var.values for var in self.variables)):
+            assignment = dict(zip(names, combo))
+            if self.feasible(assignment):
+                yield assignment
+
+    @property
+    def n_candidates(self) -> int:
+        """Size of the raw (pre-budget) value grid."""
+        total = 1
+        for var in self.variables:
+            total *= len(var.values)
+        return total
+
+    # -- the underlying system --------------------------------------------
+    def base_spec(self, assignment: Mapping):
+        """The one-cell :class:`ExperimentSpec` evaluating ``assignment``.
+
+        Decision variables land in the workload, where they are component
+        parameters of the underlying kind — excluded from cell-seed
+        derivation, so every candidate's cell seed is identical.
+        """
+        from repro.experiments.spec import ExperimentSpec
+
+        self._check_names(assignment)
+        return ExperimentSpec(
+            name=f"{self.name}:candidate",
+            kind=self.system_kind,
+            workload={**self.system, **dict(assignment)},
+            grid={"policy": (self.policy,), "n_clients": (int(self.n_clients),)},
+            iterations=int(self.iterations),
+            seed=int(self.seed),
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "system_kind": self.system_kind,
+            "system": dict(self.system),
+            "policy": self.policy,
+            "n_clients": int(self.n_clients),
+            "iterations": int(self.iterations),
+            "seed": int(self.seed),
+            "variables": [var.to_mapping() for var in self.variables],
+            "budget": float(self.budget),
+            "sample": int(self.sample),
+            "confirm_top": int(self.confirm_top),
+            "confirm_engine": self.confirm_engine,
+            "restarts": int(self.restarts),
+            "max_steps": int(self.max_steps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlacementProblem":
+        data = dict(data)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise OptimizeError(f"unknown placement-problem fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def problem_from_spec(spec) -> PlacementProblem:
+    """The placement problem an ``optimize``-kind spec declares.
+
+    The spec's ``iterations`` and ``seed`` become the problem's — every
+    candidate evaluation, under every driver and on every worker, derives
+    its CRN cell seed from the same master seed.
+    """
+    wl = spec.effective_workload()
+    return PlacementProblem(
+        name=str(spec.name),
+        system_kind=str(wl["system_kind"]),
+        system=dict(wl["system"]),
+        policy=str(wl["policy"]),
+        n_clients=int(wl["n_clients"]),
+        iterations=int(spec.iterations),
+        seed=int(spec.seed),
+        variables=wl["variables"],
+        budget=float(wl["budget"]),
+        sample=int(wl["sample"]),
+        confirm_top=int(wl["confirm_top"]),
+        confirm_engine=str(wl["confirm_engine"]),
+        restarts=int(wl["restarts"]),
+        max_steps=int(wl["max_steps"]),
+    )

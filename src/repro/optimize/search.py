@@ -1,0 +1,297 @@
+"""Search drivers over a :class:`PlacementProblem`: greedy, coordinate, exhaustive.
+
+Every driver explores assignments with the analytic evaluator, then the
+``confirm_top`` analytic leaders — plus the uniform baseline — are
+re-measured with the confirmation engine, and the best *confirmed*
+candidate wins.  The full evaluation history comes back as a reproducible
+:class:`OptimizationResult` trail: one record per distinct candidate in
+evaluation order, carrying its cost, analytic score, confirmed score
+(where measured) and the evaluator that produced it.  Drivers are fully
+deterministic in ``problem.seed`` (coordinate restarts draw from a seeded
+generator), so the same problem yields the same trail anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optimize.evaluate import CandidateEvaluator, _assignment_key
+from repro.optimize.problem import OptimizeError, PlacementProblem
+
+__all__ = ["CandidateRecord", "OptimizationResult", "optimize", "DRIVERS"]
+
+DRIVERS = ("greedy", "coordinate", "exhaustive")
+
+#: Scores closer than this are treated as ties (no improvement).
+_SCORE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One evaluated candidate: assignment, cost, scores, evaluator."""
+
+    step: int
+    assignment: dict
+    cost: float
+    analytic: float
+    confirmed: float | None = None
+    evaluator: str = "hybrid"
+
+    def to_dict(self) -> dict:
+        return {
+            "step": int(self.step),
+            "assignment": dict(self.assignment),
+            "cost": float(self.cost),
+            "analytic": float(self.analytic),
+            "confirmed": None if self.confirmed is None else float(self.confirmed),
+            "evaluator": self.evaluator,
+        }
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """A search run's full, reproducible record."""
+
+    problem: PlacementProblem
+    driver: str
+    trail: tuple = ()
+    baseline: CandidateRecord | None = None
+    best: CandidateRecord | None = None
+    analytic_evals: int = 0
+    confirmed_evals: int = 0
+
+    @property
+    def improvement_frac(self) -> float:
+        """Confirmed mean-T improvement of the winner over the baseline."""
+        if not self.baseline or not self.best or not self.baseline.confirmed:
+            return 0.0
+        return (self.baseline.confirmed - self.best.confirmed) / self.baseline.confirmed
+
+    @property
+    def analytic_gap_frac(self) -> float:
+        """|analytic − confirmed| / confirmed for the winner."""
+        if not self.best or not self.best.confirmed:
+            return 0.0
+        return abs(self.best.analytic - self.best.confirmed) / self.best.confirmed
+
+    def format_table(self) -> str:
+        names = [var.name for var in self.problem.variables]
+        header = "step  " + "  ".join(f"{n:>18s}" for n in names) + (
+            "      cost  analytic  confirmed"
+        )
+        lines = [header]
+        for rec in self.trail:
+            confirmed = "—" if rec.confirmed is None else f"{rec.confirmed:.4f}"
+            mark = " *" if self.best and rec.step == self.best.step else ""
+            lines.append(
+                f"{rec.step:4d}  "
+                + "  ".join(f"{rec.assignment[n]!s:>18s}" for n in names)
+                + f"  {rec.cost:8.1f}  {rec.analytic:8.4f}  {confirmed:>9s}{mark}"
+            )
+        if self.best and self.baseline:
+            lines.append(
+                f"best improves the uniform baseline by "
+                f"{100 * self.improvement_frac:.1f}% "
+                f"(analytic gap {100 * self.analytic_gap_frac:.1f}%)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem.to_dict(),
+            "driver": self.driver,
+            "trail": [rec.to_dict() for rec in self.trail],
+            "baseline": None if self.baseline is None else self.baseline.to_dict(),
+            "best": None if self.best is None else self.best.to_dict(),
+            "analytic_evals": int(self.analytic_evals),
+            "confirmed_evals": int(self.confirmed_evals),
+            "improvement_frac": float(self.improvement_frac),
+            "analytic_gap_frac": float(self.analytic_gap_frac),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class _Trail:
+    """Evaluation log: analytic-scores each distinct candidate once."""
+
+    def __init__(self, problem: PlacementProblem):
+        self.problem = problem
+        self.evaluator = CandidateEvaluator(problem)
+        self.records: list[CandidateRecord] = []
+        self._index: dict[tuple, int] = {}
+
+    def score(self, assignment: dict) -> float:
+        key = _assignment_key(assignment)
+        if key not in self._index:
+            record = CandidateRecord(
+                step=len(self.records),
+                assignment=dict(assignment),
+                cost=self.problem.cost(assignment),
+                analytic=self.evaluator.analytic(assignment),
+                evaluator=self.evaluator.analytic_evaluator,
+            )
+            self._index[key] = len(self.records)
+            self.records.append(record)
+        return self.records[self._index[key]].analytic
+
+    def confirm(self, assignment: dict) -> CandidateRecord:
+        self.score(assignment)
+        index = self._index[_assignment_key(assignment)]
+        record = self.records[index]
+        if record.confirmed is None:
+            record = CandidateRecord(
+                step=record.step,
+                assignment=record.assignment,
+                cost=record.cost,
+                analytic=record.analytic,
+                confirmed=self.evaluator.confirmed(assignment),
+                evaluator=f"{record.evaluator}+{self.problem.confirm_engine}",
+            )
+            self.records[index] = record
+        return record
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def _greedy(problem: PlacementProblem, trail: _Trail) -> None:
+    """Marginal-gain allocation from the cheapest corner.
+
+    Repeatedly takes the single-variable upgrade (next value in the
+    variable's ordered list) with the best analytic gain per unit of
+    additional cost, while the budget lasts and upgrades keep helping.
+    """
+    current = problem.cheapest_assignment()
+    score = trail.score(current)
+    for _ in range(int(problem.max_steps)):
+        best_move = None
+        best_ratio = 0.0
+        for var in problem.variables:
+            index = var.values.index(current[var.name])
+            if index + 1 >= len(var.values):
+                continue
+            candidate = {**current, var.name: var.values[index + 1]}
+            if not problem.feasible(candidate):
+                continue
+            gain = score - trail.score(candidate)
+            if gain <= _SCORE_EPS:
+                continue
+            delta_cost = problem.cost(candidate) - problem.cost(current)
+            ratio = gain / max(delta_cost, _SCORE_EPS)
+            if ratio > best_ratio:
+                best_ratio, best_move = ratio, candidate
+        if best_move is None:
+            return
+        current = best_move
+        score = trail.score(current)
+
+
+def _coordinate(problem: PlacementProblem, trail: _Trail) -> None:
+    """Coordinate-descent local search with seeded random restarts."""
+    rng = np.random.default_rng(int(problem.seed))
+    starts = [problem.uniform_baseline()]
+    for _ in range(int(problem.restarts)):
+        starts.append(_random_feasible(problem, rng))
+    steps = 0
+    for start in starts:
+        current = dict(start)
+        improved = True
+        while improved and steps < int(problem.max_steps):
+            improved = False
+            for var in problem.variables:
+                best_value = current[var.name]
+                best_score = trail.score(current)
+                for value in var.values:
+                    if value == current[var.name]:
+                        continue
+                    candidate = {**current, var.name: value}
+                    if not problem.feasible(candidate):
+                        continue
+                    candidate_score = trail.score(candidate)
+                    if candidate_score < best_score - _SCORE_EPS:
+                        best_score, best_value = candidate_score, value
+                if best_value != current[var.name]:
+                    current[var.name] = best_value
+                    improved = True
+            steps += 1
+
+
+def _random_feasible(problem: PlacementProblem, rng: np.random.Generator) -> dict:
+    """A random assignment, repaired to feasibility by cheapening the
+    costliest variables (deterministic given the generator state)."""
+    assignment = {
+        var.name: var.values[int(rng.integers(len(var.values)))]
+        for var in problem.variables
+    }
+    while not problem.feasible(assignment):
+        downgrades = []
+        for var in problem.variables:
+            index = var.values.index(assignment[var.name])
+            if index > 0:
+                downgrades.append(
+                    (problem.variable_cost(var.name, assignment[var.name]), var)
+                )
+        if not downgrades:
+            return problem.cheapest_assignment()
+        _, var = max(downgrades, key=lambda pair: pair[0])
+        assignment[var.name] = var.values[var.values.index(assignment[var.name]) - 1]
+    return assignment
+
+
+def _exhaustive(problem: PlacementProblem, trail: _Trail) -> None:
+    """Score every feasible assignment (small grids only)."""
+    evaluated = 0
+    for assignment in problem.grid():
+        if evaluated >= int(problem.max_steps):
+            raise OptimizeError(
+                f"exhaustive scan exceeds max_steps={problem.max_steps} "
+                f"(grid holds {problem.n_candidates} raw candidates); raise "
+                "max_steps or use the greedy/coordinate drivers"
+            )
+        trail.score(assignment)
+        evaluated += 1
+
+
+_DRIVER_FUNCS = {
+    "greedy": _greedy,
+    "coordinate": _coordinate,
+    "exhaustive": _exhaustive,
+}
+
+
+def optimize(problem: PlacementProblem, driver: str = "greedy") -> OptimizationResult:
+    """Run one search driver and confirm its leaders.
+
+    The analytic top ``confirm_top`` candidates and the uniform baseline
+    are re-measured with ``problem.confirm_engine``; the best confirmed
+    candidate is the winner.  Deterministic in ``problem`` alone.
+    """
+    if driver not in _DRIVER_FUNCS:
+        raise OptimizeError(f"unknown driver {driver!r}; one of {list(DRIVERS)}")
+    trail = _Trail(problem)
+    _DRIVER_FUNCS[driver](problem, trail)
+    if not trail.records:
+        raise OptimizeError("the search evaluated no feasible candidate")
+
+    leaders = sorted(trail.records, key=lambda r: (r.analytic, r.step))
+    confirmed = [
+        trail.confirm(rec.assignment)
+        for rec in leaders[: int(problem.confirm_top)]
+    ]
+    baseline = trail.confirm(problem.uniform_baseline())
+    best = min(confirmed + [baseline], key=lambda r: (r.confirmed, r.step))
+    return OptimizationResult(
+        problem=problem,
+        driver=driver,
+        trail=tuple(trail.records),
+        baseline=baseline,
+        best=best,
+        analytic_evals=trail.evaluator.analytic_evals,
+        confirmed_evals=trail.evaluator.confirmed_evals,
+    )

@@ -12,7 +12,12 @@ the library stops every future optimisation PR from reinventing it:
 * :func:`write_bench_json` — persist one benchmark run as a ``BENCH_*.json``
   artifact with a stable schema (benchmark name, package version, free-form
   parameters, one dict per measured row), so the events/s trajectory across
-  PRs is machine-diffable instead of buried in formatted ``.txt`` tables.
+  PRs is machine-diffable instead of buried in formatted ``.txt`` tables;
+* :func:`collect_bench_history` — merge every ``BENCH_*.json`` under a
+  results directory into one ``BENCH_history.json`` document
+  (``benchmarks/collect_history.py`` is the command-line front door), so
+  one file answers "what did every benchmark measure, under which
+  version?" without opening a dozen artifacts.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import time
 from pathlib import Path
 from typing import Any
 
-__all__ = ["Timer", "profile_call", "write_bench_json"]
+__all__ = ["Timer", "collect_bench_history", "profile_call", "write_bench_json"]
 
 #: Schema version of the BENCH_*.json artifacts; bump on breaking changes.
 BENCH_SCHEMA = 1
@@ -116,3 +121,64 @@ def write_bench_json(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+#: The merged-history artifact; never re-ingested as a benchmark itself.
+HISTORY_NAME = "BENCH_history.json"
+
+
+def collect_bench_history(
+    results_dir: str | Path = "results",
+    *,
+    output: str | Path | None = None,
+) -> dict:
+    """Merge every ``BENCH_*.json`` under ``results_dir`` into one document.
+
+    Returns (and, with ``output``, writes) a single JSON-able dict holding
+    one entry per artifact — file name, benchmark name, recording package
+    version, parameters and full measurement rows — sorted by benchmark
+    name so diffs across PRs stay stable.  ``BENCH_history.json`` itself
+    and unparseable files are skipped (the latter listed under
+    ``"skipped"``) rather than failing the merge: one corrupt artifact
+    should not hide the other benchmarks' history.
+    """
+    results_dir = Path(results_dir)
+    entries: list[dict] = []
+    skipped: list[str] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == HISTORY_NAME:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            skipped.append(path.name)
+            continue
+        if not isinstance(data, dict):
+            skipped.append(path.name)
+            continue
+        rows = data.get("rows", [])
+        entries.append(
+            {
+                "file": path.name,
+                "benchmark": str(data.get("benchmark", path.stem[len("BENCH_"):])),
+                "schema": data.get("schema"),
+                "version": data.get("version"),
+                "created_unix": data.get("created_unix"),
+                "params": data.get("params", {}),
+                "n_rows": len(rows) if isinstance(rows, list) else 0,
+                "rows": rows,
+            }
+        )
+    entries.sort(key=lambda e: (e["benchmark"], e["file"]))
+    history = {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": time.time(),
+        "count": len(entries),
+        "benchmarks": entries,
+        "skipped": skipped,
+    }
+    if output is not None:
+        output = Path(output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history

@@ -38,11 +38,18 @@ class TestFixedPoint:
     def test_invalid_inputs_rejected(self):
         p = zipf_probabilities(10, 1.0)
         with pytest.raises(ValueError):
-            che_characteristic_time(p, 0)
+            che_characteristic_time(p, -1)
         with pytest.raises(ValueError):
             che_characteristic_time(np.zeros(5), 2)
         with pytest.raises(ValueError):
             che_characteristic_time(np.array([0.5, -0.1]), 1)
+
+    def test_zero_capacity_is_degenerate_not_iterative(self):
+        """A zero-capacity tier short-circuits to T_C = 0 / hit 0.0."""
+        p = zipf_probabilities(10, 1.0)
+        assert che_characteristic_time(p, 0) == 0.0
+        assert che_cache_hit_ratio(p, 0) == 0.0
+        np.testing.assert_allclose(che_hit_ratios(p, 0), np.zeros(10))
 
     def test_unnormalised_pdf_is_normalised(self):
         p = zipf_probabilities(30, 0.8)
@@ -109,6 +116,17 @@ class TestEmpiricalBridge:
         assert report.agrees(tolerance=0.05)
         assert not report.agrees(tolerance=0.005)
         assert "edge" in report.format_table()
+        assert not report.tiers[0].degenerate
+
+    def test_validation_report_flags_zero_capacity_tier(self):
+        p = zipf_probabilities(100, 0.8)
+        report = che_validation_report(p, [("edge", 0, 0.0), ("origin", 25, 0.4)])
+        edge, origin = report.tiers
+        assert edge.degenerate and edge.predicted == 0.0
+        assert not origin.degenerate
+        # the cascade forwards demand unchanged through the degenerate tier
+        assert origin.predicted == pytest.approx(che_cache_hit_ratio(p, 25))
+        assert "(pass-through)" in report.format_table()
 
 
 class TestEdgeChePreset:

@@ -1,0 +1,209 @@
+"""Placement-problem validation: cost model, constraints, CRN guard."""
+
+import pytest
+
+from repro.experiments.spec import ExperimentSpec, SpecError
+from repro.optimize import DecisionVariable, OptimizeError, PlacementProblem
+
+
+def _problem(**overrides) -> PlacementProblem:
+    kwargs = dict(
+        name="toy",
+        system_kind="fleet",
+        system={"n": 40},
+        n_clients=4,
+        iterations=50,
+        seed=1,
+        variables=(
+            DecisionVariable("cache_capacity", (0, 2, 4), replicas="clients"),
+            DecisionVariable("server_cache_size", (0, 8)),
+        ),
+        budget=20.0,
+    )
+    kwargs.update(overrides)
+    return PlacementProblem(**kwargs)
+
+
+class TestDecisionVariable:
+    def test_rejects_empty_and_duplicate_values(self):
+        with pytest.raises(OptimizeError, match="non-empty"):
+            DecisionVariable("x", ())
+        with pytest.raises(OptimizeError, match="duplicate"):
+            DecisionVariable("x", (1, 1))
+
+    def test_rejects_negative_numeric_value(self):
+        with pytest.raises(OptimizeError, match=">= 0"):
+            DecisionVariable("x", (0, -2))
+
+    def test_categorical_values_need_costs(self):
+        with pytest.raises(OptimizeError, match="costs"):
+            DecisionVariable("x", ("off", "on"))
+        var = DecisionVariable("x", ("off", "on"), costs=(0.0, 5.0))
+        assert var.value_cost("on") == 5.0
+
+    def test_costs_must_align_with_values(self):
+        with pytest.raises(OptimizeError, match="align"):
+            DecisionVariable("x", (1, 2), costs=(1.0,))
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(OptimizeError, match="replicas"):
+            DecisionVariable("x", (1, 2), replicas="racks")
+        with pytest.raises(OptimizeError, match="replicas"):
+            DecisionVariable("x", (1, 2), replicas=0)
+
+
+class TestCostModel:
+    def test_replicas_scale_per_client_cost(self):
+        p = _problem()
+        assert p.variable_cost("cache_capacity", 4) == 16.0  # 4 clients × 4 slots
+        assert p.variable_cost("server_cache_size", 8) == 8.0  # shared, ×1
+        assert p.cost({"cache_capacity": 2, "server_cache_size": 8}) == 16.0
+
+    def test_value_outside_grid_rejected(self):
+        with pytest.raises(OptimizeError, match="choose from"):
+            _problem().variable_cost("cache_capacity", 3)
+
+    def test_incomplete_assignment_rejected(self):
+        with pytest.raises(OptimizeError, match="misses variables"):
+            _problem().cost({"cache_capacity": 2})
+        with pytest.raises(OptimizeError, match="unknown decision variables"):
+            _problem().cost(
+                {"cache_capacity": 2, "server_cache_size": 0, "overlap": 0.5}
+            )
+
+    def test_over_budget_assignment_rejected_with_clear_error(self):
+        p = _problem()
+        over = {"cache_capacity": 4, "server_cache_size": 8}  # costs 24 > 20
+        with pytest.raises(OptimizeError, match="over the budget"):
+            p.check(over)
+        assert not p.feasible(over)
+
+    def test_uniform_baseline_is_feasible(self):
+        p = _problem()
+        baseline = p.uniform_baseline()
+        p.check(baseline)  # must not raise
+        assert baseline == {"cache_capacity": 2, "server_cache_size": 8}
+
+    def test_grid_yields_only_feasible_assignments(self):
+        p = _problem()
+        assignments = list(p.grid())
+        assert p.n_candidates == 6
+        assert len(assignments) == 5  # the 24-cost corner is cut
+        assert all(p.feasible(a) for a in assignments)
+
+
+class TestProblemValidation:
+    def test_workload_shaping_variable_rejected(self):
+        with pytest.raises(OptimizeError, match="common random numbers"):
+            _problem(variables=(DecisionVariable("overlap", (0.2, 0.8)),))
+
+    def test_unknown_variable_name_rejected(self):
+        with pytest.raises(OptimizeError, match="not a workload parameter"):
+            _problem(variables=(DecisionVariable("n_edges", (1, 2)),))
+
+    def test_edge_replicas_need_topology_kind(self):
+        with pytest.raises(OptimizeError, match="topology"):
+            _problem(
+                variables=(
+                    DecisionVariable(
+                        "server_cache_size", (0, 8), replicas="edges"
+                    ),
+                )
+            )
+
+    def test_system_key_cannot_shadow_a_variable(self):
+        with pytest.raises(OptimizeError, match="also a decision variable"):
+            _problem(system={"n": 40, "cache_capacity": 4})
+
+    def test_infeasible_budget_rejected_upfront(self):
+        with pytest.raises(OptimizeError, match="infeasible"):
+            _problem(
+                variables=(
+                    DecisionVariable("cache_capacity", (2, 4), replicas="clients"),
+                ),
+                budget=4.0,  # cheapest corner alone costs 8
+            )
+
+    def test_bad_machinery_knobs_rejected(self):
+        with pytest.raises(OptimizeError, match="confirm_engine"):
+            _problem(confirm_engine="hybrid")
+        with pytest.raises(OptimizeError, match="sample"):
+            _problem(sample=-1)
+
+    def test_roundtrip_through_dict(self):
+        p = _problem()
+        assert PlacementProblem.from_dict(p.to_dict()) == p
+        with pytest.raises(OptimizeError, match="unknown placement-problem"):
+            PlacementProblem.from_dict({**p.to_dict(), "bogus": 1})
+
+    def test_candidates_share_one_cell_seed(self):
+        """The CRN guarantee is structural: decision variables are component
+        params of the underlying kind, so every candidate's one-cell spec
+        derives the identical seed."""
+        p = _problem()
+        seeds = set()
+        for assignment in p.grid():
+            spec = p.base_spec(assignment)
+            seeds.add(spec.cell_seed(spec.cells()[0]))
+        assert len(seeds) == 1
+
+
+class TestOptimizeKindSpec:
+    def _workload(self, **overrides) -> dict:
+        wl = {
+            "system_kind": "fleet",
+            "system": {"n": 40},
+            "n_clients": 4,
+            "variables": (
+                {"name": "cache_capacity", "values": (0, 2), "replicas": "clients"},
+            ),
+            "budget": 8.0,
+        }
+        wl.update(overrides)
+        return wl
+
+    def test_valid_spec_builds(self):
+        spec = ExperimentSpec(
+            name="opt", kind="optimize", workload=self._workload(),
+            grid={"driver": ("greedy",)}, iterations=50,
+        )
+        assert spec.cells() == [{"driver": "greedy"}]
+
+    def test_driver_axis_required_and_validated(self):
+        with pytest.raises(SpecError, match="driver"):
+            ExperimentSpec(name="opt", kind="optimize", workload=self._workload())
+        with pytest.raises(SpecError, match="driver"):
+            ExperimentSpec(
+                name="opt", kind="optimize", workload=self._workload(),
+                grid={"driver": ("anneal",)},
+            )
+
+    def test_invalid_problem_surfaces_as_spec_error(self):
+        with pytest.raises(SpecError, match="common random numbers"):
+            ExperimentSpec(
+                name="opt", kind="optimize",
+                workload=self._workload(
+                    variables=({"name": "overlap", "values": (0.2, 0.8)},)
+                ),
+                grid={"driver": ("greedy",)},
+            )
+        with pytest.raises(SpecError, match="budget"):
+            ExperimentSpec(
+                name="opt", kind="optimize",
+                workload=self._workload(budget=0.0),
+                grid={"driver": ("greedy",)},
+            )
+
+    def test_machinery_knobs_do_not_move_the_cell_seed(self):
+        base = ExperimentSpec(
+            name="opt", kind="optimize", workload=self._workload(),
+            grid={"driver": ("greedy", "exhaustive")}, iterations=50,
+        )
+        tuned = ExperimentSpec(
+            name="opt", kind="optimize",
+            workload=self._workload(confirm_top=1, restarts=0, sample=2),
+            grid={"driver": ("greedy", "exhaustive")}, iterations=50,
+        )
+        cells = base.cells()
+        assert base.cell_seed(cells[0]) == base.cell_seed(cells[1])
+        assert base.cell_seed(cells[0]) == tuned.cell_seed(cells[0])

@@ -2,7 +2,12 @@
 
 import json
 
-from repro.util.perf import Timer, profile_call, write_bench_json
+from repro.util.perf import (
+    Timer,
+    collect_bench_history,
+    profile_call,
+    write_bench_json,
+)
 
 
 class TestTimer:
@@ -64,3 +69,32 @@ class TestWriteBenchJson:
         payload = json.loads(write_bench_json(tmp_path / "b.json", "b").read_text())
         assert payload["params"] == {}
         assert payload["rows"] == []
+
+
+class TestCollectBenchHistory:
+    def test_merges_artifacts_sorted_by_benchmark(self, tmp_path):
+        write_bench_json(tmp_path / "BENCH_zeta.json", "zeta",
+                         rows=[{"elapsed_s": 1.0}])
+        write_bench_json(tmp_path / "BENCH_alpha.json", "alpha",
+                         params={"n": 3}, rows=[{"a": 1}, {"a": 2}])
+        history = collect_bench_history(tmp_path, output=tmp_path / "BENCH_history.json")
+        assert history["count"] == 2
+        assert [e["benchmark"] for e in history["benchmarks"]] == ["alpha", "zeta"]
+        alpha = history["benchmarks"][0]
+        assert alpha["file"] == "BENCH_alpha.json"
+        assert alpha["params"] == {"n": 3}
+        assert alpha["n_rows"] == 2 and alpha["rows"][1] == {"a": 2}
+        on_disk = json.loads((tmp_path / "BENCH_history.json").read_text())
+        assert on_disk["count"] == 2
+
+    def test_skips_history_file_and_unparseable(self, tmp_path):
+        write_bench_json(tmp_path / "BENCH_ok.json", "ok")
+        (tmp_path / "BENCH_history.json").write_text("{}")  # never re-ingested
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        history = collect_bench_history(tmp_path)
+        assert [e["benchmark"] for e in history["benchmarks"]] == ["ok"]
+        assert history["skipped"] == ["BENCH_bad.json"]
+
+    def test_empty_directory(self, tmp_path):
+        history = collect_bench_history(tmp_path)
+        assert history["count"] == 0 and history["benchmarks"] == []
