@@ -8,12 +8,22 @@ driver: the confirmed winner and its allocation, the uniform-baseline
 comparison, the analytic-vs-confirmed gap, and the evaluation counts that
 are the search's cost.
 
+``--workers N`` fans candidate frontiers over a process pool;
+``--compare-workers`` additionally re-runs every driver serially, checks
+the two trails are byte-identical (workers is machinery, never a seed
+input) and reports the wall-clock speedup.  ``--cache-dir D`` attaches
+the persistent evaluation cache, so a repeated benchmark starts warm; its
+hit/miss counters land in the BENCH params and in
+``results/evalcache_stats.json``.
+
 Acceptance gates (the ISSUE/CI criteria) ride on the same run:
 
 * ``--min-improvement-frac F`` — every driver's confirmed winner must
   improve fleet mean T over the equal-cost uniform allocation by ≥ F;
 * ``--max-gap-frac G`` — every winner's analytic score must sit within G
   of its confirmation-engine measurement;
+* ``--min-speedup S`` — with ``--compare-workers``, every driver must run
+  ≥ S× faster parallel than serial (multicore machines only);
 * ``--max-seconds S`` — wall-clock floor for the CI smoke job.
 
 Artifacts: ``results/BENCH_optimize.json`` (+ ``bench_optimize.csv`` /
@@ -39,6 +49,7 @@ from _common import emit, emit_bench_json, results_path
 def main() -> int:
     from repro.experiments import preset
     from repro.optimize import DRIVERS, optimize, problem_from_spec
+    from repro.util import EvalCache
     from repro.viz.csvout import write_rows
 
     parser = argparse.ArgumentParser(description=__doc__)
@@ -50,12 +61,24 @@ def main() -> int:
     parser.add_argument("--iterations", type=int, default=None,
                         help="requests per client per candidate evaluation")
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per candidate frontier "
+                             "(default 1 = sequential)")
+    parser.add_argument("--compare-workers", action="store_true",
+                        help="re-run each driver serially, assert the trails "
+                             "are byte-identical and report the speedup")
+    parser.add_argument("--cache-dir", default=None,
+                        help="attach the persistent evaluation cache at this "
+                             "directory (repeated runs start warm)")
     parser.add_argument("--min-improvement-frac", type=float, default=None,
                         help="fail unless every driver beats the uniform "
                              "baseline by at least this fraction")
     parser.add_argument("--max-gap-frac", type=float, default=None,
                         help="fail if any winner's analytic score strays "
                              "further than this from its confirmation")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="with --compare-workers: fail if any driver's "
+                             "parallel/serial speedup falls below this")
     parser.add_argument("--max-seconds", type=float, default=None,
                         help="fail if the whole sweep takes longer (CI gate)")
     args = parser.parse_args()
@@ -65,18 +88,25 @@ def main() -> int:
         parser.error(f"preset {args.preset!r} is kind {spec.kind!r}, not optimize")
     problem = problem_from_spec(spec)
     drivers = tuple(args.drivers) if args.drivers else spec.grid["driver"]
+    compare = args.compare_workers and args.workers != 1
+    cache = EvalCache(args.cache_dir) if args.cache_dir else None
 
     header = ["driver", "best_assignment", "best_cost", "best_mean_t",
               "baseline_mean_t", "improvement_frac", "analytic_gap_frac",
-              "analytic_evals", "confirm_evals", "trail_length", "elapsed_s"]
+              "analytic_evals", "confirm_evals", "trail_length", "workers",
+              "engine_runs", "cache_hits", "cache_misses", "elapsed_s",
+              "serial_elapsed_s", "speedup", "trails_identical"]
     bench_rows: list[dict] = []
     csv_rows: list[list[str]] = []
+    mismatches: list[str] = []
     lines = [
         f"optimize benchmark: {spec.summary()}",
         f"budget {problem.budget:g} over "
         + ", ".join(f"{v.name}[{len(v.values)}]" for v in problem.variables)
         + f" ({problem.n_candidates} raw candidates, "
-        f"confirm {problem.confirm_engine} top {problem.confirm_top})",
+        f"confirm {problem.confirm_engine} top {problem.confirm_top}, "
+        f"workers {args.workers}, cache "
+        f"{args.cache_dir or 'off'})",
         "",
         "driver       best allocation                              cost"
         "    mean T    baseline   improves   gap   evals",
@@ -84,8 +114,30 @@ def main() -> int:
     started_all = time.perf_counter()
     for driver in drivers:
         started = time.perf_counter()
-        result = optimize(problem, driver=str(driver))
+        result = optimize(
+            problem, driver=str(driver), workers=args.workers, cache=cache,
+        )
         elapsed = time.perf_counter() - started
+        serial_elapsed = speedup = None
+        identical = None
+        if compare:
+            # Serial reference: always cache-free, so the trail comparison
+            # holds whatever the cache state.  For honest speedup numbers
+            # point --cache-dir at a fresh directory (a warm parallel run
+            # against a cold serial one inflates the ratio).
+            started = time.perf_counter()
+            serial = optimize(problem, driver=str(driver), workers=1)
+            serial_elapsed = time.perf_counter() - started
+            speedup = serial_elapsed / max(elapsed, 1e-9)
+            identical = (
+                json.dumps([r.to_dict() for r in serial.trail], sort_keys=True)
+                == json.dumps([r.to_dict() for r in result.trail], sort_keys=True)
+            )
+            if not identical:
+                mismatches.append(
+                    f"GATE: {driver} trail differs between workers=1 and "
+                    f"workers={args.workers}"
+                )
         best, baseline = result.best, result.baseline
         row = {
             "driver": str(driver),
@@ -98,7 +150,16 @@ def main() -> int:
             "analytic_evals": result.analytic_evals,
             "confirm_evals": result.confirmed_evals,
             "trail_length": len(result.trail),
+            "workers": int(result.workers),
+            "engine_runs": int(result.engine_runs),
+            "cache_hits": int(result.cache_hits),
+            "cache_misses": int(result.cache_misses),
             "elapsed_s": round(elapsed, 3),
+            "serial_elapsed_s": (
+                None if serial_elapsed is None else round(serial_elapsed, 3)
+            ),
+            "speedup": None if speedup is None else round(speedup, 2),
+            "trails_identical": identical,
         }
         bench_rows.append(row)
         csv_rows.append([
@@ -107,22 +168,41 @@ def main() -> int:
             for k in header
         ])
         allocation = " ".join(f"{k}={v}" for k, v in best.assignment.items())
-        lines.append(
+        line = (
             f"{driver:11s}  {allocation:42s}  {best.cost:5.0f}  "
             f"{best.confirmed:8.3f}  {baseline.confirmed:9.3f}  "
             f"{100 * result.improvement_frac:7.1f}%  "
             f"{100 * result.analytic_gap_frac:4.1f}%  "
             f"{result.analytic_evals}/{result.confirmed_evals}"
         )
+        if speedup is not None:
+            line += (
+                f"  {speedup:.2f}x vs serial"
+                f" ({'identical' if identical else 'TRAIL MISMATCH'})"
+            )
+        lines.append(line)
     elapsed_all = time.perf_counter() - started_all
     lines.append("")
     lines.append(f"total wall clock: {elapsed_all:.1f}s")
+    if cache is not None:
+        stats = cache.stats()
+        lines.append(
+            f"eval cache: {stats['hits']} hits / {stats['misses']} misses, "
+            f"{stats['entries']} entries at {stats['path']}"
+        )
+        emit(
+            "evalcache_stats.json",
+            json.dumps(stats, indent=2, sort_keys=True) + "\n",
+        )
 
     canonical = (
         args.preset == parser.get_default("preset")
         and args.drivers is None
         and args.iterations is None
         and args.seed is None
+        and args.workers == 1
+        and not args.compare_workers
+        and args.cache_dir is None
     )
     if canonical:
         write_rows(results_path("bench_optimize.csv"), header, csv_rows)
@@ -140,11 +220,16 @@ def main() -> int:
             "budget": float(problem.budget),
             "n_candidates": problem.n_candidates,
             "confirm_engine": problem.confirm_engine,
+            "workers": int(args.workers),
+            "compare_workers": bool(compare),
+            "cache_dir": args.cache_dir,
+            "cache_hits": sum(r["cache_hits"] for r in bench_rows),
+            "cache_misses": sum(r["cache_misses"] for r in bench_rows),
         },
         rows=bench_rows,
     )
 
-    failures = []
+    failures = list(mismatches)
     if args.min_improvement_frac is not None:
         worst = min(bench_rows, key=lambda r: r["improvement_frac"])
         if worst["improvement_frac"] < args.min_improvement_frac:
@@ -161,6 +246,18 @@ def main() -> int:
                 f"{worst['analytic_gap_frac']:.1%} > ceiling "
                 f"{args.max_gap_frac:.1%}"
             )
+    if args.min_speedup is not None and compare:
+        worst = min(
+            (r for r in bench_rows if r["speedup"] is not None),
+            key=lambda r: r["speedup"],
+            default=None,
+        )
+        if worst is not None and worst["speedup"] < args.min_speedup:
+            failures.append(
+                f"GATE: {worst['driver']} speedup {worst['speedup']:.2f}x "
+                f"< floor {args.min_speedup:.2f}x at "
+                f"workers={args.workers}"
+            )
     if args.max_seconds is not None and elapsed_all > args.max_seconds:
         failures.append(
             f"GATE: sweep took {elapsed_all:.1f}s > budget {args.max_seconds:.0f}s"
@@ -170,6 +267,7 @@ def main() -> int:
     if not failures and (
         args.min_improvement_frac is not None
         or args.max_gap_frac is not None
+        or args.min_speedup is not None
         or args.max_seconds is not None
     ):
         print("all gates ok")

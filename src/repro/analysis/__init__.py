@@ -5,10 +5,14 @@ from repro.analysis.cacheperf import (
     CheValidationReport,
     che_cache_hit_ratio,
     che_characteristic_time,
+    che_characteristic_time_grid,
     che_edge_reference,
+    che_hit_ratio_grid,
     che_hit_ratios,
     che_validation_report,
     empirical_pdf,
+    miss_stream_cascade,
+    miss_stream_pdf,
     tier_hit_ratios,
 )
 from repro.analysis.theory import (
@@ -34,9 +38,13 @@ __all__ = [
     "CheValidationReport",
     "che_cache_hit_ratio",
     "che_characteristic_time",
+    "che_characteristic_time_grid",
     "che_edge_reference",
+    "che_hit_ratio_grid",
     "che_hit_ratios",
     "che_validation_report",
     "empirical_pdf",
+    "miss_stream_cascade",
+    "miss_stream_pdf",
     "tier_hit_ratios",
 ]

@@ -38,10 +38,13 @@ import numpy as np
 
 __all__ = [
     "che_characteristic_time",
+    "che_characteristic_time_grid",
     "che_hit_ratios",
+    "che_hit_ratio_grid",
     "che_cache_hit_ratio",
     "tier_hit_ratios",
     "miss_stream_pdf",
+    "miss_stream_cascade",
     "empirical_pdf",
     "che_edge_reference",
     "erlang_c",
@@ -102,6 +105,54 @@ def che_characteristic_time(pdf, cache_size: int, *, tol: float = 1e-12) -> floa
     return 0.5 * (lo + hi)
 
 
+def che_characteristic_time_grid(pdf, cache_sizes, *, tol: float = 1e-12) -> np.ndarray:
+    """Characteristic times of an *entire capacity grid* in one broadcast
+    bisection.
+
+    The scalar fixed point (:func:`che_characteristic_time`) is monotone in
+    the capacity, so a whole grid of capacities can share one vectorised
+    bisection: every capacity keeps its own ``[lo, hi]`` bracket and all
+    brackets halve together on a ``(grid × items)`` occupancy broadcast —
+    one numpy pass per halving instead of one Python fixed point per
+    capacity.  Degenerate capacities short-circuit exactly like the scalar
+    solver: 0 → ``T_C = 0`` (nothing retained), ``C >=`` the number of
+    positively-requested items → ``inf`` (everything always hits).  Agrees
+    with the scalar solver to the bisection tolerance (pinned at 1e-9 by
+    ``tests/analysis/test_cacheperf_grid.py``).
+    """
+    p = _check_pdf(pdf)
+    sizes = np.asarray(cache_sizes, dtype=np.int64)
+    if sizes.ndim != 1:
+        raise ValueError("cache_sizes must be a 1-D sequence of capacities")
+    if sizes.size and int(sizes.min()) < 0:
+        raise ValueError("cache sizes must be non-negative")
+    positive = p[p > 0]
+    out = np.zeros(sizes.shape, dtype=np.float64)
+    out[sizes >= positive.shape[0]] = np.inf
+    active = (sizes > 0) & (sizes < positive.shape[0])
+    if not np.any(active):
+        return out
+    c = sizes[active].astype(np.float64)
+
+    def occupancy(t: np.ndarray) -> np.ndarray:
+        return np.sum(-np.expm1(-np.outer(t, positive)), axis=1)
+
+    lo = np.zeros_like(c)
+    hi = c.copy()
+    while True:
+        grow = occupancy(hi) < c
+        if not np.any(grow):
+            break
+        hi[grow] *= 2.0
+    while np.any(hi - lo > tol * np.maximum(1.0, hi)):
+        mid = 0.5 * (lo + hi)
+        below = occupancy(mid) < c
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    out[active] = 0.5 * (lo + hi)
+    return out
+
+
 def che_hit_ratios(pdf, cache_size: int) -> np.ndarray:
     """Per-item hit probability ``1 - exp(-p_i * T_C)`` under the Che
     approximation (items with zero probability never hit; a zero-capacity
@@ -111,6 +162,26 @@ def che_hit_ratios(pdf, cache_size: int) -> np.ndarray:
     if np.isinf(t_c):
         return np.where(p > 0, 1.0, 0.0)
     return -np.expm1(-p * t_c)
+
+
+def che_hit_ratio_grid(pdf, cache_sizes) -> np.ndarray:
+    """Aggregate Che hit ratio for every capacity in a grid, one broadcast.
+
+    The vectorised counterpart of calling :func:`che_cache_hit_ratio` in a
+    loop: one :func:`che_characteristic_time_grid` solve, then one
+    ``(grid × items)`` hit-probability broadcast.  A zero capacity reports
+    0 (never hits); an all-retaining capacity reports the probability mass
+    of positively-requested items.
+    """
+    p = _check_pdf(pdf)
+    t_grid = che_characteristic_time_grid(p, cache_sizes)
+    ratios = np.empty(t_grid.shape, dtype=np.float64)
+    finite = np.isfinite(t_grid)
+    if np.any(finite):
+        per_item = -np.expm1(-np.outer(t_grid[finite], p))
+        ratios[finite] = np.minimum(1.0, per_item @ p)
+    ratios[~finite] = min(1.0, float(np.dot(p, np.where(p > 0, 1.0, 0.0))))
+    return ratios
 
 
 def che_cache_hit_ratio(pdf, cache_size: int) -> float:
@@ -127,38 +198,56 @@ def tier_hit_ratios(pdf, cache_sizes: Sequence[int]) -> list[float]:
     vanished (everything already hit) reports 0.  ``cache_sizes`` of 0 are
     pass-through tiers (hit ratio 0, demand forwarded unchanged).
     """
+    ratios, _ = miss_stream_cascade(pdf, cache_sizes)
+    return ratios
+
+
+def miss_stream_cascade(
+    pdf, cache_sizes: Sequence[int]
+) -> tuple[list[float], list[np.ndarray]]:
+    """The whole multi-tier miss-stream closure in one call.
+
+    Returns ``(hit_ratios, miss_pdfs)`` — per tier along the path, the
+    aggregate Che hit ratio and the renormalised popularity profile of the
+    demand falling through to the next tier, so ``miss_pdfs[-1]`` is what
+    reaches the backing store.  This is the batched form of calling
+    :func:`miss_stream_pdf` once per tier: one input validation, one pass,
+    every intermediate stream returned (the optimizer's topology closure
+    needs the edge *and* mid *and* server streams of each candidate).
+    Zero-capacity tiers are pass-through (ratio 0, demand forwarded
+    unchanged), and a tier whose upstream demand has vanished (everything
+    already hit) reports 0.
+    """
     p = _check_pdf(pdf)
     ratios: list[float] = []
+    pdfs: list[np.ndarray] = []
     for size in cache_sizes:
         if int(size) < 1 or float(p.sum()) <= 0:
             ratios.append(0.0)
+            pdfs.append(p)
             continue
         per_item = che_hit_ratios(p, int(size))
         ratios.append(min(1.0, float(np.dot(p, per_item))))
         missed = p * (1.0 - per_item)
         total = float(missed.sum())
         p = missed / total if total > 0 else missed
-    return ratios
+        pdfs.append(p)
+    return ratios, pdfs
 
 
 def miss_stream_pdf(pdf, cache_size: int) -> tuple[float, np.ndarray]:
     """One tier's miss-stream closure: ``(hit_ratio, renormalised miss pdf)``.
 
-    The single-step building block of :func:`tier_hit_ratios`, exposed so
-    the hybrid fleet engine (:mod:`repro.distsys.megafleet`) can close the
-    shared server-cache tier analytically: feed it the pdf of the demand
-    entering the tier, get the Che hit ratio plus the popularity profile of
-    what falls through to the backing store.  ``cache_size <= 0`` is a
-    pass-through tier (ratio 0, demand forwarded unchanged).
+    The single-step form of :func:`miss_stream_cascade`, kept for callers
+    that close exactly one tier — e.g. the hybrid fleet engine
+    (:mod:`repro.distsys.megafleet`) folding the shared server cache: feed
+    it the pdf of the demand entering the tier, get the Che hit ratio plus
+    the popularity profile of what falls through to the backing store.
+    ``cache_size <= 0`` is a pass-through tier (ratio 0, demand forwarded
+    unchanged).
     """
-    p = _check_pdf(pdf)
-    if int(cache_size) < 1:
-        return 0.0, p
-    per_item = che_hit_ratios(p, int(cache_size))
-    ratio = min(1.0, float(np.dot(p, per_item)))
-    missed = p * (1.0 - per_item)
-    total = float(missed.sum())
-    return ratio, (missed / total if total > 0 else missed)
+    ratios, pdfs = miss_stream_cascade(pdf, [int(cache_size)])
+    return ratios[0], pdfs[0]
 
 
 def empirical_pdf(items, n_items: int) -> np.ndarray:

@@ -660,14 +660,21 @@ def _optimize_preset(args: argparse.Namespace):
 
 def _cmd_optimize_run(args: argparse.Namespace) -> int:
     from repro.optimize import OptimizeError, optimize, problem_from_spec
+    from repro.util import EvalCache, available_workers
 
     spec = _optimize_preset(args).with_overrides(
         iterations=args.iterations, seed=args.seed
     )
     problem = problem_from_spec(spec)
-    print(f"{spec.summary()} [driver={args.driver}]", file=sys.stderr)
+    workers = available_workers() if args.workers is None else args.workers
+    cache = EvalCache(args.cache_dir) if args.cache else None
+    print(
+        f"{spec.summary()} [driver={args.driver} workers={workers} "
+        f"cache={'off' if cache is None else cache.directory}]",
+        file=sys.stderr,
+    )
     try:
-        result = optimize(problem, driver=args.driver)
+        result = optimize(problem, driver=args.driver, workers=workers, cache=cache)
     except OptimizeError as exc:
         args.parser.error(str(exc))
     print(result.format_table())
@@ -984,6 +991,17 @@ def build_parser() -> argparse.ArgumentParser:
     orun.add_argument("--iterations", type=_positive_int, default=None,
                       help="requests per client in every candidate evaluation")
     orun.add_argument("--seed", type=int, default=None)
+    orun.add_argument("--workers", type=_positive_int, default=None,
+                      help="worker processes for candidate frontiers "
+                      "(default: all cores; 1 = sequential; never affects "
+                      "the trail)")
+    orun.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="persistent evaluation cache: repeated runs "
+                      "reuse engine scores (--no-cache to disable)")
+    orun.add_argument("--cache-dir", default="results/evalcache",
+                      help="evaluation cache directory "
+                      "(default: results/evalcache)")
     orun.add_argument("--output",
                       help="write the full OptimizationResult trail JSON here")
     orun.set_defaults(func=_cmd_optimize_run, parser=orun)

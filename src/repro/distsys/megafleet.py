@@ -37,7 +37,7 @@ Simulates a seeded sample of K *real* clients (per-client draws hash from
 full fleet) through the event kernel at proportionally scaled concurrency,
 then closes the remaining N−K clients analytically: the shared server-cache
 tier via the Che characteristic-time cascade
-(:func:`~repro.analysis.cacheperf.miss_stream_pdf`), and uplink
+(:func:`~repro.analysis.cacheperf.miss_stream_cascade`), and uplink
 queueing via an M/G/c correction iterated to a fixed point between the
 sampled makespan and the extrapolated fleet load.  This is how a single
 process models a million clients; ``docs/scale.md`` derives the fixed point
@@ -55,7 +55,7 @@ from repro.analysis.cacheperf import (
     che_cache_hit_ratio,
     empirical_pdf,
     mgc_waiting_time,
-    miss_stream_pdf,
+    miss_stream_cascade,
     service_moments,
 )
 from repro.core.planner import Prefetcher
@@ -726,8 +726,9 @@ def run_hybrid_fleet(
         if config.cache_capacity > 0
         else 0.0
     )
-    _, miss_pdf = miss_stream_pdf(pooled_pdf, config.cache_capacity)
-    che_server, _ = miss_stream_pdf(miss_pdf, int(server_cache_size))
+    (_, che_server), (miss_pdf, _) = miss_stream_cascade(
+        pooled_pdf, [config.cache_capacity, int(server_cache_size)]
+    )
     effective_penalty = config.miss_penalty * (1.0 - che_server)
 
     # -- simulate the sample at proportionally scaled concurrency ----------

@@ -16,9 +16,8 @@ cell's randomness is fully determined by the spec.
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Mapping
 
@@ -44,10 +43,9 @@ ProgressCallback = Callable[[int, int, CellResult], None]
 
 def default_workers() -> int:
     """All usable cores (the engine's share-nothing cells scale linearly)."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # platforms without sched_getaffinity
-        return max(1, os.cpu_count() or 1)
+    from repro.util.pool import available_workers
+
+    return available_workers()
 
 
 # ---------------------------------------------------------------------------
@@ -745,10 +743,11 @@ def _run_pool(
     propagates to the caller unchanged — falling back would just re-raise it
     after re-running the whole grid.
     """
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except (OSError, PermissionError, ImportError) as exc:
-        _warn_pool_unavailable(exc, results)
+    from repro.util.pool import create_pool
+
+    pool = create_pool(workers)
+    if pool is None:
+        _reset_results(results)
         return False
     # Submit contiguous chunks, not single cells: ~4 chunks per worker keeps
     # the pool load-balanced while cutting submissions (and spec pickles)
@@ -776,13 +775,13 @@ def _run_pool(
     except BrokenProcessPool as exc:
         # Worker processes died before/while running (e.g. sandboxes that
         # forbid spawning); sequential execution produces the same numbers.
-        _warn_pool_unavailable(exc, results)
+        from repro.util.pool import warn_pool_unavailable
+
+        warn_pool_unavailable(exc)
+        _reset_results(results)
         return False
 
 
-def _warn_pool_unavailable(exc: BaseException, results: list) -> None:
-    import warnings
-
-    warnings.warn(f"process pool unavailable ({exc}); running sequentially")
+def _reset_results(results: list) -> None:
     for index in range(len(results)):
         results[index] = None

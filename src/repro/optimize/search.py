@@ -9,6 +9,15 @@ evaluation order, carrying its cost, analytic score, confirmed score
 (where measured) and the evaluator that produced it.  Drivers are fully
 deterministic in ``problem.seed`` (coordinate restarts draw from a seeded
 generator), so the same problem yields the same trail anywhere.
+
+Drivers emit candidate *frontiers*, not single probes: greedy scores one
+step's affordable neighbor upgrades in one batch, coordinate sweeps a
+whole axis at a time, exhaustive chunks the grid, and leader confirmation
+goes out as one batch.  Frontiers preserve the serial visit order
+exactly, so ``workers`` — which fans a frontier over the evaluator's
+process pool — and an attached :class:`~repro.util.evalcache.EvalCache`
+are pure machinery: the trail is bit-identical at any worker count, warm
+or cold.
 """
 
 from __future__ import annotations
@@ -53,7 +62,12 @@ class CandidateRecord:
 
 @dataclass(frozen=True)
 class OptimizationResult:
-    """A search run's full, reproducible record."""
+    """A search run's full, reproducible record.
+
+    ``workers``, ``cache_dir`` and the cache/engine counters describe the
+    machinery the run used — they never influence the trail or the
+    winner, only how fast the scores were produced.
+    """
 
     problem: PlacementProblem
     driver: str
@@ -62,6 +76,11 @@ class OptimizationResult:
     best: CandidateRecord | None = None
     analytic_evals: int = 0
     confirmed_evals: int = 0
+    engine_runs: int = 0
+    workers: int = 1
+    cache_dir: str | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def improvement_frac(self) -> float:
@@ -97,6 +116,16 @@ class OptimizationResult:
                 f"{100 * self.improvement_frac:.1f}% "
                 f"(analytic gap {100 * self.analytic_gap_frac:.1f}%)"
             )
+        summary = (
+            f"{self.analytic_evals} analytic + {self.confirmed_evals} "
+            f"confirmed evals; {self.engine_runs} engine runs"
+        )
+        if self.cache_dir is not None:
+            summary += (
+                f"; eval cache {self.cache_hits} hits / "
+                f"{self.cache_misses} misses ({self.cache_dir})"
+            )
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -108,6 +137,11 @@ class OptimizationResult:
             "best": None if self.best is None else self.best.to_dict(),
             "analytic_evals": int(self.analytic_evals),
             "confirmed_evals": int(self.confirmed_evals),
+            "engine_runs": int(self.engine_runs),
+            "workers": int(self.workers),
+            "cache_dir": self.cache_dir,
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
             "improvement_frac": float(self.improvement_frac),
             "analytic_gap_frac": float(self.analytic_gap_frac),
         }
@@ -117,43 +151,77 @@ class OptimizationResult:
 
 
 class _Trail:
-    """Evaluation log: analytic-scores each distinct candidate once."""
+    """Evaluation log: analytic-scores each distinct candidate once.
 
-    def __init__(self, problem: PlacementProblem):
+    Batch entry points hand whole frontiers to the evaluator while
+    appending records in the frontier's own order — the serial visit
+    order — so the trail never depends on how the scores were computed.
+    """
+
+    def __init__(self, problem: PlacementProblem, *, workers: int = 1, cache=None):
         self.problem = problem
-        self.evaluator = CandidateEvaluator(problem)
+        self.evaluator = CandidateEvaluator(problem, workers=workers, cache=cache)
         self.records: list[CandidateRecord] = []
         self._index: dict[tuple, int] = {}
 
     def score(self, assignment: dict) -> float:
-        key = _assignment_key(assignment)
-        if key not in self._index:
-            record = CandidateRecord(
-                step=len(self.records),
-                assignment=dict(assignment),
-                cost=self.problem.cost(assignment),
-                analytic=self.evaluator.analytic(assignment),
-                evaluator=self.evaluator.analytic_evaluator,
-            )
-            self._index[key] = len(self.records)
-            self.records.append(record)
-        return self.records[self._index[key]].analytic
+        return self.score_batch([assignment])[0]
+
+    def score_batch(self, assignments: list[dict]) -> list[float]:
+        """Analytic scores for one frontier, recorded in frontier order."""
+        new: list[tuple[tuple, dict]] = []
+        seen: set[tuple] = set()
+        for assignment in assignments:
+            key = _assignment_key(assignment)
+            if key not in self._index and key not in seen:
+                seen.add(key)
+                new.append((key, dict(assignment)))
+        if new:
+            scores = self.evaluator.analytic_batch([a for _, a in new])
+            for (key, assignment), score in zip(new, scores):
+                record = CandidateRecord(
+                    step=len(self.records),
+                    assignment=assignment,
+                    cost=self.problem.cost(assignment),
+                    analytic=score,
+                    evaluator=self.evaluator.analytic_evaluator,
+                )
+                self._index[key] = len(self.records)
+                self.records.append(record)
+        return [
+            self.records[self._index[_assignment_key(a)]].analytic
+            for a in assignments
+        ]
 
     def confirm(self, assignment: dict) -> CandidateRecord:
-        self.score(assignment)
-        index = self._index[_assignment_key(assignment)]
-        record = self.records[index]
-        if record.confirmed is None:
-            record = CandidateRecord(
-                step=record.step,
-                assignment=record.assignment,
-                cost=record.cost,
-                analytic=record.analytic,
-                confirmed=self.evaluator.confirmed(assignment),
-                evaluator=f"{record.evaluator}+{self.problem.confirm_engine}",
-            )
-            self.records[index] = record
-        return record
+        return self.confirm_batch([assignment])[0]
+
+    def confirm_batch(self, assignments: list[dict]) -> list[CandidateRecord]:
+        """Confirmation scores for the leaders, one engine batch."""
+        self.score_batch(assignments)
+        todo: list[tuple[tuple, dict]] = []
+        seen: set[tuple] = set()
+        for assignment in assignments:
+            key = _assignment_key(assignment)
+            if self.records[self._index[key]].confirmed is None and key not in seen:
+                seen.add(key)
+                todo.append((key, dict(assignment)))
+        if todo:
+            scores = self.evaluator.confirmed_batch([a for _, a in todo])
+            for (key, _), confirmed in zip(todo, scores):
+                index = self._index[key]
+                record = self.records[index]
+                self.records[index] = CandidateRecord(
+                    step=record.step,
+                    assignment=record.assignment,
+                    cost=record.cost,
+                    analytic=record.analytic,
+                    confirmed=confirmed,
+                    evaluator=f"{record.evaluator}+{self.problem.confirm_engine}",
+                )
+        return [
+            self.records[self._index[_assignment_key(a)]] for a in assignments
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -166,12 +234,13 @@ def _greedy(problem: PlacementProblem, trail: _Trail) -> None:
     Repeatedly takes the single-variable upgrade (next value in the
     variable's ordered list) with the best analytic gain per unit of
     additional cost, while the budget lasts and upgrades keep helping.
+    Each step's affordable upgrades form one frontier, scored in a single
+    batch.
     """
     current = problem.cheapest_assignment()
     score = trail.score(current)
     for _ in range(int(problem.max_steps)):
-        best_move = None
-        best_ratio = 0.0
+        frontier = []
         for var in problem.variables:
             index = var.values.index(current[var.name])
             if index + 1 >= len(var.values):
@@ -179,10 +248,18 @@ def _greedy(problem: PlacementProblem, trail: _Trail) -> None:
             candidate = {**current, var.name: var.values[index + 1]}
             if not problem.feasible(candidate):
                 continue
-            gain = score - trail.score(candidate)
+            frontier.append(candidate)
+        if not frontier:
+            return
+        scores = trail.score_batch(frontier)
+        best_move = None
+        best_ratio = 0.0
+        cost_now = problem.cost(current)
+        for candidate, candidate_score in zip(frontier, scores):
+            gain = score - candidate_score
             if gain <= _SCORE_EPS:
                 continue
-            delta_cost = problem.cost(candidate) - problem.cost(current)
+            delta_cost = problem.cost(candidate) - cost_now
             ratio = gain / max(delta_cost, _SCORE_EPS)
             if ratio > best_ratio:
                 best_ratio, best_move = ratio, candidate
@@ -193,7 +270,11 @@ def _greedy(problem: PlacementProblem, trail: _Trail) -> None:
 
 
 def _coordinate(problem: PlacementProblem, trail: _Trail) -> None:
-    """Coordinate-descent local search with seeded random restarts."""
+    """Coordinate-descent local search with seeded random restarts.
+
+    Each axis sweep is one frontier: the incumbent plus every feasible
+    alternative value, scored in a single batch.
+    """
     rng = np.random.default_rng(int(problem.seed))
     starts = [problem.uniform_baseline()]
     for _ in range(int(problem.restarts)):
@@ -205,17 +286,20 @@ def _coordinate(problem: PlacementProblem, trail: _Trail) -> None:
         while improved and steps < int(problem.max_steps):
             improved = False
             for var in problem.variables:
-                best_value = current[var.name]
-                best_score = trail.score(current)
+                sweep = [dict(current)]
                 for value in var.values:
                     if value == current[var.name]:
                         continue
                     candidate = {**current, var.name: value}
-                    if not problem.feasible(candidate):
-                        continue
-                    candidate_score = trail.score(candidate)
+                    if problem.feasible(candidate):
+                        sweep.append(candidate)
+                scores = trail.score_batch(sweep)
+                best_score = scores[0]
+                best_value = current[var.name]
+                for candidate, candidate_score in zip(sweep[1:], scores[1:]):
                     if candidate_score < best_score - _SCORE_EPS:
-                        best_score, best_value = candidate_score, value
+                        best_score = candidate_score
+                        best_value = candidate[var.name]
                 if best_value != current[var.name]:
                     current[var.name] = best_value
                     improved = True
@@ -245,17 +329,32 @@ def _random_feasible(problem: PlacementProblem, rng: np.random.Generator) -> dic
 
 
 def _exhaustive(problem: PlacementProblem, trail: _Trail) -> None:
-    """Score every feasible assignment (small grids only)."""
+    """Score every feasible assignment (small grids only), in grid chunks.
+
+    Chunks follow grid order — the first variable varies slowest — so a
+    contiguous chunk shares client-tier values, which keeps the topology
+    closure's pass-1 memo hot within each worker.
+    """
+    chunk_size = max(1, trail.evaluator.workers * 4)
+    max_steps = int(problem.max_steps)
     evaluated = 0
+    chunk: list[dict] = []
     for assignment in problem.grid():
-        if evaluated >= int(problem.max_steps):
+        if evaluated >= max_steps:
+            if chunk:
+                trail.score_batch(chunk)
             raise OptimizeError(
                 f"exhaustive scan exceeds max_steps={problem.max_steps} "
                 f"(grid holds {problem.n_candidates} raw candidates); raise "
                 "max_steps or use the greedy/coordinate drivers"
             )
-        trail.score(assignment)
+        chunk.append(assignment)
         evaluated += 1
+        if len(chunk) >= chunk_size:
+            trail.score_batch(chunk)
+            chunk = []
+    if chunk:
+        trail.score_batch(chunk)
 
 
 _DRIVER_FUNCS = {
@@ -265,33 +364,51 @@ _DRIVER_FUNCS = {
 }
 
 
-def optimize(problem: PlacementProblem, driver: str = "greedy") -> OptimizationResult:
+def optimize(
+    problem: PlacementProblem,
+    driver: str = "greedy",
+    *,
+    workers: int = 1,
+    cache=None,
+) -> OptimizationResult:
     """Run one search driver and confirm its leaders.
 
     The analytic top ``confirm_top`` candidates and the uniform baseline
     are re-measured with ``problem.confirm_engine``; the best confirmed
-    candidate is the winner.  Deterministic in ``problem`` alone.
+    candidate is the winner.  Deterministic in ``problem`` alone:
+    ``workers`` (process-pool fan-out) and ``cache`` (a persistent
+    :class:`~repro.util.evalcache.EvalCache`) only change how fast the
+    scores arrive, never their values or the trail.
     """
     if driver not in _DRIVER_FUNCS:
         raise OptimizeError(f"unknown driver {driver!r}; one of {list(DRIVERS)}")
-    trail = _Trail(problem)
-    _DRIVER_FUNCS[driver](problem, trail)
-    if not trail.records:
-        raise OptimizeError("the search evaluated no feasible candidate")
+    trail = _Trail(problem, workers=workers, cache=cache)
+    try:
+        _DRIVER_FUNCS[driver](problem, trail)
+        if not trail.records:
+            raise OptimizeError("the search evaluated no feasible candidate")
 
-    leaders = sorted(trail.records, key=lambda r: (r.analytic, r.step))
-    confirmed = [
-        trail.confirm(rec.assignment)
-        for rec in leaders[: int(problem.confirm_top)]
-    ]
-    baseline = trail.confirm(problem.uniform_baseline())
-    best = min(confirmed + [baseline], key=lambda r: (r.confirmed, r.step))
-    return OptimizationResult(
-        problem=problem,
-        driver=driver,
-        trail=tuple(trail.records),
-        baseline=baseline,
-        best=best,
-        analytic_evals=trail.evaluator.analytic_evals,
-        confirmed_evals=trail.evaluator.confirmed_evals,
-    )
+        leaders = sorted(trail.records, key=lambda r: (r.analytic, r.step))
+        targets = [
+            rec.assignment for rec in leaders[: int(problem.confirm_top)]
+        ]
+        records = trail.confirm_batch(targets + [problem.uniform_baseline()])
+        confirmed, baseline = list(records[:-1]), records[-1]
+        best = min(confirmed + [baseline], key=lambda r: (r.confirmed, r.step))
+        evaluator = trail.evaluator
+        return OptimizationResult(
+            problem=problem,
+            driver=driver,
+            trail=tuple(trail.records),
+            baseline=baseline,
+            best=best,
+            analytic_evals=evaluator.analytic_evals,
+            confirmed_evals=evaluator.confirmed_evals,
+            engine_runs=evaluator.engine_runs,
+            workers=evaluator.workers,
+            cache_dir=None if cache is None else str(cache.directory),
+            cache_hits=evaluator.cache_hits,
+            cache_misses=evaluator.cache_misses,
+        )
+    finally:
+        trail.evaluator.close()

@@ -7,6 +7,8 @@ here is specific to the paper; it is plumbing that every subpackage shares.
 from repro.util.rng import as_generator, derive_seed, spawn_generators
 from repro.util.listops import concat, exclude, last, without
 from repro.util.perf import Timer, profile_call, write_bench_json
+from repro.util.evalcache import EvalCache, eval_cache_key
+from repro.util.pool import available_workers, create_pool
 from repro.util.validation import (
     check_probability_vector,
     check_positive_vector,
@@ -15,8 +17,12 @@ from repro.util.validation import (
 
 __all__ = [
     "as_generator",
+    "available_workers",
+    "create_pool",
     "derive_seed",
     "spawn_generators",
+    "EvalCache",
+    "eval_cache_key",
     "concat",
     "exclude",
     "last",

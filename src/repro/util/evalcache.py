@@ -1,0 +1,126 @@
+"""Persistent cross-run evaluation cache for expensive engine scores.
+
+The placement optimizer scores every candidate by running an engine — the
+hybrid closure, the two-pass Che closure, or a full event confirmation —
+and each of those scores is a *pure function* of (one-cell spec, engine,
+package version): every draw derives from the spec's seed, so the same
+triple always reproduces the same number on the same version.  That makes
+the scores safely cacheable across processes and across runs: a repeated
+``repro optimize run``, a benchmark re-run or a CI smoke that already
+scored a candidate can start warm instead of resimulating it.
+
+:class:`EvalCache` is that store — an on-disk JSON-lines file, one record
+per scored evaluation, keyed by a content hash the caller derives with
+:func:`eval_cache_key`.  The whole file loads into a dict on first use;
+writes append a line, so concurrent *readers* always see a consistent
+prefix and a torn trailing line is simply skipped on the next load.  The
+package version is part of the key, so a cache directory survives upgrades
+without ever serving stale scores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+__all__ = ["EvalCache", "eval_cache_key"]
+
+#: Schema version of the cache records; bump on breaking changes.
+EVALCACHE_SCHEMA = 1
+
+#: File name inside the cache directory.
+EVALCACHE_FILE = "evalcache.jsonl"
+
+
+def eval_cache_key(spec_payload, engine: str, *, extra=None) -> str:
+    """Content hash of one evaluation: (spec payload, engine, version).
+
+    ``spec_payload`` is any JSON-able description of the evaluated system
+    (typically ``ExperimentSpec.to_dict()``); ``engine`` names the scoring
+    machinery (``"event"``, ``"hybrid"``, ``"che-closure"`` …); ``extra``
+    carries engine knobs that live outside the spec (e.g. the closure's
+    sample size).  The package version is always folded in, so a new
+    release never reads scores recorded by an old one.
+    """
+    import repro
+
+    material = {
+        "schema": EVALCACHE_SCHEMA,
+        "spec": spec_payload,
+        "engine": str(engine),
+        "extra": extra,
+        "version": repro.__version__,
+    }
+    canonical = json.dumps(material, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class EvalCache:
+    """On-disk JSON-lines score store with hit/miss accounting.
+
+    ``lookup`` and ``store`` are the whole protocol; ``hits`` / ``misses``
+    / ``stores`` count this process's traffic (the counters the optimizer
+    surfaces in its trail summary and BENCH artifacts), while ``stats()``
+    also reports how many entries the directory holds in total.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.path = self.directory / EVALCACHE_FILE
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._entries: dict[str, float] | None = None
+
+    # -- the store ---------------------------------------------------------
+    def _load(self) -> dict[str, float]:
+        if self._entries is None:
+            entries: dict[str, float] = {}
+            if self.path.exists():
+                for line in self.path.read_text().splitlines():
+                    try:
+                        record = json.loads(line)
+                        entries[str(record["key"])] = float(record["score"])
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        continue  # torn/corrupt line: skip, never fail
+            self._entries = entries
+        return self._entries
+
+    def lookup(self, key: str) -> float | None:
+        """The cached score for ``key``, counting the hit or miss."""
+        score = self._load().get(key)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def store(self, key: str, score: float, *, meta: dict | None = None) -> None:
+        """Record one score (appends a JSON line; idempotent per key)."""
+        entries = self._load()
+        if key in entries:
+            return
+        entries[key] = float(score)
+        self.stores += 1
+        record = {
+            "key": key,
+            "score": float(score),
+            "created_unix": time.time(),
+            **(meta or {}),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters + store size, the shape BENCH artifacts record."""
+        return {
+            "path": str(self.path),
+            "entries": len(self._load()),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "stores": int(self.stores),
+        }

@@ -1,0 +1,45 @@
+"""Shared process-pool machinery for the parallel engines.
+
+Two consumers fan work out over :class:`~concurrent.futures.ProcessPoolExecutor`
+pools: the experiment engine (:mod:`repro.experiments.engine`, one pool per
+``run()``) and the placement optimizer's batched candidate evaluator
+(:mod:`repro.optimize.evaluate`, one pool reused across every frontier of a
+search).  Both need the same guard rails — restricted environments
+(sandboxes, containers without ``/dev/shm``) cannot spawn worker processes,
+and the correct response is a warning plus a bit-identical sequential
+fallback, never a crash.  This module is that one shared answer.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["available_workers", "create_pool", "warn_pool_unavailable"]
+
+
+def available_workers() -> int:
+    """All usable cores (share-nothing tasks scale linearly)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+def create_pool(workers: int) -> ProcessPoolExecutor | None:
+    """A worker pool, or ``None`` (with a warning) where pools cannot spawn.
+
+    Only pool *infrastructure* failures are swallowed — the caller falls
+    back to in-process execution, which produces identical results because
+    every task's randomness is derived from its inputs alone.
+    """
+    try:
+        return ProcessPoolExecutor(max_workers=max(1, int(workers)))
+    except (OSError, PermissionError, ImportError) as exc:
+        warn_pool_unavailable(exc)
+        return None
+
+
+def warn_pool_unavailable(exc: BaseException) -> None:
+    warnings.warn(f"process pool unavailable ({exc}); running sequentially")

@@ -139,3 +139,73 @@ class TestEdgeChePreset:
         for cell in result.cells:
             gap = abs(cell.metrics["edge_hit_rate"] - cell.metrics["che_edge_hit_rate"])
             assert gap <= 0.05, f"{cell.params}: |sim - che| = {gap:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# Vectorized grid solvers vs the scalar loop (hypothesis corpus)
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.analysis.cacheperf import (  # noqa: E402
+    che_characteristic_time_grid,
+    che_hit_ratio_grid,
+    miss_stream_cascade,
+)
+
+# Weights may include exact zeros (items with no demand) and the grid may
+# include 0 (degenerate tier) and sizes >= the positive-support count (the
+# divergent fixed point): all three regimes must agree with the scalar path.
+_weights = st.lists(
+    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=40,
+).filter(lambda w: sum(w) > 1e-6)
+_sizes = st.lists(st.integers(0, 45), min_size=1, max_size=8)
+
+
+@given(weights=_weights, sizes=_sizes)
+@settings(max_examples=80, deadline=None)
+def test_grid_solver_matches_scalar_loop(weights, sizes):
+    """One broadcast bisection == one scalar bisection per capacity."""
+    p = np.asarray(weights, dtype=np.float64)
+    p = p / p.sum()
+    grid_t = che_characteristic_time_grid(p, sizes)
+    grid_h = che_hit_ratio_grid(p, sizes)
+    assert grid_t.shape == (len(sizes),)
+    assert grid_h.shape == (len(sizes),)
+    for size, t_grid, h_grid in zip(sizes, grid_t, grid_h):
+        t_scalar = che_characteristic_time(p, size)
+        if np.isinf(t_scalar):
+            assert np.isinf(t_grid)
+        else:
+            assert t_grid == pytest.approx(t_scalar, rel=1e-9, abs=1e-9)
+        assert h_grid == pytest.approx(
+            che_cache_hit_ratio(p, size), rel=1e-9, abs=1e-9
+        )
+
+
+@given(weights=_weights, sizes=_sizes)
+@settings(max_examples=80, deadline=None)
+def test_cascade_matches_scalar_tier_loop(weights, sizes):
+    """The batched cascade == the tier-by-tier scalar chain."""
+    p = np.asarray(weights, dtype=np.float64)
+    p = p / p.sum()
+    ratios, pdfs = miss_stream_cascade(p, sizes)
+    assert len(ratios) == len(sizes) and len(pdfs) == len(sizes)
+
+    demand = p.copy()
+    for size, ratio, after in zip(sizes, ratios, pdfs):
+        if int(size) < 1 or float(demand.sum()) <= 0.0:
+            assert ratio == 0.0
+            assert np.allclose(after, demand, atol=1e-12)
+        else:
+            per_item = che_hit_ratios(demand, int(size))
+            expected = min(1.0, float(np.dot(demand, per_item)))
+            assert ratio == pytest.approx(expected, rel=1e-9, abs=1e-9)
+            missed = demand * (1.0 - per_item)
+            total = float(missed.sum())
+            expected_after = missed / total if total > 0 else missed
+            assert np.allclose(after, expected_after, atol=1e-9)
+        demand = np.asarray(after, dtype=np.float64)

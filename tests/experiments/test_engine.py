@@ -268,12 +268,12 @@ class TestParallelism:
     def test_serial_fast_path_never_creates_a_pool(self, monkeypatch):
         # workers=1 must bypass ProcessPoolExecutor entirely — that is the
         # engine's serial fast path (no spin-up, no pickling).
-        import repro.experiments.engine as engine_mod
+        import repro.util.pool as pool_mod
 
         def forbidden(*args, **kwargs):  # pragma: no cover - failure path
             raise AssertionError("workers=1 must not create a process pool")
 
-        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", forbidden)
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", forbidden)
         spec = po_spec(iterations=10)
         result = run(spec, workers=1)
         assert result.provenance["workers"] == 1

@@ -1,0 +1,101 @@
+"""Parallel frontiers and the persistent cache are machinery, never inputs.
+
+The ISSUE acceptance pair: (1) the same problem yields record-for-record
+identical trails at any worker count and on a warm re-run, and (2) a warm
+re-run performs zero engine executions — every score comes from the
+on-disk evaluation cache and the hit counters say so.
+"""
+
+import pytest
+
+from repro.experiments import preset
+from repro.optimize import optimize, problem_from_spec
+from repro.util import EvalCache
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return problem_from_spec(preset("opt-validate"))
+
+
+@pytest.fixture(scope="module")
+def serial_result(problem):
+    return optimize(problem, driver="greedy", workers=1)
+
+
+def _assert_trails_equal(left, right):
+    assert len(left.trail) == len(right.trail)
+    for a, b in zip(left.trail, right.trail):
+        assert a.step == b.step
+        assert a.assignment == b.assignment
+        assert a.cost == b.cost
+        assert a.analytic == b.analytic
+        assert a.confirmed == b.confirmed
+        assert a.evaluator == b.evaluator
+
+
+class TestWorkerInvariance:
+    def test_workers_4_trail_matches_serial(self, problem, serial_result):
+        parallel = optimize(problem, driver="greedy", workers=4)
+        _assert_trails_equal(serial_result, parallel)
+        assert parallel.workers == 4 and serial_result.workers == 1
+        assert parallel.best.assignment == serial_result.best.assignment
+        assert parallel.baseline.confirmed == serial_result.baseline.confirmed
+
+    def test_rerun_trail_matches_first_run(self, problem, serial_result):
+        rerun = optimize(problem, driver="greedy", workers=1)
+        _assert_trails_equal(serial_result, rerun)
+
+    def test_topology_driver_batches_match_serial(self):
+        # The tree closure takes the frontier path through the pass-1 memo
+        # and affinity chunks; coordinate exercises axis-sweep frontiers.
+        topo = problem_from_spec(preset("opt-edge-budget", iterations=60))
+        _assert_trails_equal(
+            optimize(topo, driver="coordinate", workers=1),
+            optimize(topo, driver="coordinate", workers=3),
+        )
+
+    def test_workers_do_not_enter_result_identity(self, problem, serial_result):
+        parallel = optimize(problem, driver="greedy", workers=4)
+        serial_payload = serial_result.to_dict()
+        parallel_payload = parallel.to_dict()
+        assert serial_payload.pop("workers") == 1
+        assert parallel_payload.pop("workers") == 4
+        assert serial_payload == parallel_payload
+
+
+class TestWarmCache:
+    def test_warm_rerun_runs_zero_engines(self, problem, serial_result, tmp_path, monkeypatch):
+        cold = optimize(problem, driver="greedy", cache=EvalCache(tmp_path))
+        _assert_trails_equal(serial_result, cold)
+        assert cold.engine_runs == cold.cache_misses > 0
+        assert cold.cache_hits == 0
+
+        # A warm re-run must never reach an engine: poison run_cell, which
+        # both evaluation levels of this fleet-kind problem go through.
+        import repro.experiments.engine as engine_mod
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("warm cache re-run must not execute engines")
+
+        monkeypatch.setattr(engine_mod, "run_cell", forbidden)
+        warm = optimize(problem, driver="greedy", cache=EvalCache(tmp_path))
+        assert warm.engine_runs == 0
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        _assert_trails_equal(cold, warm)
+        assert warm.analytic_evals == cold.analytic_evals
+        assert warm.confirmed_evals == cold.confirmed_evals
+
+    def test_trail_summary_reports_cache_traffic(self, problem, tmp_path):
+        cache_dir = tmp_path / "cache"
+        optimize(problem, driver="greedy", cache=EvalCache(cache_dir))
+        warm = optimize(problem, driver="greedy", cache=EvalCache(cache_dir))
+        summary = warm.format_table().splitlines()[-1]
+        assert "0 engine runs" in summary
+        assert f"eval cache {warm.cache_hits} hits / 0 misses" in summary
+        assert warm.cache_dir == str(cache_dir)
+        payload = warm.to_dict()
+        assert payload["cache_hits"] == warm.cache_hits
+        assert payload["engine_runs"] == 0
+        assert payload["cache_dir"] == str(cache_dir)

@@ -1,0 +1,105 @@
+"""Persistent evaluation cache: keys, store protocol, durability, counters."""
+
+import json
+
+import pytest
+
+from repro.util.evalcache import EVALCACHE_FILE, EvalCache, eval_cache_key
+from repro.util.pool import available_workers, create_pool
+
+
+SPEC = {"kind": "optimize", "workload": {"cache_capacity": 4}, "seed": 7}
+
+
+class TestKey:
+    def test_deterministic_and_order_insensitive(self):
+        a = eval_cache_key({"x": 1, "y": 2}, "hybrid")
+        b = eval_cache_key({"y": 2, "x": 1}, "hybrid")
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_engine_spec_and_extra_all_separate_keys(self):
+        base = eval_cache_key(SPEC, "hybrid")
+        assert eval_cache_key(SPEC, "event") != base
+        assert eval_cache_key({**SPEC, "seed": 8}, "hybrid") != base
+        assert eval_cache_key(SPEC, "hybrid", extra={"sample": 4}) != base
+
+    def test_version_is_folded_in(self, monkeypatch):
+        import repro
+
+        before = eval_cache_key(SPEC, "hybrid")
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert eval_cache_key(SPEC, "hybrid") != before
+
+
+class TestEvalCache:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = eval_cache_key(SPEC, "hybrid")
+        assert cache.lookup(key) is None
+        cache.store(key, 12.5, meta={"level": "analytic"})
+        assert cache.lookup(key) == 12.5
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_survives_across_instances(self, tmp_path):
+        key = eval_cache_key(SPEC, "event")
+        EvalCache(tmp_path).store(key, 3.25)
+        warm = EvalCache(tmp_path)
+        assert warm.lookup(key) == 3.25
+        assert warm.hits == 1 and warm.misses == 0
+
+    def test_store_is_idempotent_per_key(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = eval_cache_key(SPEC, "hybrid")
+        cache.store(key, 1.0)
+        cache.store(key, 999.0)  # ignored: first write wins
+        assert cache.stores == 1
+        lines = (tmp_path / EVALCACHE_FILE).read_text().splitlines()
+        assert len(lines) == 1
+        assert cache.lookup(key) == 1.0
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        key = eval_cache_key(SPEC, "hybrid")
+        cache.store(key, 2.0)
+        with (tmp_path / EVALCACHE_FILE).open("a") as handle:
+            handle.write("{torn json\n")
+            handle.write(json.dumps({"no_key_field": 1}) + "\n")
+        fresh = EvalCache(tmp_path)
+        assert fresh.lookup(key) == 2.0
+        assert fresh.stats()["entries"] == 1
+
+    def test_stats_shape(self, tmp_path):
+        cache = EvalCache(tmp_path)
+        stats = cache.stats()
+        assert stats == {
+            "path": str(tmp_path / EVALCACHE_FILE),
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+        }
+
+
+class TestPool:
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+    def test_create_pool_roundtrip_or_graceful_none(self):
+        pool = create_pool(2)
+        if pool is None:  # restricted sandbox: the warning path
+            return
+        try:
+            assert pool.submit(int, "7").result() == 7
+        finally:
+            pool.shutdown()
+
+    def test_pool_failure_warns_and_returns_none(self, monkeypatch):
+        import repro.util.pool as pool_mod
+
+        def broken(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", broken)
+        with pytest.warns(UserWarning, match="process pool unavailable"):
+            assert create_pool(4) is None
