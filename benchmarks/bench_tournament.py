@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark the standing predictor tournament: the full zoo on shared streams.
+
+Runs a ``tournament``-kind preset (every registered predictor × dynamics
+scenario × oracle/online on CRN-identical request streams), prints the
+ranked scoreboard, and records it under ``results/bench_tournament*``.
+Two things are being watched:
+
+* **outcome** — per-scenario post-shift hit rates and the gap-closure
+  column: how much of the oracle→baseline headroom the challenger
+  predictors (``learned``, ``rules``) recover once the world has moved;
+* **throughput** — wall time per cell, since the tournament is the
+  widest standing sweep in the suite (the full preset is 112 cells) and
+  oracle memoization is supposed to keep it tractable.
+
+Acceptance gates (the ISSUE/CI criteria) ride on the same run:
+
+* ``--min-online-post-hit H`` — at least one online predictor must reach
+  post-shift hit rate ``H`` on the gate scenario (CI smoke uses 0.50 on
+  ``regime``);
+* ``--min-gap-closure F`` — the best challenger must close at least
+  fraction ``F`` of the oracle→baseline post-shift gap on the gate
+  scenario (the ISSUE acceptance floor is 0.25).
+
+Run:  python benchmarks/bench_tournament.py [--preset NAME]
+(tournament-smoke by default; REPRO_FULL=1 runs the full 112-cell
+tournament preset)
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import FULL, emit, emit_bench_json, results_path
+
+
+def main() -> int:
+    from repro.experiments import (
+        best_gap_closure,
+        default_workers,
+        format_scoreboard,
+        preset,
+        run,
+        scoreboard,
+    )
+    from repro.viz.csvout import write_rows
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default=None,
+                        help="tournament preset name (default: tournament-smoke, "
+                        "or tournament under REPRO_FULL=1)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="override requests per client")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the master seed")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process pool size (default: auto)")
+    parser.add_argument("--scenario", default="regime",
+                        help="scenario the gates are checked on")
+    parser.add_argument("--min-online-post-hit", type=float, default=None,
+                        help="fail unless some online predictor reaches this "
+                        "post-shift hit rate on the gate scenario (CI gate)")
+    parser.add_argument("--min-gap-closure", type=float, default=None,
+                        help="fail unless a challenger closes this fraction of "
+                        "the oracle→baseline gap on the gate scenario (CI gate)")
+    args = parser.parse_args()
+
+    name = args.preset or ("tournament" if FULL else "tournament-smoke")
+    spec = preset(name)
+    overrides = {}
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    workers = args.workers if args.workers is not None else default_workers()
+
+    started = time.perf_counter()
+    result = run(spec, workers=workers)
+    elapsed = time.perf_counter() - started
+    rows = scoreboard(result)
+    board = format_scoreboard(rows)
+
+    n_cells = len(result.cells)
+    slug = name.replace("-", "_")
+    header = [
+        "scenario", "predictor", "model_source", "rank", "pre_hit_rate",
+        "post_hit_rate", "overall_hit_rate", "overall_mean_access_time",
+        "model_kl_post", "model_prob_post", "gap_closure",
+    ]
+    csv_rows = [
+        [
+            r.scenario, r.predictor, r.model_source, str(r.rank),
+            f"{r.pre_hit_rate:.4f}", f"{r.post_hit_rate:.4f}",
+            f"{r.overall_hit_rate:.4f}", f"{r.overall_mean_access_time:.4f}",
+            f"{r.model_kl_post:.4f}", f"{r.model_prob_post:.4f}",
+            f"{r.gap_closure:.4f}" if math.isfinite(r.gap_closure) else "",
+        ]
+        for r in rows
+    ]
+    bench_rows = [
+        {
+            "scenario": r.scenario,
+            "predictor": r.predictor,
+            "model_source": r.model_source,
+            "rank": r.rank,
+            "pre_hit_rate": round(r.pre_hit_rate, 4),
+            "post_hit_rate": round(r.post_hit_rate, 4),
+            "overall_hit_rate": round(r.overall_hit_rate, 4),
+            "overall_mean_access_time": round(r.overall_mean_access_time, 4),
+            "model_kl_post": round(r.model_kl_post, 4),
+            "model_prob_post": round(r.model_prob_post, 4),
+            "gap_closure": (
+                round(r.gap_closure, 4) if math.isfinite(r.gap_closure) else None
+            ),
+        }
+        for r in rows
+    ]
+
+    lines = [
+        f"tournament benchmark: preset {name}, {n_cells} cells, "
+        f"{spec.iterations} requests/client, seed {spec.seed}, "
+        f"{workers} workers",
+        f"wall {elapsed:.1f}s  ({n_cells / elapsed:.2f} cells/s)",
+        "",
+        board,
+    ]
+    write_rows(results_path(f"bench_{slug}.csv"), header, csv_rows)
+    emit(f"bench_{slug}.txt", "\n".join(lines))
+    emit_bench_json(
+        slug,
+        params={
+            "preset": name,
+            "cells": n_cells,
+            "iterations": spec.iterations,
+            "seed": spec.seed,
+            "workers": workers,
+            "elapsed_s": round(elapsed, 3),
+            "gate_scenario": args.scenario,
+            "min_online_post_hit": args.min_online_post_hit,
+            "min_gap_closure": args.min_gap_closure,
+        },
+        rows=bench_rows,
+    )
+    print(f"\nwrote {results_path(f'bench_{slug}.csv')}")
+
+    failures: list[str] = []
+    if args.min_online_post_hit is not None:
+        online = [
+            r.post_hit_rate
+            for r in rows
+            if r.scenario == args.scenario and r.model_source == "online"
+        ]
+        best = max(online) if online else math.nan
+        if not (best >= args.min_online_post_hit):
+            failures.append(
+                f"GATE FAIL: best online post-shift hit rate on "
+                f"{args.scenario!r} is {best:.3f} < {args.min_online_post_hit:.3f}"
+            )
+        else:
+            print(
+                f"gate ok: best online post-shift hit rate on "
+                f"{args.scenario!r} = {best:.3f} >= {args.min_online_post_hit:.3f}"
+            )
+    if args.min_gap_closure is not None:
+        closure = best_gap_closure(rows, scenario=args.scenario)
+        if not (closure >= args.min_gap_closure):
+            failures.append(
+                f"GATE FAIL: best challenger gap closure on {args.scenario!r} "
+                f"is {closure:.1%} < {args.min_gap_closure:.1%}"
+            )
+        else:
+            print(
+                f"gate ok: best challenger gap closure on {args.scenario!r} "
+                f"= {closure:.1%} >= {args.min_gap_closure:.1%}"
+            )
+    if failures:
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    if args.min_online_post_hit is not None or args.min_gap_closure is not None:
+        print("all gates ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

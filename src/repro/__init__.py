@@ -72,7 +72,7 @@ from repro.core import (
     upper_bound,
 )
 
-__version__ = "1.9.0"  # keep in sync with pyproject.toml
+__version__ = "1.10.0"  # keep in sync with pyproject.toml
 
 __all__ = [
     "__version__",

@@ -23,6 +23,10 @@ Small, dependency-free front door for the library:
   one greedy/coordinate/exhaustive driver on an ``opt-*`` preset and print
   the candidate trail, ``list`` the optimize presets, ``describe`` one
   problem's decision variables, bounds and cost budget;
+* ``tournament`` — the standing predictor bake-off: ``run`` a tournament
+  preset (every predictor × dynamics scenario × oracle/online on CRN-shared
+  streams) and print the ranked scoreboard with oracle→baseline gap
+  closure, ``list`` the tournament presets;
 * ``version``    — print the package version.
 
 Installed as the ``repro`` console script (``pip install -e .`` →
@@ -748,6 +752,67 @@ def _cmd_optimize_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# tournament subcommands
+# ---------------------------------------------------------------------------
+
+def _tournament_preset(args: argparse.Namespace):
+    """Resolve a ``tournament``-kind preset or fail with the valid names."""
+    from repro.experiments import PRESETS, preset
+
+    if args.name not in PRESETS:
+        args.parser.error(
+            f"unknown preset {args.name!r}; available: {', '.join(PRESETS.names())}"
+        )
+    spec = preset(args.name)
+    if spec.kind != "tournament":
+        names = [n for n in PRESETS.names() if preset(n).kind == "tournament"]
+        args.parser.error(
+            f"preset {args.name!r} is kind {spec.kind!r}, not a tournament "
+            f"preset; choose from: {', '.join(names)}"
+        )
+    return spec
+
+
+def _cmd_tournament_run(args: argparse.Namespace) -> int:
+    from repro.experiments import default_workers, run
+    from repro.experiments.tournament import format_scoreboard, scoreboard
+
+    spec = _tournament_preset(args).with_overrides(
+        iterations=args.iterations, seed=args.seed
+    )
+    workers = default_workers() if args.workers is None else args.workers
+    total = len(spec.cells())
+    print(f"{spec.summary()} [workers={workers}]", file=sys.stderr)
+
+    def progress(done: int, _total: int, cell) -> None:
+        if args.quiet:
+            return
+        params = " ".join(f"{k}={v}" for k, v in cell.params.items())
+        print(f"  [{done}/{total}] {params}", file=sys.stderr)
+
+    result = run(spec, workers=workers, progress=progress)
+    print(format_scoreboard(scoreboard(result)))
+    if args.output_dir:
+        csv_path, json_path = result.write(args.output_dir)
+        print(f"\nwrote {csv_path} and {json_path}")
+    return 0
+
+
+def _cmd_tournament_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import preset, preset_names
+
+    print("tournament presets:")
+    for name in preset_names():
+        spec = preset(name)
+        if spec.kind != "tournament":
+            continue
+        print(f"  {spec.summary()}")
+        if spec.description:
+            print(f"    {spec.description}")
+    return 0
+
+
 def _cmd_version(_args: argparse.Namespace) -> int:
     import repro
 
@@ -1015,6 +1080,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     odescribe.add_argument("name", help="optimize preset name")
     odescribe.set_defaults(func=_cmd_optimize_describe, parser=odescribe)
+
+    tournament = sub.add_parser(
+        "tournament", help="standing predictor bake-off on drifting streams"
+    )
+    tsub = tournament.add_subparsers(dest="tournament_command", required=True)
+
+    trun = tsub.add_parser(
+        "run", help="run a tournament preset and print the ranked scoreboard"
+    )
+    trun.add_argument(
+        "name",
+        nargs="?",
+        default="tournament",
+        help="tournament preset name (default: tournament; see `tournament list`)",
+    )
+    trun.add_argument("--iterations", type=_positive_int, default=None,
+                      help="requests per client in every cell")
+    trun.add_argument("--seed", type=int, default=None)
+    trun.add_argument("--workers", type=_positive_int, default=None,
+                      help="worker processes (default: all cores; 1 = "
+                      "sequential; the scoreboard is identical either way)")
+    trun.add_argument("--output-dir", default=None,
+                      help="also write the raw cell table CSV/JSON here")
+    trun.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    trun.set_defaults(func=_cmd_tournament_run, parser=trun)
+
+    tlist = tsub.add_parser("list", help="list the tournament presets")
+    tlist.set_defaults(func=_cmd_tournament_list, parser=tlist)
 
     version = sub.add_parser("version", help="print the package version")
     version.set_defaults(func=_cmd_version, parser=version)

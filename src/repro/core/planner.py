@@ -32,7 +32,18 @@ from repro.core.kp import solve_kp
 from repro.core.skp import solve_skp
 from repro.core.types import PrefetchPlan, PrefetchProblem
 
-__all__ = ["PlanOutcome", "Prefetcher"]
+__all__ = ["ONLINE_NODE_BUDGET", "PlanOutcome", "Prefetcher"]
+
+#: Default SKP node budget for planners fed by *online/learned* models.
+#: Library-constructed oracle rows are top-k truncations with distinct
+#: values, where the eq. (7) bound prunes in tens of nodes; learned rows
+#: can carry long runs of exactly tied probabilities (uniform residual
+#: mass, equal counts) where tie-degenerate bounds stop pruning and the
+#: search goes combinatorial.  20k nodes is ~100x a benign solve, so the
+#: cap never binds on healthy instances and turns pathological ones into
+#: a deterministic anytime solve.  Oracle/static paths keep ``None``
+#: (proven-optimal, bit-exact with the golden traces).
+ONLINE_NODE_BUDGET = 20_000
 
 _STRATEGIES = ("skp", "kp", "none")
 _SUB_ARBITRATIONS = (None, "lfu", "ds")
@@ -127,11 +138,18 @@ class Prefetcher:
     sub_arbitration:
         ``None``, ``"lfu"`` or ``"ds"`` — the §5.2 secondary victim key.
         LFU and DS require access frequencies to be passed to :meth:`plan`.
+    node_budget:
+        Optional cap on SKP branch-and-bound nodes per solve (see
+        :func:`repro.core.skp.solve_skp`).  ``None`` (default) keeps the
+        solver exact; online-model planning paths set a budget because
+        learned rows can carry exactly tied probabilities that defeat
+        bound pruning.  Ignored by the ``"kp"`` and ``"none"`` strategies.
     """
 
     strategy: str = "skp"
     variant: str = "corrected"
     sub_arbitration: str | None = None
+    node_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in _STRATEGIES:
@@ -196,7 +214,9 @@ class Prefetcher:
             return PrefetchPlan(())
         sub = problem.subproblem(candidates)
         if self.strategy == "skp":
-            local = solve_skp(sub, variant=self.variant).plan
+            local = solve_skp(
+                sub, variant=self.variant, node_budget=self.node_budget
+            ).plan
         else:
             local = solve_kp(sub).plan
         return PrefetchPlan.from_trusted(tuple(candidates[k] for k in local.items))

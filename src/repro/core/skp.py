@@ -121,6 +121,7 @@ def solve_skp(
     variant: str = "corrected",
     use_bound: bool = True,
     stretch_penalty_bonus: float = 0.0,
+    node_budget: int | None = None,
 ) -> SKPResult:
     """Maximise the access improvement ``g*(F)`` over prefetch lists ``F``.
 
@@ -144,11 +145,25 @@ def solve_skp(
         charge the stretch for the next viewing period it intrudes on.  The
         eq. (7) bound remains valid because the inflated objective is
         dominated by the original.
+    node_budget:
+        ``None`` (the default) searches to proven optimality — bit-exact
+        with every previous release.  A positive budget caps the number of
+        branch-and-bound *nodes* and returns the best incumbent found when
+        it runs out (including the partial forward path), turning the
+        solver into a deterministic anytime algorithm.  Learned/online
+        planner rows need this: a model that spreads residual mass
+        uniformly produces many *exactly tied* probabilities, and on ties
+        the Dantzig bound equals the incumbent up to floating-point
+        rounding, so pruning degrades and the search can go combinatorial.
+        The budget is a hard, input-independent node count, so results stay
+        deterministic and worker-count invariant.
     """
     if variant not in _VARIANTS:
         raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
     if stretch_penalty_bonus < 0.0:
         raise ValueError("stretch_penalty_bonus must be non-negative")
+    if node_budget is not None and node_budget < 1:
+        raise ValueError("node_budget must be positive or None")
 
     order_full = canonical_order(problem)
     p_full = problem.probabilities[order_full]
@@ -193,6 +208,7 @@ def solve_skp(
     j = 0
     nodes = 0
     cutoffs = 0
+    exhausted = False
 
     # Figure 3's steps 2-5 as direct control flow (the former explicit
     # state machine, minus the per-transition dispatch): the inner loop
@@ -221,6 +237,9 @@ def solve_skp(
             rebound = False
             while j < n and v_hat > 0.0:
                 nodes += 1
+                if node_budget is not None and nodes > node_budget:
+                    exhausted = True
+                    break
                 penalty = (suffix_mass[j] if faithful else 1.0 - sel_mass) + stretch_penalty_bonus
                 overrun = r[j] - v_hat
                 delta = p[j] * r[j] - (penalty * overrun if overrun > 0.0 else 0.0)
@@ -237,6 +256,14 @@ def solve_skp(
                     x_hat[j] = True
                     selected_stack.append(j)
                     j += 1
+            if exhausted:
+                # Budget exhausted mid-path: the current partial selection
+                # is itself a feasible plan — keep it if it beats the
+                # incumbent, then stop deterministically.
+                if g_hat > g_best:
+                    g_best = g_hat
+                    x_best = x_hat.copy()
+                break
             if rebound:
                 continue  # back to step 2
             # -- step 4: update the incumbent
@@ -246,7 +273,7 @@ def solve_skp(
             break  # to step 5
 
         # -- step 5: backtrack
-        if not selected_stack:
+        if exhausted or not selected_stack:
             break  # step 6
         k = selected_stack.pop()
         x_hat[k] = False

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.base import Cache
-from repro.core.planner import Prefetcher
+from repro.core.planner import ONLINE_NODE_BUDGET, Prefetcher
 from repro.distsys.events import EventQueue
 from repro.distsys.network import Link, ServerUplink
 from repro.distsys.planning import ClientPlanState
@@ -465,6 +465,10 @@ class Fleet:
             strategy=config.strategy,
             variant=config.skp_variant,
             sub_arbitration=config.sub_arbitration,
+            # Online rows are learned, so they can carry exactly tied
+            # probabilities that defeat bound pruning; cap the solve.
+            # Oracle rows keep the proven-optimal (bit-exact) search.
+            node_budget=ONLINE_NODE_BUDGET if config.model_source == "online" else None,
         )
         self.clients = [
             FleetClient(

@@ -58,7 +58,7 @@ from repro.analysis.cacheperf import (
     miss_stream_cascade,
     service_moments,
 )
-from repro.core.planner import Prefetcher
+from repro.core.planner import ONLINE_NODE_BUDGET, Prefetcher
 from repro.distsys.fleet import FleetConfig, FleetResult, build_client_model
 from repro.distsys.network import Link
 from repro.distsys.planning import ClientPlanState
@@ -227,6 +227,9 @@ class CohortFleet:
             strategy=config.strategy,
             variant=config.skp_variant,
             sub_arbitration=config.sub_arbitration,
+            # Same guard as the event engine: learned rows may carry tied
+            # probabilities that defeat bound pruning (see core.planner).
+            node_budget=ONLINE_NODE_BUDGET if config.model_source == "online" else None,
         )
         #: Cohort-level memoization is sound only when provider rows never
         #: change (oracle model) and plans ignore the per-client frequency

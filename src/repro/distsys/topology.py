@@ -47,7 +47,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.cache.base import Cache
-from repro.core.planner import Prefetcher
+from repro.core.planner import ONLINE_NODE_BUDGET, Prefetcher
 from repro.core.types import PrefetchProblem
 from repro.distsys.events import EventQueue
 from repro.distsys.fleet import FleetClient, build_client_model, run_to_quiescence
@@ -278,7 +278,11 @@ class ProxyNode:
         self.link_up = link_up
         self.cache = cache
         self.predictor = predictor
-        self.planner = Prefetcher(strategy=strategy, variant=skp_variant)
+        # Proxy speculation always plans from a learned edge predictor's
+        # rows, so the tied-probability node budget applies unconditionally.
+        self.planner = Prefetcher(
+            strategy=strategy, variant=skp_variant, node_budget=ONLINE_NODE_BUDGET
+        )
         self.prefetch_budget = int(prefetch_budget)
         self.prefetch_window = float(prefetch_window)
         self.uplink_streams = max(1, int(uplink_streams))
@@ -684,6 +688,9 @@ class CacheNetwork:
             strategy=client_strategy,
             variant=config.skp_variant,
             sub_arbitration=config.sub_arbitration,
+            # Same guard as the fleet: learned online rows may carry tied
+            # probabilities that defeat bound pruning (see core.planner).
+            node_budget=ONLINE_NODE_BUDGET if config.model_source == "online" else None,
         )
         self.clients = [
             FleetClient(

@@ -42,6 +42,13 @@ from repro.experiments.registry import (
     build_server_cache,
 )
 from repro.experiments.spec import KIND_INFO, ExperimentSpec, SpecError
+from repro.experiments.tournament import (
+    CHALLENGERS,
+    ScoreboardRow,
+    best_gap_closure,
+    format_scoreboard,
+    scoreboard,
+)
 
 __all__ = [
     "CellResult",
@@ -67,4 +74,9 @@ __all__ = [
     "KIND_INFO",
     "ExperimentSpec",
     "SpecError",
+    "CHALLENGERS",
+    "ScoreboardRow",
+    "best_gap_closure",
+    "format_scoreboard",
+    "scoreboard",
 ]

@@ -614,6 +614,84 @@ def _run_drift(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# The tournament kind: one fleet per (scenario, predictor, source), scored
+# around the workload's shift point
+# ---------------------------------------------------------------------------
+
+#: Cross-cell memo for the tournament kind.  Oracle cells ignore the
+#: predictor axis (planning reads the generator's truth), so their key drops
+#: it and the oracle reference runs once per scenario, not once per
+#: predictor.  Bounded; worker processes each hold their own.
+_TOURNAMENT_MEMO: dict = {}
+_TOURNAMENT_MEMO_LIMIT = 64
+
+
+def _tournament_simulation(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    """Run (or recall) one tournament cell's fleet and score it pre/post-shift."""
+    from repro.distsys.fleet import Fleet
+    from repro.simulation.metrics import AccessStats
+
+    model_source = str(spec.cell_param(cell, "model_source"))
+    key_cell = dict(cell)
+    if model_source == "oracle":
+        key_cell.pop("predictor", None)
+    key = (spec.spec_hash(), seed, tuple(sorted(key_cell.items())))
+    cached = _TOURNAMENT_MEMO.get(key)
+    if cached is not None:
+        return cached
+
+    wl = dict(spec.cell_workload(cell))
+    wl["drift"] = str(cell["scenario"])
+    n_clients = int(spec.cell_param(cell, "n_clients"))
+    online_predictor = str(cell["predictor"])
+    requests = int(spec.iterations)
+    # _fleet_service reads the pipeline and the online model from the cell;
+    # the tournament's "predictor" axis *is* the online model and the
+    # pipeline is a workload knob, so stage both under the names it expects.
+    cell_svc = dict(cell)
+    cell_svc["policy"] = str(spec.cell_param(cell, "policy"))
+    cell_svc["online_predictor"] = online_predictor
+    dynpop = _build_dynamic_population(wl, n_clients, requests, seed)
+    config, server_cache = _fleet_service(spec, cell_svc, wl, dynpop.population.sizes, seed)
+    fleet = Fleet(dynpop.population, config, server_cache=server_cache)
+    res = fleet.run()
+    drift_events = sum(
+        getattr(c.state.model, "drift_events", 0) for c in fleet.clients
+    )
+    kl, prob = _model_quality_replay(dynpop, model_source, online_predictor)
+    info = dynpop.info
+    # Score around the first ground-truth shift; scenarios without one
+    # (none / zipf-drift / diurnal) split at the midpoint so pre/post stay
+    # comparable columns across the whole scoreboard.
+    shift = int(info.shift_points[0]) if info.shift_points else requests // 2
+    shift = min(max(shift, 1), requests - 1)
+    kinds = np.stack(
+        [np.asarray(s.serve_kinds, dtype=np.intp) for s in res.client_stats]
+    )
+    hits = kinds == AccessStats.KIND_HIT
+    summary = {
+        "shift_point": float(shift),
+        "pre_hit_rate": float(hits[:, :shift].mean()),
+        "post_hit_rate": float(hits[:, shift:].mean()),
+        "overall_hit_rate": res.aggregate.hit_rate,
+        "overall_mean_access_time": res.aggregate.mean_access_time,
+        "model_kl_pre": float(kl[:, :shift].mean()),
+        "model_kl_post": float(kl[:, shift:].mean()),
+        "model_prob_pre": float(prob[:, :shift].mean()),
+        "model_prob_post": float(prob[:, shift:].mean()),
+        "drift_events": float(drift_events),
+    }
+    if len(_TOURNAMENT_MEMO) >= _TOURNAMENT_MEMO_LIMIT:
+        _TOURNAMENT_MEMO.clear()
+    _TOURNAMENT_MEMO[key] = summary
+    return summary
+
+
+def _run_tournament(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
+    return dict(_tournament_simulation(spec, cell, seed))
+
+
 def _run_optimize(spec: ExperimentSpec, cell: Mapping, seed: int) -> dict:
     """One search driver over the cell's placement problem.
 
@@ -647,6 +725,7 @@ _KIND_RUNNERS = {
     "fleet": _run_fleet,
     "topology": _run_topology,
     "drift": _run_drift,
+    "tournament": _run_tournament,
     "optimize": _run_optimize,
 }
 

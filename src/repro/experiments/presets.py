@@ -517,6 +517,93 @@ def _drift_flash() -> ExperimentSpec:
     )
 
 
+#: The full predictor zoo the standing tournament ranks.
+TOURNAMENT_PREDICTORS = (
+    "frequency",
+    "frequency:ewma",
+    "frequency:window",
+    "markov",
+    "markov:smoothed",
+    "markov:ewma",
+    "ppm",
+    "ppm:order3",
+    "graph",
+    "ensemble",
+    "adaptive",
+    "adaptive:frequency",
+    "learned",
+    "rules",
+)
+
+#: The drift-regime-style population every tournament preset runs on.
+#: Four regimes per trace (switches at 1/4, 1/2, 3/4): the post-shift score
+#: averages over three fresh regime draws instead of one, which keeps the
+#: scoreboard's ranking and gap closure stable rather than hostage to a
+#: single hot-set redraw.
+_TOURNAMENT_WORKLOAD = {
+    "n": 60,
+    "exponent_min": 1.1,
+    "exponent_max": 1.1,
+    "overlap": 0.9,
+    "top_k": 12,
+    "stagger": 20.0,
+    "n_clients": 8,
+    "concurrency": 4,
+    "drift_regimes": 4,
+}
+
+
+@PRESETS.register("tournament")
+def _tournament() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="tournament",
+        kind="tournament",
+        workload=dict(_TOURNAMENT_WORKLOAD),
+        grid={
+            "scenario": ("none", "regime", "zipf-drift", "flash"),
+            "predictor": TOURNAMENT_PREDICTORS,
+            "model_source": ("oracle", "online"),
+        },
+        iterations=400,
+        seed=53,
+        description=(
+            "The standing bake-off: every registered predictor × four "
+            "dynamics scenarios × oracle/online planning, on CRN-shared "
+            "streams (the cell seed ignores the predictor).  Feed the "
+            "result to repro.experiments.tournament.scoreboard for the "
+            "ranked table with oracle→baseline gap closure."
+        ),
+    )
+
+
+@PRESETS.register("tournament-smoke")
+def _tournament_smoke() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="tournament-smoke",
+        kind="tournament",
+        workload=dict(_TOURNAMENT_WORKLOAD),
+        grid={
+            "scenario": ("regime",),
+            "predictor": (
+                "frequency:ewma",
+                "adaptive:frequency",
+                "learned",
+                "rules",
+            ),
+            "model_source": ("oracle", "online"),
+        },
+        iterations=400,
+        seed=53,
+        description=(
+            "Reduced tournament for CI: the regime scenario only, the two "
+            "strongest adaptive baselines vs the learned and rule-mined "
+            "challengers.  benchmarks/bench_tournament.py gates the best "
+            "online post-shift hit rate and the challengers' gap closure "
+            "on this preset."
+        ),
+    )
+
+
 @PRESETS.register("opt-edge-budget")
 def _opt_edge_budget() -> ExperimentSpec:
     return ExperimentSpec(

@@ -231,8 +231,10 @@ def _register_builtin_predictors() -> None:
         EWMAFrequencyPredictor,
         EWMAMarkovPredictor,
         FrequencyPredictor,
+        GraspPredictor,
         MarkovPredictor,
         PPMPredictor,
+        RulePredictor,
         SlidingWindowFrequencyPredictor,
     )
 
@@ -264,6 +266,12 @@ def _register_builtin_predictors() -> None:
         "adaptive:frequency",
         lambda n: DriftAdaptivePredictor(EWMAFrequencyPredictor(n)),
     )
+    # Learned/mined predictors (repro.prediction.learned / .rules): the
+    # GrASP-style embedding-clustered transition model and the PPE-style
+    # thresholded rule miner — tournament challengers to the adaptive
+    # baselines above.
+    PREDICTORS.register("learned", GraspPredictor)
+    PREDICTORS.register("rules", RulePredictor)
 
 
 # ---------------------------------------------------------------------------

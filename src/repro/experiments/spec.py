@@ -54,6 +54,16 @@ The experiment kinds:
     truth), so the result table IS the drift time series.  The simulation
     runs once per (non-window) parameter combination and is memoized
     across the window axis.
+``tournament``
+    Standing predictor bake-off (:mod:`repro.experiments.tournament`):
+    every cell runs one ``predictor`` on one dynamics ``scenario``
+    (``none`` / ``regime`` / ``zipf-drift`` / ``flash`` / ``diurnal``)
+    under one ``model_source``, on the same CRN-shared streams (the cell
+    seed depends on the scenario but not the predictor), and reports
+    pre-/post-shift hit rates under the SKP planner plus prequential
+    model quality (KL and assigned probability vs the generator's moving
+    truth).  The simulation is memoized so the ``oracle`` reference runs
+    once per scenario, not once per predictor.
 ``optimize``
     Cost-aware placement search (:mod:`repro.optimize`): the workload
     declares a :class:`~repro.optimize.problem.PlacementProblem` — a
@@ -490,6 +500,78 @@ KIND_INFO: dict[str, KindInfo] = {
             "n_windows",
         ),
     ),
+    "tournament": KindInfo(
+        workload_defaults={
+            # population (identical to the drift kind)
+            "source": "zipf-mix",
+            "n": 100,
+            "exponent_min": 0.8,
+            "exponent_max": 1.2,
+            "overlap": 0.5,
+            "top_k": 20,
+            "out_min": 10,
+            "out_max": 20,
+            "v_min": 1.0,
+            "v_max": 100.0,
+            "size_min": 1.0,
+            "size_max": 30.0,
+            "stagger": 50.0,
+            "n_clients": 8,
+            # service (FleetConfig semantics); the pipeline is a knob, not
+            # an axis — the tournament compares predictors, not planners.
+            "policy": "skp+pr",
+            "cache_capacity": 8,
+            "planning_window": "nominal",
+            "skp_variant": "corrected",
+            "latency": 0.0,
+            "bandwidth": 1.0,
+            "concurrency": 4,
+            "discipline": "fifo",
+            "server_cache": "lru",
+            "server_cache_size": 0,
+            "miss_penalty": 0.0,
+            # dynamics knobs: the scenario *axis* selects the dynamics
+            # kind (no "drift" workload key — one way to say it), these
+            # shape the selected schedule.
+            **{k: v for k, v in _DRIFT_WORKLOAD_DEFAULTS.items() if k != "drift"},
+            "model_source": "online",
+        },
+        axes=("scenario", "predictor", "model_source", "n_clients"),
+        required_axes=("scenario", "predictor"),
+        component_registries={"predictor": PREDICTORS},
+        metrics=(
+            "shift_point",
+            "pre_hit_rate",
+            "post_hit_rate",
+            "overall_hit_rate",
+            "overall_mean_access_time",
+            "model_kl_pre",
+            "model_kl_post",
+            "model_prob_pre",
+            "model_prob_post",
+            "drift_events",
+        ),
+        sources=("zipf-mix", "markov-pop"),
+        # The predictor is a component axis (global COMPONENT_AXES) and
+        # model_source selects planning machinery; the scenario is the one
+        # workload-affecting axis, so all predictors × sources face
+        # identical draws within a scenario.
+        component_params=(
+            "n_clients",
+            "policy",
+            "cache_capacity",
+            "planning_window",
+            "skp_variant",
+            "latency",
+            "bandwidth",
+            "concurrency",
+            "discipline",
+            "server_cache",
+            "server_cache_size",
+            "miss_penalty",
+            "model_source",
+        ),
+    ),
     "optimize": KindInfo(
         workload_defaults={
             "system_kind": "fleet",
@@ -678,6 +760,33 @@ class ExperimentSpec:
                     raise SpecError(
                         "cohort/hybrid engines require drift 'none' (their "
                         "populations are built per engine from static draws)"
+                    )
+        if self.kind == "tournament":
+            from repro.workload.dynamics import DYNAMICS_KINDS, MARKOV_DYNAMICS_KINDS
+
+            wl = self.effective_workload()
+            CACHE_POLICIES.get(str(wl["server_cache"]))
+            PIPELINES.get(str(wl["policy"]))
+            for value in self.grid.get("n_clients", (wl["n_clients"],)):
+                if not isinstance(value, int) or value < 1:
+                    raise SpecError(f"n_clients values must be positive ints, got {value!r}")
+            if wl["discipline"] not in ("fifo", "fair"):
+                raise SpecError(
+                    f"discipline must be 'fifo' or 'fair', got {wl['discipline']!r}"
+                )
+            allowed = (
+                MARKOV_DYNAMICS_KINDS if wl["source"] == "markov-pop" else DYNAMICS_KINDS
+            )
+            for value in self.grid.get("scenario", ()):
+                if value not in allowed:
+                    raise SpecError(
+                        f"unknown scenario {value!r} for source {wl['source']!r}; "
+                        f"one of {list(allowed)}"
+                    )
+            for value in self.grid.get("model_source", (wl["model_source"],)):
+                if value not in ("oracle", "online"):
+                    raise SpecError(
+                        f"model_source must be 'oracle' or 'online', got {value!r}"
                     )
         if self.kind == "drift":
             wl = self.effective_workload()

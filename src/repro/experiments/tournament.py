@@ -1,0 +1,174 @@
+"""Tournament scoreboards: rank the predictor zoo on shared drifting streams.
+
+The ``tournament`` experiment kind produces one row per (scenario,
+predictor, model_source) cell; this module turns that table into the
+standing bake-off scoreboard:
+
+* **ranking** — within each scenario, online predictors are ranked by
+  post-shift hit rate (the quantity the planner actually converts into
+  saved access time once the world has moved);
+* **gap closure** — how much of the remaining headroom a predictor
+  recovers.  The reference ceiling is the *oracle's pre-shift* hit rate
+  (what perfect knowledge of the current regime buys); the floor is the
+  best post-shift hit rate among the established adaptive baselines
+  (everything except the :data:`CHALLENGERS`).  ``closure = (post −
+  floor) / (ceiling − floor)`` — positive means the challenger beats every
+  baseline, 1.0 would mean it fully restored oracle-grade performance.
+
+Because the tournament kind derives cell seeds from the scenario only,
+every predictor within a scenario faces byte-identical request streams:
+scoreboard differences are model effects, not sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.artifacts import ExperimentResult
+
+__all__ = [
+    "CHALLENGERS",
+    "ScoreboardRow",
+    "scoreboard",
+    "format_scoreboard",
+    "best_gap_closure",
+]
+
+#: Predictors counted as challengers (excluded from the baseline floor when
+#: computing gap closure): the learned GrASP-style model and the PPE-style
+#: rule miner.
+CHALLENGERS = frozenset({"learned", "rules"})
+
+
+@dataclass(frozen=True)
+class ScoreboardRow:
+    """One scoreboard line: a predictor's showing on one scenario."""
+
+    scenario: str
+    predictor: str
+    model_source: str
+    rank: int  # 1-based among online rows of the scenario; 0 for oracle rows
+    pre_hit_rate: float
+    post_hit_rate: float
+    overall_hit_rate: float
+    overall_mean_access_time: float
+    model_kl_post: float
+    model_prob_post: float
+    gap_closure: float  # NaN when undefined (oracle rows, degenerate gaps)
+
+
+def _cell_rows(result: ExperimentResult) -> list[dict]:
+    spec = result.spec
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            {
+                "scenario": str(cell.params["scenario"]),
+                "predictor": str(cell.params["predictor"]),
+                "model_source": str(spec.cell_param(cell.params, "model_source")),
+                **{k: float(v) for k, v in cell.metrics.items()},
+            }
+        )
+    return rows
+
+
+def scoreboard(result: ExperimentResult) -> list[ScoreboardRow]:
+    """Rank a tournament result into scoreboard rows.
+
+    Rows come back grouped by scenario (in grid order): the oracle
+    reference rows first (rank 0, one per distinct predictor cell — they
+    share one simulation, so their metrics are identical), then the online
+    rows ordered best-post-shift first with 1-based ranks.
+    """
+    if result.spec.kind != "tournament":
+        raise ValueError(
+            f"scoreboard needs a 'tournament' result, got kind {result.spec.kind!r}"
+        )
+    cells = _cell_rows(result)
+    scenarios = list(dict.fromkeys(c["scenario"] for c in cells))
+    out: list[ScoreboardRow] = []
+    for scenario in scenarios:
+        group = [c for c in cells if c["scenario"] == scenario]
+        oracle = [c for c in group if c["model_source"] == "oracle"]
+        online = [c for c in group if c["model_source"] == "online"]
+        ceiling = oracle[0]["pre_hit_rate"] if oracle else math.nan
+        baselines = [
+            c["post_hit_rate"] for c in online if c["predictor"] not in CHALLENGERS
+        ]
+        floor = max(baselines) if baselines else math.nan
+        gap = ceiling - floor
+
+        def row(c: dict, rank: int, closure: float) -> ScoreboardRow:
+            return ScoreboardRow(
+                scenario=c["scenario"],
+                predictor=c["predictor"],
+                model_source=c["model_source"],
+                rank=rank,
+                pre_hit_rate=c["pre_hit_rate"],
+                post_hit_rate=c["post_hit_rate"],
+                overall_hit_rate=c["overall_hit_rate"],
+                overall_mean_access_time=c["overall_mean_access_time"],
+                model_kl_post=c["model_kl_post"],
+                model_prob_post=c["model_prob_post"],
+                gap_closure=closure,
+            )
+
+        # One oracle reference line is enough: every oracle cell of the
+        # scenario recalls the same memoized simulation.
+        if oracle:
+            out.append(row(oracle[0], 0, math.nan))
+        ranked = sorted(online, key=lambda c: (-c["post_hit_rate"], c["predictor"]))
+        for rank, c in enumerate(ranked, start=1):
+            closure = (
+                (c["post_hit_rate"] - floor) / gap
+                if math.isfinite(gap) and gap > 0
+                else math.nan
+            )
+            out.append(row(c, rank, closure))
+    return out
+
+
+def best_gap_closure(
+    rows: list[ScoreboardRow],
+    scenario: str = "regime",
+    predictors: frozenset[str] | set[str] = CHALLENGERS,
+) -> float:
+    """The best gap closure any of ``predictors`` achieves on ``scenario``.
+
+    NaN when the scenario has no online rows for those predictors (or no
+    oracle reference to anchor the gap).
+    """
+    closures = [
+        r.gap_closure
+        for r in rows
+        if r.scenario == scenario
+        and r.model_source == "online"
+        and r.predictor in predictors
+        and math.isfinite(r.gap_closure)
+    ]
+    return max(closures) if closures else math.nan
+
+
+def format_scoreboard(rows: list[ScoreboardRow]) -> str:
+    """Human-readable scoreboard table, one section per scenario."""
+    header = (
+        f"{'rank':>4}  {'predictor':<20} {'source':<7} "
+        f"{'pre':>6} {'post':>6} {'overall':>7} {'mean_t':>7} "
+        f"{'kl_post':>8} {'p_post':>7} {'closure':>8}"
+    )
+    lines: list[str] = []
+    for scenario in dict.fromkeys(r.scenario for r in rows):
+        lines.append(f"scenario: {scenario}")
+        lines.append(header)
+        for r in (x for x in rows if x.scenario == scenario):
+            rank = "ref" if r.rank == 0 else str(r.rank)
+            closure = f"{r.gap_closure:+.1%}" if math.isfinite(r.gap_closure) else "—"
+            lines.append(
+                f"{rank:>4}  {r.predictor:<20} {r.model_source:<7} "
+                f"{r.pre_hit_rate:>6.3f} {r.post_hit_rate:>6.3f} "
+                f"{r.overall_hit_rate:>7.3f} {r.overall_mean_access_time:>7.2f} "
+                f"{r.model_kl_post:>8.3f} {r.model_prob_post:>7.3f} {closure:>8}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

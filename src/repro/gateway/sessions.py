@@ -33,7 +33,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.core.planner import Prefetcher
+from repro.core.planner import ONLINE_NODE_BUDGET, Prefetcher
 from repro.distsys.network import Channel, Link
 from repro.distsys.planning import ClientPlanState
 from repro.simulation.metrics import AccessStats
@@ -79,6 +79,9 @@ class SessionConfig:
             strategy=self.strategy,
             variant=self.skp_variant,
             sub_arbitration=self.sub_arbitration,
+            # Gateway sessions always plan from learned predictor rows,
+            # so the tied-probability node budget applies unconditionally.
+            node_budget=ONLINE_NODE_BUDGET,
         )
 
 

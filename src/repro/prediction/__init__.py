@@ -7,6 +7,10 @@
 * :mod:`repro.prediction.frequency` — zeroth-order popularity baseline;
 * :mod:`repro.prediction.adaptive` — forgetting variants (EWMA / sliding
   window) and Page–Hinkley drift-reset wrapping for non-stationary streams;
+* :mod:`repro.prediction.learned` — GrASP-style embedding-clustered
+  transition model (truncated SVD + seeded k-means);
+* :mod:`repro.prediction.rules` — PPE-style thresholded n-gram rules with
+  a frequency fallback;
 * :mod:`repro.prediction.evaluation` — prequential scoring harness.
 """
 
@@ -22,6 +26,8 @@ from repro.prediction.adaptive import (
     EWMAMarkovPredictor,
     SlidingWindowFrequencyPredictor,
 )
+from repro.prediction.learned import GraspPredictor
+from repro.prediction.rules import RulePredictor
 from repro.prediction.evaluation import PredictorScore, evaluate_predictor
 
 __all__ = [
@@ -35,6 +41,8 @@ __all__ = [
     "EWMAMarkovPredictor",
     "SlidingWindowFrequencyPredictor",
     "DriftAdaptivePredictor",
+    "GraspPredictor",
+    "RulePredictor",
     "PredictorScore",
     "evaluate_predictor",
 ]

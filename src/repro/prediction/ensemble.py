@@ -74,3 +74,9 @@ class EnsemblePredictor(AccessPredictor):
         for weight, member in zip(mix, self.members):
             out += weight * member.predict()
         return out
+
+    def reset(self) -> None:
+        """Reset every member and the adaptive credit (drift-reset support)."""
+        for member in self.members:
+            member.reset()
+        self._credit = np.ones(len(self.members), dtype=np.float64)

@@ -46,12 +46,19 @@ def evaluate_predictor(
     for step, item in enumerate(stream):
         item = int(item)
         if step >= warmup:
-            p = predictor.predict()
-            order = np.argsort(-p)
-            if p[order[0]] > 0 and item == int(order[0]):
-                top1 += 1
-            if item in set(int(i) for i in order[:5] if p[i] > 0):
-                top5 += 1
+            p = np.asarray(predictor.predict(), dtype=np.float64)
+            # A top-k hit is "the realised item was among the k most
+            # probable": count it iff its probability is positive and at
+            # least the k-th largest.  Comparing against argsort positions
+            # instead would break ties by item index — a uniform predictor
+            # would only ever score hits on the lowest-numbered item.
+            p_item = float(p[item])
+            if p_item > 0.0:
+                if p_item >= float(np.partition(p, -1)[-1]):
+                    top1 += 1
+                k5 = min(5, p.shape[0])
+                if p_item >= float(np.partition(p, -k5)[-k5]):
+                    top5 += 1
             assigned += float(p[item])
             log_loss += -float(np.log(max(float(p[item]), log_eps)))
             evaluated += 1

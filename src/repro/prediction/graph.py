@@ -50,3 +50,10 @@ class DependencyGraphPredictor(AccessPredictor):
         if total > 1.0:
             p = p / total
         return p
+
+    def reset(self) -> None:
+        """Forget all arcs and recency state (drift-reset support)."""
+        self.arc_counts = np.zeros((self.n_items, self.n_items), dtype=np.float64)
+        self.visit_counts = np.zeros(self.n_items, dtype=np.float64)
+        self.recent = deque(maxlen=self.window)
+        self.current = None

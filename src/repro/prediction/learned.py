@@ -1,0 +1,222 @@
+"""Learned next-access model — GrASP-style embeddings over the access graph.
+
+GrASP (arXiv 2510.11011) learns *general-purpose* item representations from
+access co-occurrence and uses cluster structure in that embedding space to
+generalise predictions to items with little direct history.  This module is
+the online, dependency-free analogue of that recipe:
+
+1. maintain a per-row exponentially-decayed first-order transition matrix
+   (the "access graph", forgotten lazily so updates stay O(row));
+2. periodically factor the warm rows with a truncated SVD — each active
+   item gets an embedding ``u_i * s`` capturing *which successors it
+   shares* with other items;
+3. cluster the embeddings with a seeded numpy k-means, and pool the raw
+   transition rows inside each cluster into a *cluster conditional row*;
+4. predict with a shrinkage blend: an item's raw row is trusted in
+   proportion to its evidence, the remainder split between its cluster's
+   pooled row and the global decayed popularity — so cold or thinly-seen
+   items inherit the behaviour of the cluster they embed into;
+5. sharpen the blend (``p ** concentration``, renormalised) — under the
+   planner's limited cache budget a confidently-concentrated estimate of
+   the head beats a well-calibrated but flat one.
+
+Everything is deterministic given ``seed`` (k-means init derives from
+:func:`repro.util.rng.derive_seed`), and :meth:`GraspPredictor.reset`
+forgets the full state, so the model composes with
+:class:`~repro.prediction.adaptive.DriftAdaptivePredictor` and the
+``model_source="online"`` path of the distsys engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import AccessPredictor
+from repro.util.rng import derive_seed
+
+__all__ = ["GraspPredictor"]
+
+
+class GraspPredictor(AccessPredictor):
+    """Embedding-clustered transition model with shrinkage and sharpening.
+
+    Parameters
+    ----------
+    decay:
+        Per-step forgetting factor for transition rows and the global
+        popularity marginal (memory ``~1/(1-decay)`` steps).
+    rank:
+        Truncated-SVD rank of the item embeddings.
+    n_clusters:
+        k-means cluster count over the embeddings (capped by the number of
+        warm rows).
+    refit_every:
+        Updates between embedding/cluster refits.
+    shrink:
+        Pseudo-count governing trust in an item's raw transition row.
+    cluster_shrink:
+        Pseudo-count governing trust in the cluster row vs the global
+        popularity fallback.
+    concentration:
+        Exponent sharpening the final blend (1.0 = calibrated).
+    seed:
+        Deterministic k-means initialisation seed.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        *,
+        decay: float = 0.97,
+        rank: int = 8,
+        n_clusters: int = 6,
+        refit_every: int = 32,
+        shrink: float = 100.0,
+        cluster_shrink: float = 100.0,
+        concentration: float = 3.0,
+        seed: int = 0x6A5,
+    ) -> None:
+        super().__init__(n_items)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if rank < 1:
+            raise ValueError("rank must be positive")
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        if refit_every < 1:
+            raise ValueError("refit_every must be positive")
+        if shrink < 0 or cluster_shrink < 0:
+            raise ValueError("shrinkage pseudo-counts must be non-negative")
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        self.decay = float(decay)
+        self.rank = int(rank)
+        self.n_clusters = int(n_clusters)
+        self.refit_every = int(refit_every)
+        self.shrink = float(shrink)
+        self.cluster_shrink = float(cluster_shrink)
+        self.concentration = float(concentration)
+        self.seed = int(seed)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget transitions, embeddings and clusters (drift-reset support)."""
+        n = self.n_items
+        self.trans = np.zeros((n, n), dtype=np.float64)
+        self.row_total = np.zeros(n, dtype=np.float64)
+        self.marg = np.zeros(n, dtype=np.float64)
+        self.total = 0.0
+        self.prev: int | None = None
+        self.step = 0
+        # Rows decay lazily: _row_stamp[i] is the step row i was last
+        # brought current, so touching a row costs O(n) not O(n^2).
+        self._row_stamp = np.zeros(n, dtype=np.int64)
+        self.clusters: np.ndarray | None = None  # (n,) ids, -1 = cold
+        self.cluster_rows: np.ndarray | None = None  # (k, n) pooled rows
+        self.cluster_mass: np.ndarray | None = None  # (k,) pooled evidence
+        self._since_fit = 0
+
+    def _sync_row(self, i: int) -> None:
+        dt = self.step - self._row_stamp[i]
+        if dt > 0:
+            f = self.decay**dt
+            self.trans[i] *= f
+            self.row_total[i] *= f
+            self._row_stamp[i] = self.step
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        self.step += 1
+        self.marg *= self.decay
+        self.total = self.total * self.decay + 1.0
+        self.marg[item] += 1.0
+        if self.prev is not None:
+            self._sync_row(self.prev)
+            self.trans[self.prev, item] += 1.0
+            self.row_total[self.prev] += 1.0
+        self.prev = item
+        self._since_fit += 1
+        if self._since_fit >= self.refit_every:
+            self._refit()
+
+    def _refit(self) -> None:
+        self._since_fit = 0
+        active = np.nonzero(self.row_total > 0)[0]
+        if active.size < 2:
+            return
+        for i in active:
+            self._sync_row(i)
+        rows = self.trans[active] / self.row_total[active, None]
+        # Weight rows by sqrt evidence so thin rows don't distort the
+        # factorisation as much as well-observed ones.
+        w = np.sqrt(self.row_total[active])
+        try:
+            u, s, _ = np.linalg.svd(rows * w[:, None], full_matrices=False)
+        except np.linalg.LinAlgError:
+            return
+        r = min(self.rank, s.size)
+        emb = u[:, :r] * s[:r]
+        k = min(self.n_clusters, active.size)
+        rng = np.random.default_rng(derive_seed(self.seed, n=self.n_items))
+        centers = emb[rng.choice(active.size, size=k, replace=False)]
+        assign = np.zeros(active.size, dtype=np.intp)
+        for it in range(8):
+            d = ((emb[:, None, :] - centers[None]) ** 2).sum(axis=2)
+            new_assign = d.argmin(axis=1)
+            if it > 0 and np.array_equal(new_assign, assign):
+                break
+            assign = new_assign
+            for c in range(k):
+                m = assign == c
+                if m.any():
+                    centers[c] = emb[m].mean(axis=0)
+        clusters = np.full(self.n_items, -1, dtype=np.intp)
+        clusters[active] = assign
+        gl = self.marg / self.total if self.total > 0 else np.zeros(self.n_items)
+        crow = np.zeros((k, self.n_items), dtype=np.float64)
+        cmass = np.zeros(k, dtype=np.float64)
+        for c in range(k):
+            m = assign == c
+            if m.any():
+                wsum = self.row_total[active[m]].sum()
+                cmass[c] = wsum
+                crow[c] = self.trans[active[m]].sum(axis=0) / wsum if wsum > 0 else gl
+            else:
+                crow[c] = gl
+        self.clusters = clusters
+        self.cluster_rows = crow
+        self.cluster_mass = cmass
+
+    def conditional_row(self, item: int) -> np.ndarray:
+        item = self._check_item(item)
+        n = self.n_items
+        if self.total <= 0:
+            return np.zeros(n)
+        gl = self.marg / self.total
+        self._sync_row(item)
+        ni = self.row_total[item]
+        raw = self.trans[item] / ni if ni > 0 else np.zeros(n)
+        if self.clusters is not None and self.clusters[item] >= 0:
+            c = int(self.clusters[item])
+            cl = self.cluster_rows[c]
+            wsum = float(self.cluster_mass[c])
+        else:
+            cl, wsum = gl, 0.0
+        lam = ni / (ni + self.shrink)
+        mu = wsum / (wsum + self.cluster_shrink)
+        p = lam * raw + (1.0 - lam) * (mu * cl + (1.0 - mu) * gl)
+        s = p.sum()
+        if s <= 0:
+            return np.zeros(n)
+        # Sharpen: the planner spends a finite cache budget, so a
+        # concentrated estimate of the head beats a calibrated flat one.
+        # No uniform floor — exact ties across the tail are pathological
+        # for the branch-and-bound SKP solver.
+        q = p**self.concentration
+        qs = q.sum()
+        return q / qs if qs > 0 else p / s
+
+    def predict(self) -> np.ndarray:
+        if self.prev is None:
+            return np.zeros(self.n_items)
+        return self.conditional_row(self.prev)

@@ -58,4 +58,23 @@ class PPMPredictor(AccessPredictor):
             mass *= distinct / denom
             if mass <= 1e-12:
                 break
+        # The mass that escaped past the order-0 context is the model's
+        # "something I have never seen" belief: spread it uniformly over the
+        # never-seen items so they carry positive probability (finite
+        # log-loss) and the vector stays a proper distribution while any
+        # remain.  With the whole catalog seen, order-0 already covers every
+        # item and the tiny residual stays unassigned (sub-distribution).
+        if mass > 1e-12:
+            seen = self.contexts[0].get((), {})
+            n_unseen = self.n_items - len(seen)
+            if n_unseen > 0:
+                unseen = np.ones(self.n_items, dtype=bool)
+                if seen:
+                    unseen[list(seen)] = False
+                prob[unseen] += mass / n_unseen
         return prob
+
+    def reset(self) -> None:
+        """Forget all contexts and history (drift-reset support)."""
+        self.contexts = [defaultdict(dict) for _ in range(self.order + 1)]
+        self.history = []

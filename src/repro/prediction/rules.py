@@ -1,0 +1,173 @@
+"""Rule-mined next-access model — PPE-style session n-gram rules.
+
+PPE (arXiv 1109.6206) mines *prediction-by-partial-match style rules* from
+user session logs: an antecedent (a recent access subsequence) implies a
+consequent page with some confidence, and only rules passing support and
+confidence thresholds are allowed to fire.  This module is the online
+analogue:
+
+* n-gram tables up to ``max_order`` count, per context tuple, which item
+  followed; tables are periodically *halved and pruned* (every
+  ``halflife`` updates) so stale rules fade instead of voting forever;
+* prediction fires the **longest matching context** whose total support
+  clears ``min_support``; within it, only consequents whose conditional
+  confidence clears ``min_confidence`` receive their confidence as
+  probability mass — a deliberately sparse, high-precision signal;
+* the residual mass falls back to a base predictor (decayed popularity by
+  default), so the output remains a usable full distribution even when no
+  rule fires.
+
+:meth:`RulePredictor.reset` clears tables, history and the base model, so
+the predictor composes with
+:class:`~repro.prediction.adaptive.DriftAdaptivePredictor` and the
+``model_source="online"`` planner path via
+:meth:`RulePredictor.conditional_row`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.adaptive import EWMAFrequencyPredictor
+from repro.prediction.base import AccessPredictor
+
+__all__ = ["RulePredictor"]
+
+
+class RulePredictor(AccessPredictor):
+    """Thresholded n-gram rules with a frequency fallback.
+
+    Parameters
+    ----------
+    max_order:
+        Longest antecedent (context) length mined.
+    min_support:
+        Minimum total (decayed) count a context needs before its rules may
+        fire.
+    min_confidence:
+        Minimum conditional probability a consequent needs to receive mass.
+    halflife:
+        Updates between halving sweeps; counts below 0.5 are pruned, empty
+        contexts dropped.  0 disables forgetting.
+    base:
+        Fallback model receiving the mass no rule claims; defaults to
+        :class:`~repro.prediction.adaptive.EWMAFrequencyPredictor`.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        *,
+        max_order: int = 3,
+        min_support: float = 3.0,
+        min_confidence: float = 0.35,
+        halflife: int = 200,
+        base: AccessPredictor | None = None,
+    ) -> None:
+        super().__init__(n_items)
+        if max_order < 1:
+            raise ValueError("max_order must be positive")
+        if min_support < 0:
+            raise ValueError("min_support must be non-negative")
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+        if halflife < 0:
+            raise ValueError("halflife must be non-negative")
+        if base is not None and base.n_items != n_items:
+            raise ValueError("base predictor must share the catalog size")
+        self.max_order = int(max_order)
+        self.min_support = float(min_support)
+        self.min_confidence = float(min_confidence)
+        self.halflife = int(halflife)
+        self.base = base if base is not None else EWMAFrequencyPredictor(n_items, decay=0.98)
+        # tables[k-1] maps a length-k context tuple to {next_item: count}.
+        self.tables: list[dict[tuple[int, ...], dict[int, float]]] = []
+        self.history: list[int] = []
+        self._since_halve = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget rules, history and the base model (drift-reset support)."""
+        self.tables = [dict() for _ in range(self.max_order)]
+        self.history = []
+        self._since_halve = 0
+        self.base.reset()
+
+    def update(self, item: int) -> None:
+        item = self._check_item(item)
+        h = self.history
+        for k in range(1, self.max_order + 1):
+            if len(h) < k:
+                break
+            ctx = tuple(h[-k:])
+            tbl = self.tables[k - 1]
+            ent = tbl.get(ctx)
+            if ent is None:
+                ent = tbl[ctx] = {}
+            ent[item] = ent.get(item, 0.0) + 1.0
+        h.append(item)
+        if len(h) > self.max_order:
+            del h[: -self.max_order]
+        self.base.update(item)
+        self._since_halve += 1
+        if self.halflife and self._since_halve >= self.halflife:
+            self._since_halve = 0
+            self._halve()
+
+    def _halve(self) -> None:
+        for tbl in self.tables:
+            dead = []
+            for ctx, ent in tbl.items():
+                for it in list(ent):
+                    ent[it] *= 0.5
+                    if ent[it] < 0.5:
+                        del ent[it]
+                if not ent:
+                    dead.append(ctx)
+            for ctx in dead:
+                del tbl[ctx]
+
+    def _fire(self, context: list[int]) -> list[tuple[int, float]] | None:
+        """Longest-match-first rule firing: ``[(item, confidence)]`` or None."""
+        for k in range(min(self.max_order, len(context)), 0, -1):
+            ctx = tuple(context[-k:])
+            ent = self.tables[k - 1].get(ctx)
+            if not ent:
+                continue
+            tot = sum(ent.values())
+            if tot < self.min_support:
+                continue
+            fired = [
+                (it, c / tot) for it, c in ent.items() if c / tot >= self.min_confidence
+            ]
+            if fired:
+                return fired
+        return None
+
+    def _mix(self, fired: list[tuple[int, float]] | None, base_row: np.ndarray) -> np.ndarray:
+        if not fired:
+            return base_row.copy()
+        p = np.zeros(self.n_items, dtype=np.float64)
+        mass = 0.0
+        for it, conf in fired:
+            p[it] += conf
+            mass += conf
+        mass = min(mass, 1.0)
+        total = p.sum()
+        if total > mass:
+            p *= mass / total
+        p += (1.0 - mass) * base_row
+        return p
+
+    def predict(self) -> np.ndarray:
+        fired = self._fire(self.history)
+        return self._mix(fired, np.asarray(self.base.predict(), dtype=np.float64))
+
+    def conditional_row(self, item: int) -> np.ndarray:
+        item = self._check_item(item)
+        # If the real history already ends on `item` (the common planner
+        # call pattern) use the full context so higher-order rules fire;
+        # otherwise condition on `item` alone.
+        ctx = self.history if (self.history and self.history[-1] == item) else [item]
+        fired = self._fire(ctx)
+        return self._mix(fired, np.asarray(self.base.conditional_row(item), dtype=np.float64))

@@ -77,6 +77,10 @@ class Trace:
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "Trace":
+        # Materialise first: a generator is truthy even when exhausted or
+        # empty, so the truthiness check must run on a concrete sequence
+        # (``zip(*<empty>)`` would raise from unpacking zero iterables).
+        pairs = list(pairs)
         items, views = zip(*pairs) if pairs else ((), ())
         return cls(np.asarray(items), np.asarray(views))
 

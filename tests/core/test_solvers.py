@@ -264,3 +264,65 @@ class TestTheoremGaps:
             assert solve_skp(prob).gain == pytest.approx(
                 solve_skp_exact(prob).gain, abs=1e-9
             )
+
+
+class TestNodeBudget:
+    def test_none_budget_is_bit_exact_with_unbudgeted(self, rng):
+        for _ in range(40):
+            prob = make_problem(rng)
+            default = solve_skp(prob)
+            explicit = solve_skp(prob, node_budget=None)
+            assert explicit.plan.items == default.plan.items
+            assert explicit.gain == default.gain
+            assert explicit.nodes == default.nodes
+
+    def test_generous_budget_reaches_the_optimum(self, rng):
+        for _ in range(40):
+            prob = make_problem(rng)
+            exact = solve_skp(prob)
+            budgeted = solve_skp(prob, node_budget=exact.nodes + 1)
+            assert budgeted.gain == pytest.approx(exact.gain, abs=1e-12)
+
+    def test_budget_caps_nodes_and_keeps_valid_anytime_plan(self, rng):
+        for _ in range(60):
+            prob = make_problem(rng, max_n=8)
+            exact = solve_skp(prob)
+            budgeted = solve_skp(prob, node_budget=3)
+            # hard node cap (+1: the node that trips the budget is counted)
+            assert budgeted.nodes <= 4
+            # the incumbent is a real plan with its true eq-(3) gain ...
+            budgeted.plan.validate_against(prob)
+            assert budgeted.gain == pytest.approx(
+                access_improvement(prob, budgeted.plan), abs=1e-12
+            )
+            # ... never claiming more than the proven optimum
+            assert budgeted.gain <= exact.gain + 1e-9
+
+    def test_budgeted_search_is_deterministic(self, rng):
+        # The budget is a pure node count: same instance, same incumbent.
+        for _ in range(20):
+            prob = make_problem(rng)
+            a = solve_skp(prob, node_budget=5)
+            b = solve_skp(prob, node_budget=5)
+            assert a.plan.items == b.plan.items
+            assert a.nodes == b.nodes
+
+    def test_tie_heavy_instance_stays_bounded(self):
+        # The motivating pathology: many exactly tied probabilities make
+        # the Dantzig bound equal the incumbent on every tie, so pruning
+        # degrades; the budget must keep the search finite and useful.
+        n = 18
+        p = np.full(n, 0.9 / n)
+        r = np.ones(n)
+        prob = PrefetchProblem(p, r, float(n))
+        res = solve_skp(prob, node_budget=500)
+        assert res.nodes <= 501
+        res.plan.validate_against(prob)
+        assert res.gain >= 0.0
+
+    def test_invalid_budget_rejected(self):
+        prob = PrefetchProblem(np.array([0.5, 0.5]), np.array([1.0, 1.0]), 2.0)
+        with pytest.raises(ValueError):
+            solve_skp(prob, node_budget=0)
+        with pytest.raises(ValueError):
+            solve_skp(prob, node_budget=-3)

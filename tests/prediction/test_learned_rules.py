@@ -1,0 +1,172 @@
+"""Tests for the tournament challengers: GraspPredictor and RulePredictor."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    DriftAdaptivePredictor,
+    EWMAFrequencyPredictor,
+    FrequencyPredictor,
+    GraspPredictor,
+    RulePredictor,
+)
+
+
+class TestGraspPredictor:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GraspPredictor(4, decay=0.0)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, decay=1.5)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, rank=0)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, n_clusters=0)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, refit_every=0)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, shrink=-1.0)
+        with pytest.raises(ValueError):
+            GraspPredictor(4, concentration=0.0)
+
+    def test_cold_start_predicts_nothing(self):
+        pred = GraspPredictor(5)
+        assert pred.predict().sum() == 0.0
+        np.testing.assert_array_equal(pred.conditional_row(2), np.zeros(5))
+
+    def test_prediction_is_distribution(self):
+        pred = GraspPredictor(8)
+        rng = np.random.default_rng(0)
+        pred.update_many(rng.integers(0, 8, 500))
+        p = pred.predict()
+        assert np.all(p >= 0.0)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_learns_deterministic_chain(self):
+        # Small shrink: with ~1/(1-decay) ≈ 33 effective observations per
+        # row, the default pseudo-count of 100 deliberately keeps blending
+        # in cluster/global structure; shrink=5 lets the raw row dominate.
+        pred = GraspPredictor(3, shrink=5.0)
+        pred.update_many([0, 1, 2] * 60)
+        # currently at 2; next is always 0
+        p = pred.predict()
+        assert p.argmax() == 0
+        assert p[0] > 0.9
+
+    def test_cold_item_inherits_cluster_behaviour(self):
+        # Two behavioural groups: even items always lead to 0, odd items to
+        # 1.  Item 6 is seen just once as a source — its raw row is thin,
+        # so the blend leans on its cluster/global structure and still
+        # produces a usable positive row instead of near-zero mass.
+        pred = GraspPredictor(8, refit_every=16, shrink=50.0)
+        rng = np.random.default_rng(1)
+        stream = []
+        for _ in range(300):
+            src = int(rng.integers(2, 6))
+            stream += [src, 0 if src % 2 == 0 else 1]
+        pred.update_many(stream)
+        pred.update_many([6, 0])
+        row = pred.conditional_row(6)
+        assert row.sum() == pytest.approx(1.0, abs=1e-9)
+        assert row[0] > row[5]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 10, 400)
+        a = GraspPredictor(10, seed=7)
+        b = GraspPredictor(10, seed=7)
+        a.update_many(stream)
+        b.update_many(stream)
+        np.testing.assert_array_equal(a.predict(), b.predict())
+
+    def test_reset_restores_cold_state(self):
+        pred = GraspPredictor(6)
+        pred.update_many(np.random.default_rng(2).integers(0, 6, 200))
+        pred.reset()
+        assert pred.predict().sum() == 0.0
+        assert pred.prev is None
+        assert pred.clusters is None
+        # and it can learn again from scratch
+        pred.update_many([0, 1] * 40)
+        assert pred.predict().argmax() == 0
+
+    def test_composes_with_drift_adapter(self):
+        wrapped = DriftAdaptivePredictor(GraspPredictor(6))
+        wrapped.update_many([0, 1, 2] * 30)
+        p = wrapped.predict()
+        assert np.all(p >= 0.0)
+        assert p.sum() <= 1.0 + 1e-9
+
+
+class TestRulePredictor:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RulePredictor(4, max_order=0)
+        with pytest.raises(ValueError):
+            RulePredictor(4, min_support=-1.0)
+        with pytest.raises(ValueError):
+            RulePredictor(4, min_confidence=0.0)
+        with pytest.raises(ValueError):
+            RulePredictor(4, halflife=-1)
+        with pytest.raises(ValueError):
+            RulePredictor(4, base=FrequencyPredictor(5))
+
+    def test_falls_back_to_base_when_no_rule_fires(self):
+        pred = RulePredictor(4, min_support=100.0)  # rules can never fire
+        base = EWMAFrequencyPredictor(4, decay=0.98)
+        for item in [0, 1, 1, 2, 3, 1]:
+            pred.update(item)
+            base.update(item)
+        np.testing.assert_allclose(pred.predict(), base.predict())
+
+    def test_longest_matching_context_wins(self):
+        # After [0, 1] the next item is 2; after [3, 1] it is 0.  An
+        # order-1 model cannot split these; the order-2 rule can.
+        pred = RulePredictor(4, max_order=2, min_support=3.0, min_confidence=0.35)
+        pred.update_many([0, 1, 2, 3, 1, 0] * 10)
+        pred.update_many([0, 1])
+        assert pred.predict().argmax() == 2
+        pred.update_many([2, 3, 1])
+        assert pred.predict().argmax() == 0
+
+    def test_prediction_is_sub_distribution(self):
+        pred = RulePredictor(6)
+        rng = np.random.default_rng(4)
+        pred.update_many(rng.integers(0, 6, 500))
+        p = pred.predict()
+        assert np.all(p >= 0.0)
+        assert p.sum() <= 1.0 + 1e-9
+
+    def test_halving_prunes_stale_rules(self):
+        pred = RulePredictor(4, max_order=1, halflife=10, min_support=1.0)
+        pred.update_many([0, 1] * 3)  # rule 0 -> 1 with count 3
+        assert pred.tables[0][(0,)][1] == 3.0
+        pred.update_many([2, 3] * 10)  # 20 updates: two halving sweeps
+        # 3 -> 1.5 -> 0.75 survives the prune; another sweep would kill it.
+        assert (0,) not in pred.tables[0] or pred.tables[0][(0,)][1] < 3.0
+
+    def test_conditional_row_uses_history_suffix(self):
+        pred = RulePredictor(4, max_order=2, min_support=3.0)
+        pred.update_many([0, 1, 2, 3, 1, 0] * 10)
+        pred.update_many([0, 1])
+        # history ends on 1: the [0, 1] context fires, pointing at 2.
+        assert pred.conditional_row(1).argmax() == 2
+        # conditioning on an item that is NOT the history tail uses the
+        # order-1 context for that item alone.
+        row = pred.conditional_row(3)
+        assert row.argmax() == 1
+
+    def test_reset_clears_rules_and_base(self):
+        pred = RulePredictor(5)
+        pred.update_many([0, 1, 2] * 20)
+        pred.reset()
+        assert pred.history == []
+        assert all(not tbl for tbl in pred.tables)
+        assert pred.predict().sum() == 0.0
+
+    def test_composes_with_drift_adapter(self):
+        wrapped = DriftAdaptivePredictor(RulePredictor(6))
+        wrapped.update_many([0, 1, 2] * 30)
+        p = wrapped.predict()
+        assert np.all(p >= 0.0)
+        assert p.sum() <= 1.0 + 1e-9

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.prediction import (
+    AccessPredictor,
     DependencyGraphPredictor,
     FrequencyPredictor,
     MarkovPredictor,
@@ -91,6 +92,33 @@ class TestPPMPredictor:
         with pytest.raises(ValueError):
             PPMPredictor(3, order=-1)
 
+    def test_escaped_mass_reaches_unseen_items(self):
+        # The mass escaping past order-0 is "something I have never seen":
+        # it must land on the never-seen items, giving them positive
+        # probability and keeping the vector a full distribution while any
+        # remain — not silently vanish.
+        ppm = PPMPredictor(6, order=1)
+        ppm.update_many([0, 1, 0, 1])
+        p = ppm.predict()
+        assert np.all(p[2:] > 0.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_unseen_items_have_finite_log_loss(self):
+        # A first appearance must not be scored at probability zero.
+        ppm = PPMPredictor(5, order=2)
+        score = evaluate_predictor(ppm, [0, 1, 2, 3, 4], warmup=1)
+        assert np.isfinite(score.mean_log_loss)
+        assert score.mean_assigned_probability > 0.0
+
+    def test_full_catalog_stays_sub_distribution(self):
+        # With every item seen, order-0 covers the catalog and the tiny
+        # residual stays unassigned: still a sub-distribution.
+        ppm = PPMPredictor(4, order=1)
+        ppm.update_many([0, 1, 2, 3] * 10)
+        p = ppm.predict()
+        assert np.all(p >= 0.0)
+        assert p.sum() <= 1.0 + 1e-9
+
 
 class TestDependencyGraphPredictor:
     def test_window_captures_skip_links(self):
@@ -145,3 +173,26 @@ class TestEvaluation:
         # item 0 cannot predict item 1 on its first appearance.
         score = evaluate_predictor(FrequencyPredictor(2), [0, 1], warmup=1)
         assert score.mean_assigned_probability == pytest.approx(0.0)
+
+    def test_topk_ties_count_every_tied_item(self):
+        # A uniform predictor ties every item at the top: each realised item
+        # is "among the k most probable" and must score a top-1 hit.  The
+        # old argsort-position comparison broke ties by item index, so only
+        # the lowest-numbered item ever hit.
+        class Uniform(AccessPredictor):
+            def update(self, item):
+                self._check_item(item)
+
+            def predict(self):
+                return np.full(self.n_items, 1.0 / self.n_items)
+
+        score = evaluate_predictor(Uniform(8), [7, 3, 5, 1, 6])
+        assert score.top1_hit_rate == pytest.approx(1.0)
+        assert score.top5_hit_rate == pytest.approx(1.0)
+
+    def test_topk_zero_probability_never_hits(self):
+        # Tie-inclusive counting must not promote zero-probability items: a
+        # cold predictor (all-zero vector) scores no hits at all.
+        score = evaluate_predictor(MarkovPredictor(4), [0, 1, 2, 3])
+        assert score.top1_hit_rate == 0.0
+        assert score.top5_hit_rate == 0.0

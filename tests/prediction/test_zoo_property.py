@@ -1,0 +1,60 @@
+"""Property tests over every *registered* predictor.
+
+The planner treats any predictor's output as a sub-distribution of
+next-access probabilities, and the drift machinery assumes ``reset()``
+returns any predictor to a usable cold state.  These invariants must hold
+for the whole zoo — including entries added by future PRs — so the tests
+parametrize over :data:`repro.experiments.PREDICTORS` rather than a
+hand-maintained list.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import PREDICTORS
+
+N_ITEMS = 6
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=N_ITEMS - 1), min_size=0, max_size=40
+)
+
+
+def _check_sub_distribution(p: np.ndarray) -> None:
+    p = np.asarray(p, dtype=np.float64)
+    assert p.shape == (N_ITEMS,)
+    assert np.all(np.isfinite(p))
+    assert np.all(p >= 0.0)
+    assert p.sum() <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("name", PREDICTORS.names())
+class TestRegisteredPredictorProperties:
+    @given(stream=streams)
+    @settings(max_examples=25, deadline=None)
+    def test_predicts_sub_distribution(self, name, stream):
+        pred = PREDICTORS.create(name, N_ITEMS)
+        for item in stream:
+            pred.update(item)
+            _check_sub_distribution(pred.predict())
+
+    @given(stream=streams)
+    @settings(max_examples=25, deadline=None)
+    def test_survives_reset(self, name, stream):
+        pred = PREDICTORS.create(name, N_ITEMS)
+        for item in stream:
+            pred.update(item)
+        pred.reset()
+        _check_sub_distribution(pred.predict())
+        # A reset predictor must accept a fresh stream as if newly built.
+        for item in stream:
+            pred.update(item)
+        _check_sub_distribution(pred.predict())
+
+    def test_conditional_row_sub_distribution(self, name):
+        pred = PREDICTORS.create(name, N_ITEMS)
+        pred.update_many([0, 1, 2, 1, 0, 3, 4, 5, 1] * 5)
+        for item in range(N_ITEMS):
+            _check_sub_distribution(pred.conditional_row(item))

@@ -33,6 +33,23 @@ class TestTrace:
         with pytest.raises(ValueError):
             Trace(np.array([1, 2]), np.array([1.0]))
 
+    def test_from_pairs(self):
+        trace = Trace.from_pairs([(3, 1.5), (0, 2.0)])
+        np.testing.assert_array_equal(trace.items, [3, 0])
+        np.testing.assert_allclose(trace.viewing_times, [1.5, 2.0])
+
+    def test_from_pairs_empty_list(self):
+        trace = Trace.from_pairs([])
+        assert len(trace) == 0
+
+    def test_from_pairs_empty_generator(self):
+        # A generator is truthy even when it yields nothing: from_pairs must
+        # materialise before deciding whether there is anything to unzip.
+        trace = Trace.from_pairs(pair for pair in [] if pair)
+        assert len(trace) == 0
+        assert trace.items.shape == (0,)
+        assert trace.viewing_times.shape == (0,)
+
 
 class TestZipf:
     def test_probabilities_normalised_and_monotone(self):
